@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks of the substrates: host-machine
+// throughput of sketching, clustering, mining, compression, the LP
+// solver and the kvstore. These measure real wall-clock performance of
+// the library code (unlike the figure benches, which report simulated
+// cluster time).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compress/lz77.h"
+#include "compress/webgraph.h"
+#include "data/generators.h"
+#include "kvstore/store.h"
+#include "mining/apriori.h"
+#include "optimize/pareto.h"
+#include "sketch/minhash.h"
+#include "stratify/kmodes.h"
+
+namespace {
+
+using namespace hetsim;
+
+void BM_MinHashSketch(benchmark::State& state) {
+  const auto hashes = static_cast<std::uint32_t>(state.range(0));
+  const sketch::MinHasher h({.num_hashes = hashes, .seed = 3});
+  data::ItemSet items;
+  for (std::uint32_t i = 0; i < 64; ++i) items.push_back(i * 97);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.sketch(items));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MinHashSketch)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CompositeKModes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = n;
+  cfg.seed = 5;
+  const data::Dataset ds = data::generate_text_corpus(cfg);
+  const sketch::MinHasher h({.num_hashes = 32, .seed = 7});
+  const auto sketches = h.sketch_all(ds.records);
+  stratify::KModesConfig kcfg;
+  kcfg.num_strata = 16;
+  kcfg.max_iterations = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stratify::composite_kmodes(sketches, kcfg));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CompositeKModes)->Arg(500)->Arg(2000);
+
+void BM_Apriori(benchmark::State& state) {
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = static_cast<std::size_t>(state.range(0));
+  cfg.seed = 9;
+  const data::Dataset ds = data::generate_text_corpus(cfg);
+  std::vector<data::ItemSet> txns;
+  for (const auto& r : ds.records) txns.push_back(r.items);
+  const mining::AprioriConfig acfg{.min_support = 0.1, .max_pattern_length = 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mining::apriori(txns, acfg));
+  }
+  state.SetItemsProcessed(state.iterations() * txns.size());
+}
+BENCHMARK(BM_Apriori)->Arg(1000)->Arg(4000);
+
+void BM_Lz77Compress(benchmark::State& state) {
+  common::Rng rng(11);
+  std::string input;
+  for (int i = 0; i < state.range(0); ++i) {
+    input.push_back(static_cast<char>('a' + rng.bounded(8)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::lz77_compress(input));
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_Lz77Compress)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_WebGraphCompress(benchmark::State& state) {
+  data::WebGraphConfig cfg;
+  cfg.num_vertices = static_cast<std::uint32_t>(state.range(0));
+  cfg.seed = 13;
+  const data::Graph g = data::generate_webgraph(cfg);
+  std::vector<std::vector<std::uint32_t>> lists;
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    lists.emplace_back(nb.begin(), nb.end());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::compress_adjacency(lists));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_WebGraphCompress)->Arg(2000)->Arg(8000);
+
+void BM_ParetoLp(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  std::vector<optimize::NodeModel> models;
+  for (std::size_t i = 0; i < p; ++i) {
+    models.push_back({.slope = 1e-4 * (1.0 + static_cast<double>(i % 4)),
+                      .intercept = 0.05,
+                      .dirty_rate = 100.0 + 50.0 * static_cast<double>(i % 4)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize::solve_partition_sizes(models, 1000000, 0.999));
+  }
+}
+BENCHMARK(BM_ParetoLp)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StoreRPush(benchmark::State& state) {
+  kvstore::Store store;
+  const std::string payload(128, 'x');
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.rpush("list" + std::to_string(i++ % 16),
+                                         payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreRPush);
+
+void BM_TreePivots(benchmark::State& state) {
+  data::TreeCorpusConfig cfg;
+  cfg.num_trees = 1;
+  cfg.min_nodes = 60;
+  cfg.max_nodes = 60;
+  const auto trees = data::generate_trees(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::tree_pivots(trees[0]));
+  }
+}
+BENCHMARK(BM_TreePivots);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hetsim::cluster {
+
+NodeSpec standard_node(std::uint32_t id, NodeType type, std::uint32_t location) {
+  NodeSpec spec;
+  spec.id = id;
+  spec.type = type;
+  const auto t = static_cast<std::uint32_t>(type);
+  common::require<common::ConfigError>(t >= 1 && t <= 4,
+                                       "standard_node: unknown node type");
+  spec.speed = static_cast<double>(5 - t);  // type1 -> 4.0 ... type4 -> 1.0
+  spec.cores = 5 - t;                       // type1 -> 4 ... type4 -> 1
+  spec.power_watts = power_for_cores(spec.cores);
+  spec.location = location;
+  return spec;
+}
+
+std::vector<NodeSpec> standard_cluster(std::uint32_t n) {
+  common::require<common::ConfigError>(n >= 1, "standard_cluster: need nodes");
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto type = static_cast<NodeType>(1 + (i % 4));
+    nodes.push_back(standard_node(i, type, i % 4));
+  }
+  return nodes;
+}
+
+std::vector<std::uint32_t> choose_masters(const std::vector<NodeSpec>& nodes,
+                                          std::size_t count) {
+  common::require<common::ConfigError>(count <= nodes.size(),
+                                       "choose_masters: not enough nodes");
+  std::vector<std::size_t> idx(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return static_cast<std::uint8_t>(nodes[a].type) <
+           static_cast<std::uint8_t>(nodes[b].type);
+  });
+  std::vector<std::uint32_t> order;
+  order.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) order.push_back(nodes[idx[i]].id);
+  return order;
+}
+
+}  // namespace hetsim::cluster

@@ -1,0 +1,55 @@
+// Heterogeneous node model.
+//
+// The paper evaluates on a homogeneous 12-core Xeon cluster and *injects*
+// heterogeneity: busy loops give four machine classes with relative
+// speeds 4x/3x/2x/x, and the power model assumes the classes have
+// 4/3/2/1 active cores of an Intel Xeon at 95 W plus a 60 W base
+// (section V-A: 440/345/250/155 W). We model those four classes directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetsim::cluster {
+
+/// The four machine classes of the paper's testbed, fastest first.
+enum class NodeType : std::uint8_t { kType1 = 1, kType2 = 2, kType3 = 3, kType4 = 4 };
+
+struct NodeSpec {
+  std::uint32_t id = 0;
+  NodeType type = NodeType::kType1;
+  /// Relative processing speed; type 1 = 4.0 down to type 4 = 1.0.
+  double speed = 4.0;
+  /// Cores assumed active for the power model (4/3/2/1).
+  std::uint32_t cores = 4;
+  /// Full-load power draw in watts (base 60 W + 95 W per active core).
+  double power_watts = 440.0;
+  /// Geographic location index; selects the green-energy trace
+  /// (the paper uses four Google datacenter locations).
+  std::uint32_t location = 0;
+};
+
+/// Power draw of a class: 60 W base + 95 W per active core.
+[[nodiscard]] constexpr double power_for_cores(std::uint32_t cores) noexcept {
+  return 60.0 + 95.0 * static_cast<double>(cores);
+}
+
+/// Build a standard node of the given class.
+[[nodiscard]] NodeSpec standard_node(std::uint32_t id, NodeType type,
+                                     std::uint32_t location);
+
+/// Build the paper's mixed cluster: `n` nodes cycling through the four
+/// classes (type1, type2, type3, type4, type1, ...), with location equal
+/// to the class index so that speed and energy heterogeneity co-vary as
+/// in the paper's setup.
+[[nodiscard]] std::vector<NodeSpec> standard_cluster(std::uint32_t n);
+
+/// Master-selection policy (section IV): prefer type 1, then 2, 3, 4.
+/// Returns `count` distinct node ids in priority order (the paper picks
+/// two distinct masters: one for the barrier, one for clustering).
+[[nodiscard]] std::vector<std::uint32_t> choose_masters(
+    const std::vector<NodeSpec>& nodes, std::size_t count);
+
+}  // namespace hetsim::cluster

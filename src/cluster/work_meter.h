@@ -1,0 +1,35 @@
+// Abstract work accounting.
+//
+// Wall-clock time on the build machine says nothing about a heterogeneous
+// cluster, so every workload in hetsim *meters* its work in abstract
+// units (candidate checks, bytes matched, tuples scanned...). A node of
+// speed s converts units to simulated seconds at `s * base_rate`. This is
+// the deterministic analogue of the paper's busy-loop slowdown trick.
+#pragma once
+
+#include <cstdint>
+
+namespace hetsim::cluster {
+
+class WorkMeter {
+ public:
+  /// Record `units` of abstract work.
+  void add(double units) noexcept { units_ += units; }
+  [[nodiscard]] double units() const noexcept { return units_; }
+  void reset() noexcept { units_ = 0.0; }
+
+ private:
+  double units_ = 0.0;
+};
+
+/// Converts work units to simulated seconds for a node of relative speed
+/// `speed`. `base_rate` is the units/second throughput of a speed-1.0
+/// (type 4) node.
+struct WorkRate {
+  double base_rate = 1e6;
+  [[nodiscard]] double seconds(double units, double speed) const noexcept {
+    return units / (base_rate * speed);
+  }
+};
+
+}  // namespace hetsim::cluster

@@ -1,0 +1,43 @@
+#include "common/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hetsim::common {
+
+std::vector<std::size_t> proportional_allocation(
+    const std::vector<double>& weights, std::size_t total) {
+  require<ConfigError>(!weights.empty(), "proportional_allocation: no weights");
+  double sum = 0.0;
+  for (const double w : weights) sum += std::max(0.0, w);
+  std::vector<std::size_t> shares(weights.size(), 0);
+  if (sum <= 0.0) {
+    for (auto& s : shares) s = total / weights.size();
+    for (std::size_t i = 0; i < total % weights.size(); ++i) ++shares[i];
+    return shares;
+  }
+  std::vector<std::pair<double, std::size_t>> remainders;
+  remainders.reserve(weights.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact =
+        std::max(0.0, weights[i]) / sum * static_cast<double>(total);
+    shares[i] = static_cast<std::size_t>(exact);
+    assigned += shares[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t k = 0; assigned < total; ++k) {
+    ++shares[remainders[k % remainders.size()].second];
+    ++assigned;
+  }
+  return shares;
+}
+
+}  // namespace hetsim::common

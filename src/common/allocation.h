@@ -1,0 +1,18 @@
+// Integer apportionment. Shared by the stratified sampler (allocating a
+// sample across strata) and the partition planner (rounding continuous LP
+// partition sizes to integer record counts).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetsim::common {
+
+/// Apportion `total` units into integer shares proportional to `weights`
+/// (largest-remainder method). Shares sum exactly to `total`. Negative
+/// weights are treated as zero; if all weights are zero the split is
+/// as even as possible.
+[[nodiscard]] std::vector<std::size_t> proportional_allocation(
+    const std::vector<double>& weights, std::size_t total);
+
+}  // namespace hetsim::common

@@ -1,0 +1,154 @@
+#include "common/args.h"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hetsim::common {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_string(const std::string& name, const std::string& help,
+                           std::string default_value) {
+  order_.push_back(name);
+  specs_[name] = Spec{Kind::kString, help, std::move(default_value)};
+}
+
+void ArgParser::add_double(const std::string& name, const std::string& help,
+                           double default_value) {
+  order_.push_back(name);
+  std::ostringstream ss;
+  ss << default_value;
+  specs_[name] = Spec{Kind::kDouble, help, ss.str()};
+}
+
+void ArgParser::add_int(const std::string& name, const std::string& help,
+                        std::int64_t default_value) {
+  order_.push_back(name);
+  specs_[name] = Spec{Kind::kInt, help, std::to_string(default_value)};
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  order_.push_back(name);
+  specs_[name] = Spec{Kind::kFlag, help, "false"};
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream ss;
+  ss << "usage: " << program_ << " [flags]\n" << description_ << "\n\nflags:\n";
+  for (const std::string& name : order_) {
+    const Spec& spec = specs_.at(name);
+    ss << "  --" << name;
+    if (spec.kind != Kind::kFlag) ss << " <value>";
+    ss << "\n      " << spec.help;
+    if (spec.kind != Kind::kFlag) ss << " (default: " << spec.default_value << ')';
+    ss << '\n';
+  }
+  ss << "  --help\n      show this message\n";
+  return ss.str();
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, std::ostream& err) {
+  values_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "-h" || token == "--help") {
+      err << usage();
+      return false;
+    }
+    if (token.rfind("--", 0) != 0) {
+      err << program_ << ": unexpected positional argument '" << token
+          << "'\n" << usage();
+      return false;
+    }
+    token.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.resize(eq);
+      has_value = true;
+    }
+    const auto it = specs_.find(token);
+    if (it == specs_.end()) {
+      err << program_ << ": unknown flag --" << token << '\n' << usage();
+      return false;
+    }
+    if (it->second.kind == Kind::kFlag) {
+      if (has_value) {
+        err << program_ << ": flag --" << token << " takes no value\n";
+        return false;
+      }
+      values_[token] = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        err << program_ << ": missing value for --" << token << '\n';
+        return false;
+      }
+      value = argv[++i];
+    }
+    // Validate typed values eagerly so errors surface at the call site.
+    if (it->second.kind == Kind::kInt) {
+      std::int64_t v = 0;
+      const auto [p, ec] = std::from_chars(value.data(),
+                                           value.data() + value.size(), v);
+      if (ec != std::errc() || p != value.data() + value.size()) {
+        err << program_ << ": --" << token << " expects an integer, got '"
+            << value << "'\n";
+        return false;
+      }
+    } else if (it->second.kind == Kind::kDouble) {
+      try {
+        std::size_t pos = 0;
+        (void)std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        err << program_ << ": --" << token << " expects a number, got '"
+            << value << "'\n";
+        return false;
+      }
+    }
+    values_[token] = value;
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::spec_of(const std::string& name,
+                                          Kind kind) const {
+  const auto it = specs_.find(name);
+  require<ConfigError>(it != specs_.end(), "ArgParser: unknown flag " + name);
+  require<ConfigError>(it->second.kind == kind,
+                       "ArgParser: wrong type for flag " + name);
+  return it->second;
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  const Spec& spec = spec_of(name, Kind::kString);
+  const auto it = values_.find(name);
+  return it == values_.end() ? spec.default_value : it->second;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const Spec& spec = spec_of(name, Kind::kDouble);
+  const auto it = values_.find(name);
+  return std::stod(it == values_.end() ? spec.default_value : it->second);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const Spec& spec = spec_of(name, Kind::kInt);
+  const auto it = values_.find(name);
+  return std::stoll(it == values_.end() ? spec.default_value : it->second);
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  (void)spec_of(name, Kind::kFlag);
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second == "true";
+}
+
+}  // namespace hetsim::common

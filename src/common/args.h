@@ -1,0 +1,56 @@
+// Minimal command-line flag parser for the example/tool binaries.
+//
+// Supports --name value, --name=value, boolean --flag, -h/--help with
+// generated usage text, and typed access with defaults. Unknown flags
+// are errors (catches typos in experiment scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hetsim::common {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Register flags (call before parse). `help` is shown in usage.
+  void add_string(const std::string& name, const std::string& help,
+                  std::string default_value);
+  void add_double(const std::string& name, const std::string& help,
+                  double default_value);
+  void add_int(const std::string& name, const std::string& help,
+               std::int64_t default_value);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage or an error to the
+  /// given stream) if --help was requested or the input is invalid.
+  bool parse(int argc, const char* const* argv, std::ostream& err);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kString, kDouble, kInt, kFlag };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::string default_value;  // textual
+  };
+  const Spec& spec_of(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;  // declaration order for usage
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hetsim::common

@@ -1,0 +1,42 @@
+// Stable 64-bit hashing.
+//
+// std::hash is implementation-defined; sketches and sharding need hashes
+// that are identical across builds so that stored artifacts and test
+// expectations stay valid. These are xxh3-style avalanche mixers and a
+// simple FNV/murmur-style string hash.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hetsim::common {
+
+/// Strong avalanche finalizer (murmur3 fmix64 variant).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combine two hashes (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Stable string hash (FNV-1a 64 followed by an avalanche mix).
+constexpr std::uint64_t hash_bytes(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+/// Stable hash of an integer id.
+constexpr std::uint64_t hash_u64(std::uint64_t x) noexcept { return mix64(x); }
+
+}  // namespace hetsim::common

@@ -1,0 +1,141 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace hetsim::common {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_.push_back(',');
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  require<ConfigError>(!has_element_.empty(), "JsonWriter: unbalanced }");
+  has_element_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_.push_back('[');
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  require<ConfigError>(!has_element_.empty(), "JsonWriter: unbalanced ]");
+  has_element_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma();
+  out_.push_back('"');
+  out_ += json_escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  out_.push_back('"');
+  out_ += json_escape(s);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  require<ConfigError>(has_element_.empty(),
+                       "JsonWriter: unclosed container");
+  return out_;
+}
+
+}  // namespace hetsim::common

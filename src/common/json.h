@@ -1,0 +1,53 @@
+// Minimal JSON writer for exporting experiment reports to downstream
+// tooling (plots, dashboards). Handles comma placement and string
+// escaping; no parsing — hetsim only emits JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetsim::common {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The document; valid once all containers are closed.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  void comma();
+  std::string out_;
+  // true = container already has an element (needs a comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Escape a string for embedding in JSON (quotes included by value()).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace hetsim::common

@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace hetsim::common {
+
+double Rng::sqrt_impl(double x) noexcept { return std::sqrt(x); }
+double Rng::log_impl(double x) noexcept { return std::log(x); }
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  if (n <= 1) return 0;
+  // Rejection-inversion (Hörmann) style approximation: invert the
+  // continuous CDF of x^-s over [1, n+1) and accept with the discrete
+  // correction. This is accurate enough for skewed workload synthesis.
+  const double sm1 = 1.0 - s;
+  const double nd = static_cast<double>(n);
+  for (;;) {
+    const double u = uniform();
+    double x;
+    if (std::abs(sm1) < 1e-12) {
+      x = std::exp(u * std::log(nd + 1.0));
+    } else {
+      const double top = std::pow(nd + 1.0, sm1);
+      x = std::pow(u * (top - 1.0) + 1.0, 1.0 / sm1);
+    }
+    const std::uint64_t k = static_cast<std::uint64_t>(x);
+    if (k < 1 || k > n) continue;
+    // Accept with ratio of the discrete pmf to the continuous envelope.
+    const double ratio = std::pow(static_cast<double>(k) / x, s);
+    if (uniform() <= ratio) return k - 1;
+  }
+}
+
+}  // namespace hetsim::common

@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in hetsim that needs randomness takes an explicit Rng (or a
+// seed) so that simulations, tests and benches are exactly reproducible.
+// The generator is xoshiro256** seeded via splitmix64, which is fast,
+// has 256 bits of state and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hetsim::common {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  constexpr std::uint64_t bounded(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = sqrt_impl(-2.0 * log_impl(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  double normal(double mean, double stdev) noexcept {
+    return mean + stdev * normal();
+  }
+
+  /// Geometric-ish Zipf sampler over [0, n) with exponent s (>0), using
+  /// inverse-CDF on the harmonic partial sums approximation. Suitable for
+  /// workload generators, not for exact distribution tests.
+  std::uint64_t zipf(std::uint64_t n, double s) noexcept;
+
+  /// Derive an independent child generator (for per-node / per-task
+  /// streams) without correlating with this one.
+  constexpr Rng fork() noexcept {
+    return Rng((*this)() ^ 0xa0761d6478bd642fULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Thin wrappers so the header does not pull in <cmath> for constexpr parts.
+  static double sqrt_impl(double x) noexcept;
+  static double log_impl(double x) noexcept;
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace hetsim::common

@@ -1,0 +1,143 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetsim::common {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stdev() const noexcept { return std::sqrt(variance()); }
+
+LinearFit fit_linear(std::span<const double> xs,
+                     std::span<const double> ys) noexcept {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n == 0) return fit;
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {  // all x identical: flat line through the mean
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = ys[i] - fit(xs[i]);
+      ss_res += r * r;
+    }
+    fit.r2 = 1.0 - ss_res / syy;
+  } else {
+    fit.r2 = 1.0;  // constant y perfectly explained
+  }
+  return fit;
+}
+
+std::vector<double> fit_polynomial(std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   std::size_t degree) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_polynomial: size mismatch");
+  }
+  const std::size_t m = degree + 1;
+  if (xs.size() < m) {
+    throw std::invalid_argument("fit_polynomial: not enough samples");
+  }
+  // Normal equations A c = b with A[j][k] = sum x^(j+k), b[j] = sum y x^j.
+  std::vector<double> a(m * m, 0.0);
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double xp = 1.0;
+    std::vector<double> powers(2 * m - 1);
+    for (std::size_t k = 0; k < powers.size(); ++k) {
+      powers[k] = xp;
+      xp *= xs[i];
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      b[j] += ys[i] * powers[j];
+      for (std::size_t k = 0; k < m; ++k) a[j * m + k] += powers[j + k];
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(m);
+  for (std::size_t i = 0; i < m; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a[col * m + col]);
+    for (std::size_t r = col + 1; r < m; ++r) {
+      const double v = std::abs(a[r * m + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-30) throw std::runtime_error("fit_polynomial: singular system");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < m; ++k) std::swap(a[col * m + k], a[pivot * m + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < m; ++r) {
+      const double factor = a[r * m + col] / a[col * m + col];
+      for (std::size_t k = col; k < m; ++k) a[r * m + k] -= factor * a[col * m + k];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> coeffs(m, 0.0);
+  for (std::size_t ri = m; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t k = ri + 1; k < m; ++k) acc -= a[ri * m + k] * coeffs[k];
+    coeffs[ri] = acc / a[ri * m + ri];
+  }
+  return coeffs;
+}
+
+double eval_polynomial(std::span<const double> coeffs, double x) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  std::sort(values.begin(), values.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace hetsim::common

@@ -1,0 +1,65 @@
+// Small statistics toolkit: running moments, ordinary least squares for
+// the progressive-sampling estimator, and summary helpers used by the
+// bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetsim::common {
+
+/// Numerically stable running mean/variance (Welford).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stdev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of a simple linear regression y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1]; 1 when all residuals vanish.
+  double r2 = 0.0;
+  [[nodiscard]] double operator()(double x) const noexcept {
+    return slope * x + intercept;
+  }
+};
+
+/// Ordinary least squares fit over paired samples. Requires xs.size() ==
+/// ys.size() and at least two distinct x values; otherwise returns a flat
+/// fit through the mean.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs,
+                                   std::span<const double> ys) noexcept;
+
+/// Least-squares polynomial fit of given degree (used by the ablation that
+/// contrasts linear vs. higher-order utility functions, section III-D).
+/// Returns coefficients c0..c_degree (y = sum c_k x^k). Solves the normal
+/// equations by Gaussian elimination with partial pivoting.
+[[nodiscard]] std::vector<double> fit_polynomial(std::span<const double> xs,
+                                                 std::span<const double> ys,
+                                                 std::size_t degree);
+
+/// Evaluate a polynomial given coefficients c0..cn at x (Horner).
+[[nodiscard]] double eval_polynomial(std::span<const double> coeffs,
+                                     double x) noexcept;
+
+/// Percentile of a sample (linear interpolation); p in [0,100].
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace hetsim::common

@@ -1,0 +1,52 @@
+// Bit-level I/O and the integer codes used by the webgraph codec:
+// unary, Elias gamma, and zeta_k (Boldi & Vigna). zeta_k here uses a
+// fixed-width remainder (h·k + k bits) instead of the minimal binary
+// code of the original — one bit wasteful per value in the worst case,
+// but a valid prefix code with identical asymptotics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hetsim::compress {
+
+class BitWriter {
+ public:
+  /// Append the low `count` bits of `bits`, most significant first.
+  void write_bits(std::uint64_t bits, std::uint32_t count);
+  /// n >= 0: n zero bits then a one bit.
+  void write_unary(std::uint32_t n);
+  /// Elias gamma code; x >= 1.
+  void write_gamma(std::uint64_t x);
+  /// zeta_k code; x >= 1, 1 <= k <= 16.
+  void write_zeta(std::uint64_t x, std::uint32_t k);
+
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return bits_written_; }
+  /// Pads the final byte with zeros and returns the buffer.
+  [[nodiscard]] std::string finish();
+
+ private:
+  std::string buffer_;
+  std::uint8_t current_ = 0;
+  std::uint32_t filled_ = 0;  // bits used in current_
+  std::uint64_t bits_written_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint64_t read_bits(std::uint32_t count);
+  [[nodiscard]] std::uint32_t read_unary();
+  [[nodiscard]] std::uint64_t read_gamma();
+  [[nodiscard]] std::uint64_t read_zeta(std::uint32_t k);
+  [[nodiscard]] std::uint64_t bits_consumed() const noexcept { return at_; }
+
+ private:
+  [[nodiscard]] std::uint32_t read_bit();
+  std::string_view data_;
+  std::uint64_t at_ = 0;  // bit cursor
+};
+
+}  // namespace hetsim::compress

@@ -1,0 +1,232 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "compress/bitio.h"
+#include "compress/lz77.h"
+
+namespace hetsim::compress {
+
+namespace {
+
+using common::StoreError;
+
+/// Huffman code lengths from byte frequencies (0 for absent symbols).
+std::array<std::uint32_t, 256> code_lengths_from(
+    const std::array<std::uint64_t, 256>& freq, std::uint64_t& work_ops) {
+  std::array<std::uint32_t, 256> lengths{};
+  // Nodes: leaves 0..255, internals appended. parent[] gives the tree.
+  struct Node {
+    std::uint64_t weight;
+    std::uint32_t id;
+  };
+  const auto cmp = [](const Node& a, const Node& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.id > b.id;  // deterministic tie-break
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  std::vector<std::int32_t> parent;
+  parent.reserve(512);
+  std::uint32_t present = 0;
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    parent.push_back(-1);
+    if (freq[s] > 0) {
+      heap.push({freq[s], s});
+      ++present;
+    }
+  }
+  if (present == 0) return lengths;
+  if (present == 1) {
+    // A single distinct symbol still needs one bit.
+    for (std::uint32_t s = 0; s < 256; ++s) {
+      if (freq[s] > 0) lengths[s] = 1;
+    }
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const Node a = heap.top();
+    heap.pop();
+    const Node b = heap.top();
+    heap.pop();
+    const auto internal = static_cast<std::uint32_t>(parent.size());
+    parent.push_back(-1);
+    parent[a.id] = static_cast<std::int32_t>(internal);
+    parent[b.id] = static_cast<std::int32_t>(internal);
+    heap.push({a.weight + b.weight, internal});
+    ++work_ops;
+  }
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    if (freq[s] == 0) continue;
+    std::uint32_t depth = 0;
+    for (std::int32_t at = parent[s]; at >= 0; at = parent[at]) ++depth;
+    lengths[s] = depth;
+    ++work_ops;
+  }
+  return lengths;
+}
+
+struct Codebook {
+  std::array<std::uint32_t, 256> code{};
+  std::array<std::uint32_t, 256> length{};
+};
+
+/// Canonical code assignment from lengths.
+Codebook canonical_codes(const std::array<std::uint32_t, 256>& lengths) {
+  Codebook book;
+  book.length = lengths;
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    if (lengths[s] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::uint32_t code = 0;
+  std::uint32_t prev_len = 0;
+  for (const std::uint32_t s : symbols) {
+    code <<= (lengths[s] - prev_len);
+    book.code[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  return book;
+}
+
+/// Canonical decoder tables: per length, the first code and the symbols
+/// ordered canonically.
+struct Decoder {
+  std::uint32_t max_len = 0;
+  std::array<std::uint32_t, 33> first_code{};
+  std::array<std::uint32_t, 33> first_index{};
+  std::array<std::uint32_t, 33> count{};
+  std::vector<std::uint8_t> symbols;
+};
+
+Decoder make_decoder(const std::array<std::uint32_t, 256>& lengths) {
+  Decoder d;
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    common::require<StoreError>(lengths[s] <= 32, "huffman: length > 32");
+    if (lengths[s] > 0) {
+      ++d.count[lengths[s]];
+      d.max_len = std::max(d.max_len, lengths[s]);
+    }
+  }
+  std::vector<std::uint32_t> ordered;
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    if (lengths[s] > 0) ordered.push_back(s);
+  }
+  std::sort(ordered.begin(), ordered.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  d.symbols.assign(ordered.begin(), ordered.end());
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (std::uint32_t len = 1; len <= d.max_len; ++len) {
+    code <<= 1;
+    d.first_code[len] = code;
+    d.first_index[len] = index;
+    code += d.count[len];
+    index += d.count[len];
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string huffman_compress(std::string_view input, HuffmanStats* stats) {
+  HuffmanStats local;
+  HuffmanStats& st = stats ? *stats : local;
+  st.input_bytes = input.size();
+
+  std::array<std::uint64_t, 256> freq{};
+  for (const char c : input) {
+    ++freq[static_cast<unsigned char>(c)];
+    ++st.work_ops;
+  }
+  st.code_lengths = code_lengths_from(freq, st.work_ops);
+  // Extremely skewed distributions can produce code lengths beyond what
+  // the 32-bit decoder arithmetic handles; halving frequencies flattens
+  // the tree (the standard zlib-style remedy) with negligible ratio loss.
+  for (;;) {
+    const std::uint32_t longest =
+        *std::max_element(st.code_lengths.begin(), st.code_lengths.end());
+    if (longest <= 31) break;
+    for (auto& f : freq) f = (f + 1) / 2;
+    st.code_lengths = code_lengths_from(freq, st.work_ops);
+  }
+  const Codebook book = canonical_codes(st.code_lengths);
+
+  std::string out;
+  common::append_u32(out, static_cast<std::uint32_t>(input.size()));
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    out.push_back(static_cast<char>(st.code_lengths[s]));
+  }
+  BitWriter bw;
+  for (const char c : input) {
+    const auto s = static_cast<unsigned char>(c);
+    bw.write_bits(book.code[s], book.length[s]);
+    ++st.work_ops;
+  }
+  st.output_bits = bw.bit_count();
+  out += bw.finish();
+  return out;
+}
+
+std::string huffman_decompress(std::string_view compressed) {
+  common::require<StoreError>(compressed.size() >= 4 + 256,
+                              "huffman: truncated header");
+  const std::uint32_t n = common::read_u32(compressed, 0);
+  std::array<std::uint32_t, 256> lengths{};
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    lengths[s] = static_cast<unsigned char>(compressed[4 + s]);
+  }
+  const Decoder d = make_decoder(lengths);
+  common::require<StoreError>(n == 0 || d.max_len > 0,
+                              "huffman: empty codebook for non-empty payload");
+  // Every symbol costs at least one bit; a declared count beyond the
+  // available bits is corruption (and would otherwise drive a huge
+  // allocation below).
+  common::require<StoreError>(
+      static_cast<std::uint64_t>(n) <= (compressed.size() - 4 - 256) * 8ull,
+      "huffman: declared size exceeds payload bits");
+  BitReader br(compressed.substr(4 + 256));
+  std::string out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t code = 0;
+    std::uint32_t len = 0;
+    for (;;) {
+      code = (code << 1) | static_cast<std::uint32_t>(br.read_bits(1));
+      ++len;
+      common::require<StoreError>(len <= d.max_len, "huffman: bad code");
+      if (d.count[len] > 0 && code >= d.first_code[len] &&
+          code < d.first_code[len] + d.count[len]) {
+        out.push_back(static_cast<char>(
+            d.symbols[d.first_index[len] + (code - d.first_code[len])]));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string deflate_compress(std::string_view input, std::uint64_t* work_ops) {
+  Lz77Stats lz;
+  const std::string tokens = lz77_compress(input, {}, &lz);
+  HuffmanStats hf;
+  std::string out = huffman_compress(tokens, &hf);
+  if (work_ops) *work_ops += lz.work_ops + hf.work_ops;
+  return out;
+}
+
+std::string deflate_decompress(std::string_view compressed) {
+  return lz77_decompress(huffman_decompress(compressed));
+}
+
+}  // namespace hetsim::compress

@@ -1,0 +1,43 @@
+// Canonical Huffman coding over bytes, and the DEFLATE-like pipeline
+// LZ77 -> Huffman. The entropy stage squeezes the residual byte-level
+// redundancy the LZ77 token stream leaves behind (flag bytes, popular
+// literals, short offsets), which is what real-world compressors layered
+// on the paper's reference [26] do.
+//
+// Container format of huffman_compress:
+//   [u32 original byte count]
+//   [256 x u8 code lengths]   (0 = symbol absent; lengths <= 32)
+//   [packed code bits, zero-padded to a byte]
+// Codes are canonical: symbols sorted by (length, value) get
+// lexicographically increasing codes, so the lengths table alone
+// reconstructs the codebook.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hetsim::compress {
+
+struct HuffmanStats {
+  std::array<std::uint32_t, 256> code_lengths{};
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bits = 0;
+  /// Abstract work: symbols coded + tree-building steps.
+  std::uint64_t work_ops = 0;
+};
+
+[[nodiscard]] std::string huffman_compress(std::string_view input,
+                                           HuffmanStats* stats = nullptr);
+
+/// Inverse of huffman_compress. Throws StoreError on malformed input.
+[[nodiscard]] std::string huffman_decompress(std::string_view compressed);
+
+/// DEFLATE-like two-stage pipeline: LZ77 tokens entropy-coded with
+/// Huffman. `work_ops` (optional) accumulates both stages' work.
+[[nodiscard]] std::string deflate_compress(std::string_view input,
+                                           std::uint64_t* work_ops = nullptr);
+[[nodiscard]] std::string deflate_decompress(std::string_view compressed);
+
+}  // namespace hetsim::compress

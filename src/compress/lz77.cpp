@@ -1,0 +1,151 @@
+#include "compress/lz77.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace hetsim::compress {
+
+namespace {
+
+constexpr std::uint32_t kHashBits = 16;
+constexpr std::uint32_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash4(const unsigned char* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16) |
+                          (static_cast<std::uint32_t>(p[3]) << 24);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::string lz77_compress(std::string_view input, const Lz77Config& config,
+                          Lz77Stats* stats) {
+  common::require<common::ConfigError>(
+      config.window >= 2 && config.window <= 65535 &&
+          config.min_match >= 4 && config.max_match >= config.min_match &&
+          config.max_match <= 255,
+      "lz77_compress: invalid config");
+  Lz77Stats local;
+  Lz77Stats& st = stats ? *stats : local;
+
+  const auto* bytes = reinterpret_cast<const unsigned char*>(input.data());
+  const std::size_t n = input.size();
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  std::string out;
+  out.reserve(n / 2 + 16);
+  // Token group state: flag byte position + bit index.
+  std::size_t flag_pos = 0;
+  std::uint32_t flag_bit = 8;
+  const auto begin_token = [&](bool is_match) {
+    if (flag_bit == 8) {
+      flag_pos = out.size();
+      out.push_back('\0');
+      flag_bit = 0;
+    }
+    if (is_match) {
+      out[flag_pos] = static_cast<char>(
+          static_cast<unsigned char>(out[flag_pos]) | (1u << flag_bit));
+    }
+    ++flag_bit;
+  };
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (pos + config.min_match <= n && pos + 4 <= n) {
+      const std::uint32_t h = hash4(bytes + pos);
+      std::int64_t cand = head[h];
+      std::uint32_t probes = 0;
+      while (cand >= 0 && probes < config.max_chain &&
+             pos - static_cast<std::size_t>(cand) <= config.window) {
+        ++probes;
+        ++st.work_ops;
+        const auto c = static_cast<std::size_t>(cand);
+        std::size_t len = 0;
+        const std::size_t limit =
+            std::min<std::size_t>(config.max_match, n - pos);
+        while (len < limit && bytes[c + len] == bytes[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = pos - c;
+        }
+        cand = prev[c];
+      }
+    }
+    if (best_len >= config.min_match) {
+      begin_token(true);
+      out.push_back(static_cast<char>(best_off & 0xff));
+      out.push_back(static_cast<char>((best_off >> 8) & 0xff));
+      out.push_back(static_cast<char>(best_len));
+      ++st.matches;
+      st.work_ops += best_len;
+      // Insert every covered position into the chains.
+      const std::size_t end = pos + best_len;
+      while (pos < end) {
+        if (pos + 4 <= n) {
+          const std::uint32_t h = hash4(bytes + pos);
+          prev[pos] = head[h];
+          head[h] = static_cast<std::int64_t>(pos);
+        }
+        ++pos;
+      }
+    } else {
+      begin_token(false);
+      out.push_back(static_cast<char>(bytes[pos]));
+      ++st.literals;
+      ++st.work_ops;
+      if (pos + 4 <= n) {
+        const std::uint32_t h = hash4(bytes + pos);
+        prev[pos] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+      }
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::string lz77_decompress(std::string_view compressed) {
+  std::string out;
+  std::size_t at = 0;
+  const std::size_t n = compressed.size();
+  while (at < n) {
+    const auto flags = static_cast<unsigned char>(compressed[at++]);
+    for (std::uint32_t bit = 0; bit < 8 && at < n; ++bit) {
+      if (flags & (1u << bit)) {
+        common::require<common::StoreError>(at + 3 <= n,
+                                            "lz77_decompress: truncated match");
+        const std::size_t off =
+            static_cast<unsigned char>(compressed[at]) |
+            (static_cast<std::size_t>(
+                 static_cast<unsigned char>(compressed[at + 1]))
+             << 8);
+        const std::size_t len = static_cast<unsigned char>(compressed[at + 2]);
+        at += 3;
+        common::require<common::StoreError>(off >= 1 && off <= out.size(),
+                                            "lz77_decompress: bad offset");
+        // Byte-by-byte copy handles overlapping matches (off < len).
+        const std::size_t start = out.size() - off;
+        for (std::size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+      } else {
+        out.push_back(compressed[at++]);
+      }
+    }
+  }
+  return out;
+}
+
+double compression_ratio(std::size_t raw_bytes,
+                         std::size_t compressed_bytes) noexcept {
+  if (compressed_bytes == 0) return 0.0;
+  return static_cast<double>(raw_bytes) / static_cast<double>(compressed_bytes);
+}
+
+}  // namespace hetsim::compress

@@ -1,0 +1,47 @@
+// LZ77/LZSS sliding-window compression (paper reference [26]).
+//
+// Byte-aligned token stream: every group of 8 tokens is preceded by a
+// flag byte (bit set = match), a literal token is one raw byte, a match
+// token is a 2-byte little-endian offset plus a 1-byte length. Match
+// finding uses hash chains over 4-byte prefixes.
+//
+// The paper's observation (Tables II/III) that "LZ77 is extremely fast,
+// so there are no gains from heterogeneity-aware schemes" comes from the
+// work profile: cost is near-linear in input bytes with a small constant,
+// which these work counters reproduce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hetsim::compress {
+
+struct Lz77Config {
+  /// Sliding window (max match offset). Power of two, <= 65535.
+  std::uint32_t window = 1u << 15;
+  std::uint32_t min_match = 4;
+  std::uint32_t max_match = 255;
+  /// Hash-chain probes per position (effort knob).
+  std::uint32_t max_chain = 32;
+};
+
+struct Lz77Stats {
+  std::uint64_t literals = 0;
+  std::uint64_t matches = 0;
+  /// Abstract work: bytes emitted + chain probes performed.
+  std::uint64_t work_ops = 0;
+};
+
+[[nodiscard]] std::string lz77_compress(std::string_view input,
+                                        const Lz77Config& config = {},
+                                        Lz77Stats* stats = nullptr);
+
+/// Inverse of lz77_compress. Throws StoreError on malformed input.
+[[nodiscard]] std::string lz77_decompress(std::string_view compressed);
+
+/// Convenience: raw size / compressed size (>= 1 means it shrank).
+[[nodiscard]] double compression_ratio(std::size_t raw_bytes,
+                                       std::size_t compressed_bytes) noexcept;
+
+}  // namespace hetsim::compress

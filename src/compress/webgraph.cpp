@@ -1,0 +1,241 @@
+#include "compress/webgraph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "compress/bitio.h"
+
+namespace hetsim::compress {
+
+namespace {
+
+/// Split strictly ascending `residuals` into maximal runs of consecutive
+/// ids of length >= min_interval (the intervals) and the leftover
+/// singletons.
+void split_intervals(const std::vector<std::uint32_t>& residuals,
+                     std::uint32_t min_interval,
+                     std::vector<std::pair<std::uint32_t, std::uint32_t>>& intervals,
+                     std::vector<std::uint32_t>& leftovers) {
+  std::size_t i = 0;
+  while (i < residuals.size()) {
+    std::size_t j = i + 1;
+    while (j < residuals.size() && residuals[j] == residuals[j - 1] + 1) ++j;
+    const auto run = static_cast<std::uint32_t>(j - i);
+    if (run >= min_interval) {
+      intervals.emplace_back(residuals[i], run);
+    } else {
+      for (std::size_t k = i; k < j; ++k) leftovers.push_back(residuals[k]);
+    }
+    i = j;
+  }
+}
+
+void write_gaps(BitWriter& bw, const std::vector<std::uint32_t>& values,
+                std::uint32_t zeta_k) {
+  std::uint32_t last = 0;
+  bool first = true;
+  for (const std::uint32_t v : values) {
+    if (first) {
+      bw.write_zeta(static_cast<std::uint64_t>(v) + 1, zeta_k);
+      first = false;
+    } else {
+      bw.write_zeta(v - last, zeta_k);
+    }
+    last = v;
+  }
+}
+
+/// Encode one list against an optional reference into `bw`. Returns the
+/// number of copied edges.
+std::size_t encode_list(BitWriter& bw, const std::vector<std::uint32_t>& list,
+                        const std::vector<std::uint32_t>* ref,
+                        std::uint32_t ref_offset,
+                        const WebGraphCodecConfig& cfg) {
+  bw.write_gamma(list.size() + 1);
+  if (list.empty()) return 0;
+  bw.write_gamma(ref_offset + 1);  // 0 = standalone
+  std::size_t copied = 0;
+  std::vector<std::uint32_t> residuals;
+  if (ref_offset > 0) {
+    // Copy bitmap over the reference list.
+    std::size_t li = 0;
+    for (const std::uint32_t rv : *ref) {
+      while (li < list.size() && list[li] < rv) ++li;
+      const bool copy = li < list.size() && list[li] == rv;
+      bw.write_bits(copy ? 1 : 0, 1);
+      if (copy) {
+        ++copied;
+        ++li;
+      }
+    }
+    // Residuals = list minus reference.
+    residuals.reserve(list.size() - copied);
+    std::size_t ri = 0;
+    for (const std::uint32_t v : list) {
+      while (ri < ref->size() && (*ref)[ri] < v) ++ri;
+      if (ri < ref->size() && (*ref)[ri] == v) continue;
+      residuals.push_back(v);
+    }
+  } else {
+    residuals = list;
+  }
+  if (cfg.min_interval >= 2) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals;
+    std::vector<std::uint32_t> leftovers;
+    split_intervals(residuals, cfg.min_interval, intervals, leftovers);
+    bw.write_gamma(intervals.size() + 1);
+    std::uint32_t prev_end = 0;
+    bool first = true;
+    for (const auto& [left, len] : intervals) {
+      // Left bounds ascending; gap from the previous interval's end.
+      bw.write_zeta(static_cast<std::uint64_t>(left - prev_end) + (first ? 1 : 0),
+                    cfg.zeta_k);
+      bw.write_gamma(len - cfg.min_interval + 1);
+      prev_end = left + len;
+      first = false;
+    }
+    write_gaps(bw, leftovers, cfg.zeta_k);
+  } else {
+    write_gaps(bw, residuals, cfg.zeta_k);
+  }
+  return copied;
+}
+
+}  // namespace
+
+std::string compress_adjacency(const std::vector<std::vector<std::uint32_t>>& lists,
+                               const WebGraphCodecConfig& config,
+                               WebGraphStats* stats) {
+  common::require<common::ConfigError>(config.zeta_k >= 1 && config.zeta_k <= 16,
+                                       "compress_adjacency: invalid zeta_k");
+  WebGraphStats local;
+  WebGraphStats& st = stats ? *stats : local;
+  st.lists = lists.size();
+  BitWriter bw;
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    const auto& list = lists[i];
+    for (std::size_t j = 1; j < list.size(); ++j) {
+      common::require<common::ConfigError>(list[j - 1] < list[j],
+                                           "compress_adjacency: list not "
+                                           "strictly ascending");
+    }
+    st.edges += list.size();
+    // Trial-encode against each window candidate, keep the cheapest.
+    std::uint32_t best_ref = 0;
+    std::uint64_t best_bits = UINT64_MAX;
+    {
+      BitWriter trial;
+      encode_list(trial, list, nullptr, 0, config);
+      best_bits = trial.bit_count();
+      st.work_ops += list.size() + 1;
+    }
+    if (!list.empty()) {
+      const std::uint32_t window =
+          static_cast<std::uint32_t>(std::min<std::size_t>(config.ref_window, i));
+      for (std::uint32_t r = 1; r <= window; ++r) {
+        const auto& ref = lists[i - r];
+        if (ref.empty()) continue;
+        BitWriter trial;
+        encode_list(trial, list, &ref, r, config);
+        st.work_ops += list.size() + ref.size();
+        if (trial.bit_count() < best_bits) {
+          best_bits = trial.bit_count();
+          best_ref = r;
+        }
+      }
+    }
+    const auto* ref = best_ref > 0 ? &lists[i - best_ref] : nullptr;
+    const std::size_t copied = encode_list(bw, list, ref, best_ref, config);
+    if (best_ref > 0) {
+      ++st.referenced_lists;
+      st.copied_edges += copied;
+    }
+  }
+  st.compressed_bits = bw.bit_count();
+  return bw.finish();
+}
+
+std::vector<std::vector<std::uint32_t>> decompress_adjacency(
+    std::string_view data, std::size_t num_lists,
+    const WebGraphCodecConfig& config) {
+  BitReader br(data);
+  std::vector<std::vector<std::uint32_t>> lists;
+  lists.reserve(num_lists);
+  for (std::size_t i = 0; i < num_lists; ++i) {
+    const std::uint64_t degree = br.read_gamma() - 1;
+    std::vector<std::uint32_t> list;
+    list.reserve(degree);
+    if (degree == 0) {
+      lists.push_back(std::move(list));
+      continue;
+    }
+    const std::uint64_t ref_offset = br.read_gamma() - 1;
+    std::vector<std::uint32_t> copied;
+    if (ref_offset > 0) {
+      common::require<common::StoreError>(ref_offset <= i,
+                                          "decompress_adjacency: bad reference");
+      const auto& ref = lists[i - ref_offset];
+      for (const std::uint32_t rv : ref) {
+        if (br.read_bits(1)) copied.push_back(rv);
+      }
+    }
+    common::require<common::StoreError>(copied.size() <= degree,
+                                        "decompress_adjacency: bitmap copies "
+                                        "more than the degree");
+    std::uint64_t residual_count = degree - copied.size();
+    std::vector<std::uint32_t> interval_values;
+    if (config.min_interval >= 2) {
+      const std::uint64_t interval_count = br.read_gamma() - 1;
+      std::uint32_t prev_end = 0;
+      bool first = true;
+      for (std::uint64_t k = 0; k < interval_count; ++k) {
+        const std::uint64_t raw_gap = br.read_zeta(config.zeta_k);
+        const auto gap =
+            static_cast<std::uint32_t>(first ? raw_gap - 1 : raw_gap);
+        const auto len = static_cast<std::uint32_t>(br.read_gamma() - 1 +
+                                                    config.min_interval);
+        const std::uint32_t left = prev_end + gap;
+        for (std::uint32_t v = left; v < left + len; ++v) {
+          interval_values.push_back(v);
+        }
+        prev_end = left + len;
+        first = false;
+      }
+      common::require<common::StoreError>(
+          interval_values.size() <= residual_count,
+          "decompress_adjacency: intervals exceed the degree");
+      residual_count -= interval_values.size();
+    }
+    std::vector<std::uint32_t> residuals;
+    residuals.reserve(residual_count);
+    std::uint32_t last = 0;
+    for (std::uint64_t j = 0; j < residual_count; ++j) {
+      if (j == 0) {
+        last = static_cast<std::uint32_t>(br.read_zeta(config.zeta_k) - 1);
+      } else {
+        last += static_cast<std::uint32_t>(br.read_zeta(config.zeta_k));
+      }
+      residuals.push_back(last);
+    }
+    if (!interval_values.empty()) {
+      std::vector<std::uint32_t> merged;
+      merged.reserve(residuals.size() + interval_values.size());
+      std::merge(residuals.begin(), residuals.end(), interval_values.begin(),
+                 interval_values.end(), std::back_inserter(merged));
+      residuals = std::move(merged);
+    }
+    std::merge(copied.begin(), copied.end(), residuals.begin(), residuals.end(),
+               std::back_inserter(list));
+    lists.push_back(std::move(list));
+  }
+  return lists;
+}
+
+std::uint64_t raw_adjacency_bytes(
+    const std::vector<std::vector<std::uint32_t>>& lists) noexcept {
+  std::uint64_t bytes = 0;
+  for (const auto& l : lists) bytes += 4 + 4ull * l.size();
+  return bytes;
+}
+
+}  // namespace hetsim::compress

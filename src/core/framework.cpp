@@ -1,0 +1,276 @@
+#include "core/framework.h"
+
+#include <algorithm>
+
+#include "common/allocation.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "kvstore/client.h"
+
+namespace hetsim::core {
+
+namespace {
+
+std::string encode_sketch(const sketch::Sketch& sig) {
+  std::string out;
+  out.reserve(sig.size() * 8);
+  for (const std::uint64_t v : sig) common::append_u64(out, v);
+  return out;
+}
+
+}  // namespace
+
+std::string strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kRandom:
+      return "Random";
+    case Strategy::kStratified:
+      return "Stratified";
+    case Strategy::kHetAware:
+      return "Het-Aware";
+    case Strategy::kHetEnergyAware:
+      return "Het-Energy-Aware";
+  }
+  return "?";
+}
+
+ParetoFramework::ParetoFramework(cluster::Cluster& cluster,
+                                 const energy::GreenEnergyEstimator& energy,
+                                 FrameworkConfig config)
+    : cluster_(cluster), energy_(energy), config_(std::move(config)) {
+  common::require<common::ConfigError>(
+      config_.energy_alpha >= 0.0 && config_.energy_alpha <= 1.0,
+      "ParetoFramework: energy_alpha must be in [0, 1]");
+  const auto masters =
+      cluster::choose_masters(cluster_.nodes(), cluster_.size() >= 2 ? 2 : 1);
+  master_ = masters[0];
+  barrier_master_ = masters.size() > 1 ? masters[1] : masters[0];
+}
+
+void ParetoFramework::prepare(const data::Dataset& dataset, Workload& workload) {
+  common::require<common::ConfigError>(!dataset.records.empty(),
+                                       "prepare: empty dataset");
+  const double setup_begin = cluster_.now();
+  const std::size_t p = cluster_.size();
+  const std::size_t n = dataset.records.size();
+
+  // ---- Phase 1: distributed sketching (records round-robin by node) ----
+  const sketch::MinHasher hasher(config_.sketch);
+  std::vector<sketch::Sketch> sketches(n);
+  {
+    std::vector<cluster::NodeTask> tasks;
+    tasks.reserve(p);
+    for (std::size_t node = 0; node < p; ++node) {
+      tasks.push_back([&, node](cluster::NodeContext& ctx) {
+        kvstore::Client& to_master = ctx.client(master_);
+        const std::string key = "sketches:" + std::to_string(node);
+        for (std::size_t i = node; i < n; i += p) {
+          sketches[i] = hasher.sketch(dataset.records[i].items);
+          // One op per (item, permutation) pair.
+          ctx.meter().add(static_cast<double>(dataset.records[i].items.size()) *
+                          hasher.num_hashes());
+          to_master.enqueue({.type = kvstore::CommandType::kRPush,
+                             .key = key,
+                             .value = encode_sketch(sketches[i])});
+        }
+        (void)to_master.drain();
+      });
+    }
+    cluster_.run_phase("sketch", tasks);
+  }
+
+  // ---- Phase 2: centralized compositeKModes on the master ----
+  stratify::Stratification strat;
+  cluster_.run_on("cluster-sketches", master_, [&](cluster::NodeContext& ctx) {
+    // Read the sketch lists back (loopback traffic on the master).
+    for (std::size_t node = 0; node < p; ++node) {
+      (void)ctx.local().lrange("sketches:" + std::to_string(node), 0, -1);
+    }
+    strat = stratify::composite_kmodes(sketches, config_.kmodes);
+    ctx.meter().add(static_cast<double>(strat.work_ops));
+  });
+  strata_ = std::move(strat);
+
+  // ---- Phase 3: load the dataset onto the master store ----
+  cluster_.run_on("load-master", master_, [&](cluster::NodeContext& ctx) {
+    kvstore::Client& local = ctx.local();
+    for (const data::Record& r : dataset.records) {
+      local.enqueue({.type = kvstore::CommandType::kRPush,
+                     .key = "data",
+                     .value = r.payload});
+    }
+    (void)local.drain();
+  });
+
+  // ---- Phase 4: progressive-sampling time models ----
+  const estimator::SampleRunner runner =
+      [&workload, &dataset](cluster::NodeContext& ctx,
+                            std::span<const std::uint32_t> indices) {
+        workload.run(ctx, dataset, indices);
+      };
+  const std::vector<estimator::NodeTimeModel> time_models =
+      estimator::estimate_time_models(cluster_, *strata_, runner,
+                                      config_.sampling);
+
+  // ---- Combine with the green-energy forecast into LP node models ----
+  models_.clear();
+  models_.reserve(p);
+  for (const auto& tm : time_models) {
+    optimize::NodeModel nm;
+    nm.slope = tm.fit.slope;
+    nm.intercept = tm.fit.intercept;
+    nm.dirty_rate = energy_.dirty_rate(cluster_.node(tm.node_id),
+                                       config_.job_start_s,
+                                       config_.energy_window_s);
+    models_.push_back(nm);
+  }
+  setup_time_s_ = cluster_.now() - setup_begin;
+  prepared_ = true;
+}
+
+void ParetoFramework::require_prepared() const {
+  common::require<common::ConfigError>(prepared_,
+                                       "ParetoFramework: call prepare() first");
+}
+
+std::vector<std::size_t> ParetoFramework::plan_sizes(Strategy strategy,
+                                                     std::size_t total) const {
+  require_prepared();
+  switch (strategy) {
+    case Strategy::kRandom:
+    case Strategy::kStratified: {
+      const std::vector<double> ones(cluster_.size(), 1.0);
+      return common::proportional_allocation(ones, total);
+    }
+    case Strategy::kHetAware:
+      return optimize::solve_partition_sizes(models_, total, 1.0).sizes;
+    case Strategy::kHetEnergyAware:
+      return (config_.normalized_alpha
+                  ? optimize::solve_partition_sizes_normalized(
+                        models_, total, config_.energy_alpha)
+                  : optimize::solve_partition_sizes(models_, total,
+                                                    config_.energy_alpha))
+          .sizes;
+  }
+  throw common::ConfigError("plan_sizes: unknown strategy");
+}
+
+JobReport ParetoFramework::run(Strategy strategy, const data::Dataset& dataset,
+                               Workload& workload) {
+  require_prepared();
+  const std::size_t p = cluster_.size();
+  const std::size_t n = dataset.records.size();
+  common::require<common::ConfigError>(
+      strata_->assignment.size() == n,
+      "run: dataset does not match the prepared stratification");
+
+  JobReport report;
+  report.strategy = strategy;
+  report.workload = workload.name();
+  report.partition_sizes = plan_sizes(strategy, n);
+
+  const partition::PartitionAssignment assignment =
+      strategy == Strategy::kRandom
+          ? partition::random_partitions(n, report.partition_sizes)
+          : partition::make_partitions(*strata_, report.partition_sizes,
+                                       workload.preferred_layout());
+
+  workload.reset(p, barrier_master_);
+
+  // ---- Load phase: every node pulls its records from the master and
+  // stores them locally as a packed list (pipelined both ways). ----
+  {
+    std::vector<cluster::NodeTask> tasks;
+    tasks.reserve(p);
+    for (std::size_t node = 0; node < p; ++node) {
+      tasks.push_back([&, node](cluster::NodeContext& ctx) {
+        kvstore::Client& from_master = ctx.client(master_);
+        for (const std::uint32_t idx : assignment.partitions[node]) {
+          from_master.enqueue({.type = kvstore::CommandType::kLIndex,
+                               .key = "data",
+                               .arg0 = static_cast<std::int64_t>(idx)});
+        }
+        const std::vector<kvstore::Reply> replies = from_master.drain();
+        kvstore::Client& local = ctx.local();
+        (void)local.execute(
+            {.type = kvstore::CommandType::kDel, .key = config_.partition_key});
+        for (const kvstore::Reply& r : replies) {
+          local.enqueue({.type = kvstore::CommandType::kRPush,
+                         .key = config_.partition_key,
+                         .value = r.blob});
+        }
+        (void)local.drain();
+      });
+    }
+    const cluster::PhaseReport load = cluster_.run_phase("load", tasks);
+    report.load_time_s = load.makespan_s();
+  }
+
+  // ---- Execution phase ----
+  std::vector<double> busy(p, 0.0);
+  {
+    std::vector<cluster::NodeTask> tasks;
+    tasks.reserve(p);
+    for (std::size_t node = 0; node < p; ++node) {
+      tasks.push_back([&, node](cluster::NodeContext& ctx) {
+        // Fetch the whole partition in one get (paper section IV).
+        (void)ctx.local().lrange(config_.partition_key, 0, -1);
+        workload.run(ctx, dataset, assignment.partitions[node]);
+      });
+    }
+    const cluster::PhaseReport exec = cluster_.run_phase("exec", tasks);
+    report.exec_time_s += exec.makespan_s();
+    for (const auto& r : exec.per_node) {
+      busy[r.node_id] += r.total_time_s();
+      report.total_work_units += r.work_units;
+    }
+  }
+
+  // ---- Optional global phase (e.g. SON candidate prune) ----
+  const std::vector<cluster::NodeTask> global_tasks =
+      workload.make_global_tasks(dataset, assignment);
+  if (!global_tasks.empty()) {
+    common::require<common::ConfigError>(global_tasks.size() == p,
+                                         "run: global phase arity mismatch");
+    const cluster::PhaseReport global = cluster_.run_phase("global", global_tasks);
+    report.exec_time_s += global.makespan_s();
+    for (const auto& r : global.per_node) {
+      busy[r.node_id] += r.total_time_s();
+      report.total_work_units += r.work_units;
+    }
+  }
+
+  // ---- Energy accounting over the actual execution interval ----
+  report.node_exec_s = busy;
+  for (std::size_t node = 0; node < p; ++node) {
+    if (busy[node] <= 0.0) continue;
+    const cluster::NodeSpec& spec = cluster_.node(static_cast<std::uint32_t>(node));
+    const double dirty =
+        energy_.dirty_energy_joules(spec, config_.job_start_s, busy[node]);
+    const double total = spec.power_watts * busy[node];
+    report.dirty_energy_j += dirty;
+    report.green_energy_j += total - dirty;
+  }
+  report.quality = workload.quality();
+  return report;
+}
+
+std::vector<optimize::FrontierPoint> ParetoFramework::predicted_frontier(
+    std::span<const double> alphas, bool normalized) const {
+  require_prepared();
+  const std::size_t n = strata_->assignment.size();
+  return normalized ? optimize::sweep_frontier_normalized(models_, n, alphas)
+                    : optimize::sweep_frontier(models_, n, alphas);
+}
+
+const stratify::Stratification& ParetoFramework::strata() const {
+  require_prepared();
+  return *strata_;
+}
+
+std::span<const optimize::NodeModel> ParetoFramework::node_models() const {
+  require_prepared();
+  return models_;
+}
+
+}  // namespace hetsim::core

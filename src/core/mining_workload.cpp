@@ -1,0 +1,111 @@
+#include "core/mining_workload.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "common/bytes.h"
+
+namespace hetsim::core {
+
+std::string PatternMiningWorkload::name() const {
+  std::ostringstream ss;
+  ss << "son-apriori(support=" << config_.min_support << ")";
+  return ss.str();
+}
+
+void PatternMiningWorkload::reset(std::size_t num_partitions,
+                                  std::uint32_t coordinator) {
+  executing_ = true;
+  coordinator_ = coordinator;
+  local_results_.assign(num_partitions, mining::MiningResult{});
+  local_frequent_counts_.assign(num_partitions, 0);
+  union_candidates_ = 0;
+  false_positives_ = 0;
+  globally_frequent_ = 0;
+}
+
+void PatternMiningWorkload::run(cluster::NodeContext& ctx,
+                                const data::Dataset& dataset,
+                                std::span<const std::uint32_t> indices) {
+  std::vector<data::ItemSet> transactions;
+  transactions.reserve(indices.size());
+  for (const std::uint32_t i : indices) {
+    transactions.push_back(dataset.records[i].items);
+  }
+  mining::MiningResult result = mining::apriori(transactions, config_);
+  ctx.meter().add(static_cast<double>(result.work_ops));
+  const std::uint32_t node = ctx.node().id;
+  if (executing_ && node < local_results_.size()) {
+    local_frequent_counts_[node] = result.frequent.size();
+    local_results_[node] = std::move(result);
+  }
+}
+
+std::vector<cluster::NodeTask> PatternMiningWorkload::make_global_tasks(
+    const data::Dataset& dataset,
+    const partition::PartitionAssignment& assignment) {
+  // Candidate union from the local phase (broadcast to every node; its
+  // transfer is charged inside the tasks below).
+  auto candidates = std::make_shared<std::vector<data::ItemSet>>(
+      mining::candidate_union(local_results_));
+  union_candidates_ = candidates->size();
+  auto global_counts = std::make_shared<std::vector<std::uint32_t>>(
+      candidates->size(), 0u);
+  std::size_t candidate_bytes = 0;
+  for (const auto& c : *candidates) candidate_bytes += 4 * c.size() + 4;
+
+  std::vector<cluster::NodeTask> tasks;
+  tasks.reserve(assignment.partitions.size());
+  for (std::size_t node = 0; node < assignment.partitions.size(); ++node) {
+    tasks.push_back([this, node, &dataset, &assignment, candidates,
+                     global_counts,
+                     candidate_bytes](cluster::NodeContext& ctx) {
+      // Receive the broadcast candidate set (one pipelined transfer from
+      // the coordinator, modelled as a single blob read).
+      std::string blob(candidate_bytes, '\0');
+      ctx.client(coordinator_).set("candidates:init", blob);
+      std::vector<data::ItemSet> transactions;
+      transactions.reserve(assignment.partitions[node].size());
+      for (const std::uint32_t i : assignment.partitions[node]) {
+        transactions.push_back(dataset.records[i].items);
+      }
+      std::uint64_t ops = 0;
+      const std::vector<std::uint32_t> counts =
+          mining::count_support(transactions, *candidates, ops);
+      ctx.meter().add(static_cast<double>(ops));
+      for (std::size_t c = 0; c < counts.size(); ++c) {
+        (*global_counts)[c] += counts[c];
+      }
+      // Ship the local counts back (4 bytes each, pipelined).
+      std::string counts_blob;
+      counts_blob.reserve(counts.size() * 4);
+      for (const std::uint32_t v : counts) common::append_u32(counts_blob, v);
+      ctx.client(coordinator_).set("counts:" + std::to_string(node), counts_blob);
+    });
+  }
+
+  // The final prune is pure bookkeeping on the already-merged counts; we
+  // fold it into a completion hook executed by the last task. Since the
+  // simulator runs tasks in order, node (p-1)'s task finalizes.
+  const std::size_t last = assignment.partitions.size() - 1;
+  const std::size_t total_txns = dataset.records.size();
+  const double min_support = config_.min_support;
+  cluster::NodeTask inner = std::move(tasks[last]);
+  tasks[last] = [this, inner = std::move(inner), candidates, global_counts,
+                 total_txns, min_support](cluster::NodeContext& ctx) {
+    inner(ctx);
+    const auto min_count = static_cast<std::uint32_t>(std::max<double>(
+        1.0,
+        std::ceil(min_support * static_cast<double>(total_txns))));
+    std::size_t frequent = 0;
+    for (const std::uint32_t count : *global_counts) {
+      if (count >= min_count) ++frequent;
+    }
+    globally_frequent_ = frequent;
+    false_positives_ = candidates->size() - frequent;
+  };
+  return tasks;
+}
+
+}  // namespace hetsim::core

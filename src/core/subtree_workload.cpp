@@ -1,0 +1,117 @@
+#include "core/subtree_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace hetsim::core {
+
+namespace {
+
+std::vector<data::LabeledTree> decode_trees(
+    const data::Dataset& dataset, std::span<const std::uint32_t> indices) {
+  common::require<common::ConfigError>(
+      dataset.kind == data::DataKind::kTree,
+      "SubtreeMiningWorkload: dataset must hold tree payloads");
+  std::vector<data::LabeledTree> trees;
+  trees.reserve(indices.size());
+  for (const std::uint32_t i : indices) {
+    trees.push_back(data::decode_tree(dataset.records[i].payload));
+  }
+  return trees;
+}
+
+}  // namespace
+
+std::string SubtreeMiningWorkload::name() const {
+  std::ostringstream ss;
+  ss << "son-subtree(support=" << config_.min_support << ")";
+  return ss.str();
+}
+
+void SubtreeMiningWorkload::reset(std::size_t num_partitions,
+                                  std::uint32_t coordinator) {
+  executing_ = true;
+  coordinator_ = coordinator;
+  local_results_.assign(num_partitions, mining::TreeMiningResult{});
+  union_candidates_ = 0;
+  false_positives_ = 0;
+  globally_frequent_ = 0;
+}
+
+void SubtreeMiningWorkload::run(cluster::NodeContext& ctx,
+                                const data::Dataset& dataset,
+                                std::span<const std::uint32_t> indices) {
+  const std::vector<data::LabeledTree> trees = decode_trees(dataset, indices);
+  mining::TreeMiningResult result =
+      trees.empty() ? mining::TreeMiningResult{}
+                    : mining::mine_subtrees(trees, config_);
+  ctx.meter().add(static_cast<double>(result.work_ops));
+  const std::uint32_t node = ctx.node().id;
+  if (executing_ && node < local_results_.size()) {
+    local_results_[node] = std::move(result);
+  }
+}
+
+std::vector<cluster::NodeTask> SubtreeMiningWorkload::make_global_tasks(
+    const data::Dataset& dataset,
+    const partition::PartitionAssignment& assignment) {
+  auto candidates = std::make_shared<std::vector<mining::TreePattern>>();
+  for (const auto& local : local_results_) {
+    for (const auto& f : local.frequent) candidates->push_back(f.pattern);
+  }
+  std::sort(candidates->begin(), candidates->end());
+  candidates->erase(std::unique(candidates->begin(), candidates->end()),
+                    candidates->end());
+  union_candidates_ = candidates->size();
+  auto global_counts =
+      std::make_shared<std::vector<std::uint32_t>>(candidates->size(), 0u);
+  std::size_t candidate_bytes = 0;
+  for (const auto& c : *candidates) candidate_bytes += 8 * c.size() + 4;
+
+  std::vector<cluster::NodeTask> tasks;
+  tasks.reserve(assignment.partitions.size());
+  for (std::size_t node = 0; node < assignment.partitions.size(); ++node) {
+    tasks.push_back([this, node, &dataset, &assignment, candidates,
+                     global_counts,
+                     candidate_bytes](cluster::NodeContext& ctx) {
+      ctx.client(coordinator_).set("subtree-candidates",
+                               std::string(candidate_bytes, '\0'));
+      const std::vector<data::LabeledTree> trees =
+          decode_trees(dataset, assignment.partitions[node]);
+      std::uint64_t ops = 0;
+      const std::vector<std::uint32_t> counts =
+          mining::count_subtree_support(trees, *candidates, ops);
+      ctx.meter().add(static_cast<double>(ops));
+      for (std::size_t c = 0; c < counts.size(); ++c) {
+        (*global_counts)[c] += counts[c];
+      }
+      std::string counts_blob(counts.size() * 4, '\0');
+      ctx.client(coordinator_).set("subtree-counts:" + std::to_string(node),
+                               counts_blob);
+    });
+  }
+
+  const std::size_t last = assignment.partitions.size() - 1;
+  const std::size_t total = dataset.records.size();
+  const double min_support = config_.min_support;
+  cluster::NodeTask inner = std::move(tasks[last]);
+  tasks[last] = [this, inner = std::move(inner), candidates, global_counts,
+                 total, min_support](cluster::NodeContext& ctx) {
+    inner(ctx);
+    const auto min_count = static_cast<std::uint32_t>(std::max<double>(
+        1.0, std::ceil(min_support * static_cast<double>(total))));
+    std::size_t frequent = 0;
+    for (const std::uint32_t count : *global_counts) {
+      if (count >= min_count) ++frequent;
+    }
+    globally_frequent_ = frequent;
+    false_positives_ = candidates->size() - frequent;
+  };
+  return tasks;
+}
+
+}  // namespace hetsim::core

@@ -1,0 +1,106 @@
+#include "data/dataset.h"
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace hetsim::data {
+
+std::uint64_t Dataset::total_items() const noexcept {
+  std::uint64_t n = 0;
+  for (const Record& r : records) n += r.items.size();
+  return n;
+}
+
+std::uint64_t Dataset::total_payload_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const Record& r : records) n += r.payload.size();
+  return n;
+}
+
+std::string encode_tree(const LabeledTree& tree) {
+  std::string out;
+  out.reserve(4 + tree.size() * 8);
+  common::append_u32(out, static_cast<std::uint32_t>(tree.size()));
+  for (const std::uint32_t p : tree.parent) common::append_u32(out, p);
+  for (const std::uint32_t l : tree.label) common::append_u32(out, l);
+  return out;
+}
+
+LabeledTree decode_tree(std::string_view payload) {
+  const std::uint32_t n = common::read_u32(payload, 0);
+  common::require<common::StoreError>(payload.size() == 4 + 8ull * n,
+                                      "decode_tree: bad payload size");
+  LabeledTree tree;
+  tree.parent.resize(n);
+  tree.label.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tree.parent[i] = common::read_u32(payload, 4 + 4ull * i);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tree.label[i] = common::read_u32(payload, 4 + 4ull * (n + i));
+  }
+  return tree;
+}
+
+std::string encode_items(const ItemSet& items) {
+  std::string out;
+  out.reserve(4 + items.size() * 4);
+  common::append_u32(out, static_cast<std::uint32_t>(items.size()));
+  for (const Item it : items) common::append_u32(out, it);
+  return out;
+}
+
+ItemSet decode_items(std::string_view payload) {
+  const std::uint32_t n = common::read_u32(payload, 0);
+  common::require<common::StoreError>(payload.size() == 4 + 4ull * n,
+                                      "decode_items: bad payload size");
+  ItemSet items(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    items[i] = common::read_u32(payload, 4 + 4ull * i);
+  }
+  return items;
+}
+
+Dataset make_tree_dataset(std::string name,
+                          const std::vector<LabeledTree>& trees,
+                          const PivotConfig& pivots) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.kind = DataKind::kTree;
+  ds.universe = 0;  // hashed pivot ids
+  ds.records.reserve(trees.size());
+  for (const LabeledTree& t : trees) {
+    ds.records.push_back(Record{tree_pivots(t, pivots), encode_tree(t)});
+  }
+  return ds;
+}
+
+Dataset make_graph_dataset(std::string name, const Graph& graph) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.kind = DataKind::kGraphVertex;
+  ds.universe = graph.num_vertices();
+  ds.records.reserve(graph.num_vertices());
+  for (std::uint32_t v = 0; v < graph.num_vertices(); ++v) {
+    ItemSet items = graph.adjacency_pivots(v);
+    std::string payload = encode_items(items);
+    ds.records.push_back(Record{std::move(items), std::move(payload)});
+  }
+  return ds;
+}
+
+Dataset make_text_dataset(std::string name, std::vector<ItemSet> documents,
+                          std::uint32_t vocab_size) {
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.kind = DataKind::kDocument;
+  ds.universe = vocab_size;
+  ds.records.reserve(documents.size());
+  for (ItemSet& doc : documents) {
+    std::string payload = encode_items(doc);
+    ds.records.push_back(Record{std::move(doc), std::move(payload)});
+  }
+  return ds;
+}
+
+}  // namespace hetsim::data

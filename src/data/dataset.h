@@ -1,0 +1,66 @@
+// The unified record collection the framework partitions.
+//
+// Whatever the domain (tree corpus, webgraph vertices, documents), a
+// record carries (a) its ItemSet — the domain-independent set
+// representation produced by the stratifier's step 1 — and (b) its raw
+// payload bytes, which is what gets stored in the kvstore partitions and
+// what the compression workloads consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/graph.h"
+#include "data/itemset.h"
+#include "data/tree.h"
+
+namespace hetsim::data {
+
+enum class DataKind : std::uint8_t { kTree, kGraphVertex, kDocument };
+
+struct Record {
+  ItemSet items;
+  std::string payload;
+};
+
+struct Dataset {
+  std::string name;
+  DataKind kind = DataKind::kDocument;
+  /// Size of the item universe when known (documents: vocabulary size;
+  /// graph vertices: vertex count). 0 when items are hashed (trees).
+  std::uint32_t universe = 0;
+  std::vector<Record> records;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records.size(); }
+  [[nodiscard]] std::uint64_t total_items() const noexcept;
+  [[nodiscard]] std::uint64_t total_payload_bytes() const noexcept;
+};
+
+// ---- payload codecs -----------------------------------------------------
+
+/// Tree payload: [n][parent x n][label x n], little-endian u32.
+[[nodiscard]] std::string encode_tree(const LabeledTree& tree);
+[[nodiscard]] LabeledTree decode_tree(std::string_view payload);
+
+/// Item-set payload (documents, adjacency lists): [n][item x n].
+[[nodiscard]] std::string encode_items(const ItemSet& items);
+[[nodiscard]] ItemSet decode_items(std::string_view payload);
+
+// ---- dataset constructors -------------------------------------------------
+
+/// Wrap a tree corpus: items are LCA pivots, payload is the encoded tree.
+[[nodiscard]] Dataset make_tree_dataset(std::string name,
+                                        const std::vector<LabeledTree>& trees,
+                                        const PivotConfig& pivots = {});
+
+/// Wrap a graph: one record per vertex; items = sorted out-neighbours,
+/// payload = encoded adjacency list.
+[[nodiscard]] Dataset make_graph_dataset(std::string name, const Graph& graph);
+
+/// Wrap documents given as word-id sets.
+[[nodiscard]] Dataset make_text_dataset(std::string name,
+                                        std::vector<ItemSet> documents,
+                                        std::uint32_t vocab_size);
+
+}  // namespace hetsim::data

@@ -1,0 +1,225 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hetsim::data {
+
+namespace {
+using common::Rng;
+}  // namespace
+
+std::vector<LabeledTree> generate_trees(const TreeCorpusConfig& cfg) {
+  common::require<common::ConfigError>(
+      cfg.num_trees > 0 && cfg.min_nodes >= 2 && cfg.max_nodes >= cfg.min_nodes &&
+          cfg.num_topics > 0,
+      "generate_trees: invalid config");
+  Rng rng(cfg.seed);
+  std::vector<LabeledTree> trees;
+  trees.reserve(cfg.num_trees);
+  for (std::size_t i = 0; i < cfg.num_trees; ++i) {
+    const auto topic =
+        static_cast<std::uint32_t>(rng.zipf(cfg.num_topics, cfg.topic_skew));
+    const std::uint32_t n =
+        cfg.min_nodes +
+        static_cast<std::uint32_t>(rng.bounded(cfg.max_nodes - cfg.min_nodes + 1));
+    LabeledTree tree;
+    tree.parent.resize(n);
+    tree.label.resize(n);
+    tree.parent[0] = 0;  // root
+    for (std::uint32_t v = 1; v < n; ++v) {
+      // Random recursive tree: parent uniform over earlier nodes. This
+      // yields realistic shallow-bushy XML-like shapes.
+      tree.parent[v] = static_cast<std::uint32_t>(rng.bounded(v));
+    }
+    const std::uint32_t topic_base =
+        cfg.shared_labels + topic * cfg.labels_per_topic;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (rng.uniform() < cfg.topic_label_prob) {
+        tree.label[v] = topic_base + static_cast<std::uint32_t>(rng.zipf(
+                                         cfg.labels_per_topic, 0.9));
+      } else {
+        tree.label[v] = static_cast<std::uint32_t>(
+            rng.zipf(std::max<std::uint32_t>(1, cfg.shared_labels), 0.9));
+      }
+    }
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+Dataset generate_tree_corpus(const TreeCorpusConfig& cfg, std::string name) {
+  return make_tree_dataset(std::move(name), generate_trees(cfg));
+}
+
+Graph generate_webgraph(const WebGraphConfig& cfg) {
+  common::require<common::ConfigError>(
+      cfg.num_vertices >= 2 && cfg.mean_out_degree > 0 && cfg.num_sites > 0,
+      "generate_webgraph: invalid config");
+  Rng rng(cfg.seed);
+  const std::uint32_t n = cfg.num_vertices;
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  // Site of a vertex: contiguous blocks, so site locality == id locality,
+  // matching the lexicographic URL ordering real webgraphs exploit.
+  const std::uint32_t per_site = (n + cfg.num_sites - 1) / cfg.num_sites;
+  const auto site_of = [&](std::uint32_t v) { return v / per_site; };
+  const auto random_in_site = [&](std::uint32_t site) -> std::uint32_t {
+    const std::uint32_t lo = site * per_site;
+    const std::uint32_t hi = std::min(n, lo + per_site);
+    return lo + static_cast<std::uint32_t>(rng.bounded(hi - lo));
+  };
+  for (std::uint32_t v = 1; v < n; ++v) {
+    const std::uint32_t site = site_of(v);
+    // Prototype: an earlier vertex, preferring the same site.
+    std::uint32_t proto;
+    if (rng.uniform() < cfg.locality) {
+      const std::uint32_t lo = site * per_site;
+      proto = (v > lo) ? lo + static_cast<std::uint32_t>(rng.bounded(v - lo))
+                       : static_cast<std::uint32_t>(rng.bounded(v));
+    } else {
+      proto = static_cast<std::uint32_t>(rng.bounded(v));
+    }
+    // Degree ~ geometric around the mean (heavy-ish tail).
+    const double u = std::max(1e-12, rng.uniform());
+    auto degree = static_cast<std::uint32_t>(
+        std::ceil(-std::log(u) * cfg.mean_out_degree));
+    degree = std::min(degree, n - 1);
+    const auto& proto_nb = adj[proto];
+    for (std::uint32_t k = 0; k < degree; ++k) {
+      std::uint32_t target;
+      if (!proto_nb.empty() && rng.uniform() < cfg.copy_prob) {
+        target = proto_nb[rng.bounded(proto_nb.size())];
+      } else if (rng.uniform() < cfg.locality) {
+        target = random_in_site(site);
+      } else {
+        target = static_cast<std::uint32_t>(rng.bounded(n));
+      }
+      if (target != v) adj[v].push_back(target);
+    }
+  }
+  return Graph(std::move(adj));
+}
+
+Dataset generate_graph_corpus(const WebGraphConfig& cfg, std::string name) {
+  return make_graph_dataset(std::move(name), generate_webgraph(cfg));
+}
+
+Dataset generate_text_corpus(const TextCorpusConfig& cfg, std::string name) {
+  common::require<common::ConfigError>(
+      cfg.num_docs > 0 && cfg.vocab_size > cfg.num_topics && cfg.num_topics > 0,
+      "generate_text_corpus: invalid config");
+  Rng rng(cfg.seed);
+  // Carve the vocabulary into a shared background range plus one range
+  // per topic.
+  const std::uint32_t background = cfg.vocab_size / 4;
+  const std::uint32_t per_topic = (cfg.vocab_size - background) / cfg.num_topics;
+  common::require<common::ConfigError>(per_topic >= 1,
+                                       "generate_text_corpus: vocab too small");
+  std::vector<ItemSet> docs;
+  docs.reserve(cfg.num_docs);
+  for (std::size_t d = 0; d < cfg.num_docs; ++d) {
+    const auto topic =
+        static_cast<std::uint32_t>(rng.zipf(cfg.num_topics, cfg.topic_skew));
+    const double u = std::max(1e-12, rng.uniform());
+    const auto len = std::max<std::uint32_t>(
+        4, static_cast<std::uint32_t>(
+               std::ceil(-std::log(u) * cfg.doc_length_mean)));
+    ItemSet words;
+    words.reserve(len);
+    const std::uint32_t topic_base = background + topic * per_topic;
+    for (std::uint32_t k = 0; k < len; ++k) {
+      if (rng.uniform() < cfg.topic_word_prob) {
+        words.push_back(topic_base + static_cast<std::uint32_t>(
+                                         rng.zipf(per_topic, cfg.word_skew)));
+      } else {
+        words.push_back(static_cast<std::uint32_t>(
+            rng.zipf(std::max<std::uint32_t>(1, background), cfg.word_skew)));
+      }
+    }
+    normalize(words);
+    docs.push_back(std::move(words));
+  }
+  return make_text_dataset(std::move(name), std::move(docs), cfg.vocab_size);
+}
+
+// ---- presets ---------------------------------------------------------------
+
+namespace {
+std::size_t scaled(std::size_t base, double scale) {
+  return static_cast<std::size_t>(std::llround(static_cast<double>(base) * scale));
+}
+}  // namespace
+
+TreeCorpusConfig swissprot_like(double scale) {
+  // SwissProt: 59,545 trees, ~50 nodes each, regular schema -> fewer,
+  // denser topics.
+  TreeCorpusConfig cfg;
+  cfg.num_trees = scaled(1500, scale);
+  cfg.min_nodes = 30;
+  cfg.max_nodes = 70;
+  cfg.num_topics = 6;
+  cfg.labels_per_topic = 40;
+  cfg.shared_labels = 16;
+  cfg.topic_label_prob = 0.85;
+  cfg.topic_skew = 0.7;
+  cfg.seed = 0x5155;
+  return cfg;
+}
+
+TreeCorpusConfig treebank_like(double scale) {
+  // Treebank: 56,479 parse trees, ~43 nodes each, more diverse labels.
+  TreeCorpusConfig cfg;
+  cfg.num_trees = scaled(1400, scale);
+  cfg.min_nodes = 16;
+  cfg.max_nodes = 70;
+  cfg.num_topics = 10;
+  cfg.labels_per_topic = 64;
+  cfg.shared_labels = 32;
+  cfg.topic_label_prob = 0.75;
+  cfg.topic_skew = 0.9;
+  cfg.seed = 0x7b4b;
+  return cfg;
+}
+
+WebGraphConfig uk_like(double scale) {
+  // UK-2002: 11M vertices, avg degree ~26, strong host locality.
+  WebGraphConfig cfg;
+  cfg.num_vertices = static_cast<std::uint32_t>(scaled(24000, scale));
+  cfg.mean_out_degree = 22.0;
+  cfg.copy_prob = 0.78;
+  cfg.num_sites = 24;
+  cfg.locality = 0.92;
+  cfg.seed = 0x1752;
+  return cfg;
+}
+
+WebGraphConfig arabic_like(double scale) {
+  // Arabic-2005: 16M vertices, avg degree ~40, denser.
+  WebGraphConfig cfg;
+  cfg.num_vertices = static_cast<std::uint32_t>(scaled(30000, scale));
+  cfg.mean_out_degree = 34.0;
+  cfg.copy_prob = 0.8;
+  cfg.num_sites = 30;
+  cfg.locality = 0.9;
+  cfg.seed = 0xa4ab;
+  return cfg;
+}
+
+TextCorpusConfig rcv1_like(double scale) {
+  // RCV1: 804,414 docs, vocab 47,236, ~topical news corpus.
+  TextCorpusConfig cfg;
+  cfg.num_docs = scaled(6000, scale);
+  cfg.vocab_size = 16000;
+  cfg.num_topics = 12;
+  cfg.doc_length_mean = 55;
+  cfg.word_skew = 1.05;
+  cfg.topic_word_prob = 0.7;
+  cfg.topic_skew = 0.8;
+  cfg.seed = 0x2cf1;
+  return cfg;
+}
+
+}  // namespace hetsim::data

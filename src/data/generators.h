@@ -1,0 +1,94 @@
+// Synthetic dataset generators standing in for the paper's corpora.
+//
+// We do not have SwissProt/Treebank/UK/Arabic/RCV1 offline; each
+// generator reproduces the *property the algorithms are sensitive to*
+// (DESIGN.md section 2):
+//   * trees    — latent-topic label vocabularies, so pivot sets cluster;
+//   * webgraph — copying model with community locality, so adjacency
+//                lists of related vertices overlap (what BV-style
+//                reference compression and the stratifier both exploit);
+//   * text     — Zipf vocabulary + topic mixtures, so frequent-pattern
+//                density varies by stratum.
+// The `*_like()` presets mirror Table I shapes at a tractable scale, with
+// a scale multiplier for the benches.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/graph.h"
+
+namespace hetsim::data {
+
+// ---- trees ---------------------------------------------------------------
+
+struct TreeCorpusConfig {
+  std::size_t num_trees = 2000;
+  std::uint32_t min_nodes = 20;
+  std::uint32_t max_nodes = 80;
+  /// Latent clusters; trees of one topic share a label vocabulary.
+  std::uint32_t num_topics = 8;
+  std::uint32_t labels_per_topic = 48;
+  std::uint32_t shared_labels = 24;
+  /// Probability a node draws from the topic vocabulary (vs. shared).
+  double topic_label_prob = 0.8;
+  /// Zipf exponent of the topic popularity (skew across strata).
+  double topic_skew = 0.8;
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] std::vector<LabeledTree> generate_trees(const TreeCorpusConfig& cfg);
+[[nodiscard]] Dataset generate_tree_corpus(const TreeCorpusConfig& cfg,
+                                           std::string name = "trees");
+
+// ---- webgraphs -------------------------------------------------------------
+
+struct WebGraphConfig {
+  std::uint32_t num_vertices = 20000;
+  /// Target mean out-degree.
+  double mean_out_degree = 18.0;
+  /// Probability of copying a neighbour from the prototype vertex
+  /// (vs. linking uniformly at random) — drives adjacency similarity.
+  double copy_prob = 0.75;
+  /// Vertices are spread over this many host "sites"; prototypes and
+  /// random links prefer the same site with `locality` probability.
+  std::uint32_t num_sites = 16;
+  double locality = 0.9;
+  std::uint64_t seed = 11;
+};
+
+[[nodiscard]] Graph generate_webgraph(const WebGraphConfig& cfg);
+[[nodiscard]] Dataset generate_graph_corpus(const WebGraphConfig& cfg,
+                                            std::string name = "webgraph");
+
+// ---- text ------------------------------------------------------------------
+
+struct TextCorpusConfig {
+  std::size_t num_docs = 5000;
+  std::uint32_t vocab_size = 12000;
+  std::uint32_t num_topics = 10;
+  /// Words drawn per document before dedup.
+  std::uint32_t doc_length_mean = 60;
+  /// Zipf exponent of the within-topic word distribution.
+  double word_skew = 1.05;
+  /// Probability a word comes from the document's topic (vs. background).
+  double topic_word_prob = 0.7;
+  /// Zipf exponent of topic popularity.
+  double topic_skew = 0.7;
+  std::uint64_t seed = 13;
+};
+
+[[nodiscard]] Dataset generate_text_corpus(const TextCorpusConfig& cfg,
+                                           std::string name = "text");
+
+// ---- paper-analogue presets (Table I) --------------------------------------
+// `scale` >= 1 multiplies record counts; scale 1 is test-sized, the
+// benches use larger scales.
+
+[[nodiscard]] TreeCorpusConfig swissprot_like(double scale = 1.0);
+[[nodiscard]] TreeCorpusConfig treebank_like(double scale = 1.0);
+[[nodiscard]] WebGraphConfig uk_like(double scale = 1.0);
+[[nodiscard]] WebGraphConfig arabic_like(double scale = 1.0);
+[[nodiscard]] TextCorpusConfig rcv1_like(double scale = 1.0);
+
+}  // namespace hetsim::data

@@ -1,0 +1,56 @@
+#include "data/graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hetsim::data {
+
+Graph::Graph(std::uint32_t num_vertices,
+             std::span<const std::pair<std::uint32_t, std::uint32_t>> edges) {
+  std::vector<std::vector<std::uint32_t>> adj(num_vertices);
+  for (const auto& [u, v] : edges) {
+    common::require<common::ConfigError>(u < num_vertices && v < num_vertices,
+                                         "Graph: edge endpoint out of range");
+    adj[u].push_back(v);
+  }
+  *this = Graph(std::move(adj));
+}
+
+Graph::Graph(std::vector<std::vector<std::uint32_t>> adjacency) {
+  const std::uint32_t n = static_cast<std::uint32_t>(adjacency.size());
+  offsets_.assign(n + 1, 0);
+  for (auto& list : adjacency) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + adjacency[v].size();
+  }
+  neighbors_.reserve(offsets_[n]);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const std::uint32_t w : adjacency[v]) {
+      common::require<common::ConfigError>(w < n,
+                                           "Graph: neighbour out of range");
+      neighbors_.push_back(w);
+    }
+  }
+}
+
+std::span<const std::uint32_t> Graph::neighbors(std::uint32_t v) const {
+  common::require<common::ConfigError>(v < num_vertices(),
+                                       "Graph: vertex out of range");
+  return {neighbors_.data() + offsets_[v],
+          static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+}
+
+std::uint32_t Graph::out_degree(std::uint32_t v) const {
+  return static_cast<std::uint32_t>(neighbors(v).size());
+}
+
+ItemSet Graph::adjacency_pivots(std::uint32_t v) const {
+  const auto nb = neighbors(v);
+  return ItemSet(nb.begin(), nb.end());
+}
+
+}  // namespace hetsim::data

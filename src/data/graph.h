@@ -1,0 +1,45 @@
+// Compressed sparse row directed graphs and adjacency pivots.
+//
+// Graph records in the framework are *vertices*: the paper's stratifier
+// uses "adjacency list as the pivot set (set of neighbors)", so a vertex
+// becomes the ItemSet of its out-neighbours and similar vertices — the
+// ones webgraph compression exploits — land in the same stratum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/itemset.h"
+
+namespace hetsim::data {
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Build from an edge list over `num_vertices` vertices. Parallel edges
+  /// are collapsed; neighbour lists are sorted.
+  Graph(std::uint32_t num_vertices,
+        std::span<const std::pair<std::uint32_t, std::uint32_t>> edges);
+  /// Build directly from per-vertex adjacency (sorted + deduped here).
+  explicit Graph(std::vector<std::vector<std::uint32_t>> adjacency);
+
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept {
+    return offsets_.empty() ? 0u
+                            : static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return neighbors_.size();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::uint32_t v) const;
+  [[nodiscard]] std::uint32_t out_degree(std::uint32_t v) const;
+
+  /// The vertex's pivot set: its sorted out-neighbour list.
+  [[nodiscard]] ItemSet adjacency_pivots(std::uint32_t v) const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;   // size num_vertices + 1
+  std::vector<std::uint32_t> neighbors_; // concatenated sorted lists
+};
+
+}  // namespace hetsim::data

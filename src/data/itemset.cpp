@@ -1,0 +1,35 @@
+#include "data/itemset.h"
+
+namespace hetsim::data {
+
+std::size_t intersection_size(std::span<const Item> a,
+                              std::span<const Item> b) noexcept {
+  std::size_t n = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+double jaccard(std::span<const Item> a, std::span<const Item> b) noexcept {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::size_t inter = intersection_size(a, b);
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+bool is_subset(std::span<const Item> needle,
+               std::span<const Item> haystack) noexcept {
+  return intersection_size(needle, haystack) == needle.size();
+}
+
+}  // namespace hetsim::data

@@ -1,0 +1,38 @@
+// Set-of-items representation.
+//
+// Step 1 of the paper's stratifier converts every input record — tree,
+// graph vertex, document — into a set of integer item ids, "so now
+// operations can be done in a domain independent way". ItemSet is that
+// common currency: a sorted, deduplicated vector of u32 ids.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hetsim::data {
+
+using Item = std::uint32_t;
+using ItemSet = std::vector<Item>;
+
+/// Sort + dedupe in place, establishing the ItemSet invariant.
+inline void normalize(ItemSet& set) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+/// Size of the intersection of two normalized sets (linear merge).
+[[nodiscard]] std::size_t intersection_size(std::span<const Item> a,
+                                            std::span<const Item> b) noexcept;
+
+/// Exact Jaccard similarity |a∩b| / |a∪b| of two normalized sets.
+/// Two empty sets have similarity 1.
+[[nodiscard]] double jaccard(std::span<const Item> a,
+                             std::span<const Item> b) noexcept;
+
+/// True if normalized `needle` is a subset of normalized `haystack`.
+[[nodiscard]] bool is_subset(std::span<const Item> needle,
+                             std::span<const Item> haystack) noexcept;
+
+}  // namespace hetsim::data

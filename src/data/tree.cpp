@@ -1,0 +1,230 @@
+#include "data/tree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace hetsim::data {
+
+std::uint32_t LabeledTree::root() const {
+  for (std::uint32_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] == v) return v;
+  }
+  throw common::ConfigError("LabeledTree: no root (no self-parent node)");
+}
+
+void LabeledTree::validate() const {
+  common::require<common::ConfigError>(!parent.empty(),
+                                       "LabeledTree: empty tree");
+  common::require<common::ConfigError>(parent.size() == label.size(),
+                                       "LabeledTree: label arity mismatch");
+  std::size_t roots = 0;
+  for (std::uint32_t v = 0; v < parent.size(); ++v) {
+    common::require<common::ConfigError>(parent[v] < parent.size(),
+                                         "LabeledTree: parent out of range");
+    if (parent[v] == v) ++roots;
+  }
+  common::require<common::ConfigError>(roots == 1,
+                                       "LabeledTree: exactly one root required");
+  // Every node must reach the root without cycling.
+  const std::vector<std::uint32_t> depth = node_depths(*this);
+  (void)depth;  // node_depths throws on cycles
+}
+
+std::vector<std::uint32_t> node_depths(const LabeledTree& tree) {
+  const std::size_t n = tree.size();
+  std::vector<std::uint32_t> depth(n, UINT32_MAX);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (depth[v] != UINT32_MAX) continue;
+    // Walk to a node with known depth (or the root), collecting the path.
+    std::vector<std::uint32_t> path;
+    std::uint32_t u = v;
+    while (depth[u] == UINT32_MAX && tree.parent[u] != u) {
+      path.push_back(u);
+      u = tree.parent[u];
+      common::require<common::ConfigError>(path.size() <= n,
+                                           "LabeledTree: cycle detected");
+    }
+    std::uint32_t d = (tree.parent[u] == u && depth[u] == UINT32_MAX)
+                          ? (depth[u] = 0)
+                          : depth[u];
+    for (std::size_t i = path.size(); i-- > 0;) {
+      depth[path[i]] = ++d;
+    }
+  }
+  return depth;
+}
+
+std::uint32_t lca(const LabeledTree& tree, const std::vector<std::uint32_t>& depth,
+                  std::uint32_t u, std::uint32_t v) {
+  while (depth[u] > depth[v]) u = tree.parent[u];
+  while (depth[v] > depth[u]) v = tree.parent[v];
+  while (u != v) {
+    u = tree.parent[u];
+    v = tree.parent[v];
+  }
+  return u;
+}
+
+std::vector<std::uint32_t> prufer_encode(const LabeledTree& tree) {
+  const std::size_t n = tree.size();
+  common::require<common::ConfigError>(n >= 2,
+                                       "prufer_encode: need >= 2 nodes");
+  // Undirected degrees from the parent array.
+  std::vector<std::uint32_t> degree(n, 0);
+  const std::uint32_t root = tree.root();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v == root) continue;
+    ++degree[v];
+    ++degree[tree.parent[v]];
+  }
+  // Adjacency for neighbour lookup during removal: child lists + parent.
+  std::vector<std::vector<std::uint32_t>> children(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v != root) children[tree.parent[v]].push_back(v);
+  }
+  std::vector<bool> removed(n, false);
+  const auto live_neighbor = [&](std::uint32_t v) -> std::uint32_t {
+    if (v != root && !removed[tree.parent[v]]) return tree.parent[v];
+    for (const std::uint32_t c : children[v]) {
+      if (!removed[c]) return c;
+    }
+    throw common::ConfigError("prufer_encode: leaf with no live neighbour");
+  };
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>> leaves;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (degree[v] == 1) leaves.push(v);
+  }
+  std::vector<std::uint32_t> seq;
+  seq.reserve(n - 2);
+  while (seq.size() < n - 2) {
+    const std::uint32_t leaf = leaves.top();
+    leaves.pop();
+    const std::uint32_t nb = live_neighbor(leaf);
+    seq.push_back(nb);
+    removed[leaf] = true;
+    if (--degree[nb] == 1) leaves.push(nb);
+  }
+  return seq;
+}
+
+LabeledTree prufer_decode(const std::vector<std::uint32_t>& seq) {
+  const std::size_t n = seq.size() + 2;
+  std::vector<std::uint32_t> degree(n, 1);
+  for (const std::uint32_t v : seq) {
+    common::require<common::ConfigError>(v < n, "prufer_decode: id out of range");
+    ++degree[v];
+  }
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>> leaves;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (degree[v] == 1) leaves.push(v);
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n - 1);
+  for (const std::uint32_t v : seq) {
+    const std::uint32_t leaf = leaves.top();
+    leaves.pop();
+    edges.emplace_back(leaf, v);
+    if (--degree[v] == 1) leaves.push(v);
+  }
+  const std::uint32_t a = leaves.top();
+  leaves.pop();
+  const std::uint32_t b = leaves.top();
+  edges.emplace_back(a, b);
+  // Root at `b` (the highest-id survivor, matching the classic statement
+  // that node n-1 is never removed) and orient edges by BFS.
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (const auto& [x, y] : edges) {
+    adj[x].push_back(y);
+    adj[y].push_back(x);
+  }
+  LabeledTree tree;
+  tree.parent.assign(n, UINT32_MAX);
+  tree.label.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) tree.label[v] = v;
+  std::queue<std::uint32_t> bfs;
+  tree.parent[b] = b;
+  bfs.push(b);
+  while (!bfs.empty()) {
+    const std::uint32_t u = bfs.front();
+    bfs.pop();
+    for (const std::uint32_t w : adj[u]) {
+      if (tree.parent[w] == UINT32_MAX) {
+        tree.parent[w] = u;
+        bfs.push(w);
+      }
+    }
+  }
+  return tree;
+}
+
+namespace {
+// Domain tags keep the pivot kinds from colliding in the hashed item space.
+constexpr std::uint64_t kLcaTag = 0x6c6361;   // "lca"
+constexpr std::uint64_t kEdgeTag = 0x656467;  // "edg"
+}  // namespace
+
+ItemSet tree_pivots(const LabeledTree& tree, const PivotConfig& config) {
+  const std::size_t n = tree.size();
+  ItemSet items;
+  if (n == 1) {
+    items.push_back(static_cast<Item>(common::hash_u64(tree.label[0])));
+    return items;
+  }
+  const std::vector<std::uint32_t> depth = node_depths(tree);
+  if (config.edge_pivots) {
+    const std::uint32_t r = tree.root();
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (v == r) continue;
+      const std::uint64_t h = common::hash_combine(
+          kEdgeTag, common::hash_combine(
+                        common::hash_u64(tree.label[tree.parent[v]]),
+                        common::hash_u64(tree.label[v])));
+      items.push_back(static_cast<Item>(h));
+    }
+  }
+  // Leaves in id order (deterministic).
+  std::vector<bool> has_child(n, false);
+  const std::uint32_t root = tree.root();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v != root) has_child[tree.parent[v]] = true;
+  }
+  std::vector<std::uint32_t> leaves;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!has_child[v]) leaves.push_back(v);
+  }
+  if (leaves.size() < 2) leaves.push_back(root);
+  const std::size_t total_pairs = leaves.size() * (leaves.size() - 1) / 2;
+  const std::size_t stride =
+      std::max<std::size_t>(1, total_pairs / std::max<std::size_t>(1, config.max_pairs));
+  std::size_t t = 0;
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < leaves.size() && emitted < config.max_pairs; ++i) {
+    for (std::size_t j = i + 1; j < leaves.size() && emitted < config.max_pairs;
+         ++j) {
+      if (t++ % stride != 0) continue;
+      const std::uint32_t p = leaves[i];
+      const std::uint32_t q = leaves[j];
+      const std::uint32_t a = lca(tree, depth, p, q);
+      // Order the leaf labels so (p, q) and (q, p) hash identically.
+      const std::uint32_t lp = std::min(tree.label[p], tree.label[q]);
+      const std::uint32_t lq = std::max(tree.label[p], tree.label[q]);
+      const std::uint64_t h = common::hash_combine(
+          kLcaTag,
+          common::hash_combine(
+              common::hash_u64(tree.label[a]),
+              common::hash_combine(common::hash_u64(lp),
+                                   common::hash_u64(lq))));
+      items.push_back(static_cast<Item>(h));
+      ++emitted;
+    }
+  }
+  normalize(items);
+  return items;
+}
+
+}  // namespace hetsim::data

@@ -1,0 +1,58 @@
+#include "energy/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hetsim::energy {
+
+GreenEnergyEstimator::GreenEnergyEstimator(std::vector<EnergyTrace> traces)
+    : traces_(std::move(traces)) {
+  common::require<common::ConfigError>(!traces_.empty(),
+                                       "GreenEnergyEstimator: no traces");
+}
+
+GreenEnergyEstimator GreenEnergyEstimator::standard(std::size_t hours) {
+  std::vector<EnergyTrace> traces;
+  for (const LocationSpec& loc : datacenter_locations()) {
+    traces.push_back(EnergyTrace::generate(loc, hours));
+  }
+  return GreenEnergyEstimator(std::move(traces));
+}
+
+const EnergyTrace& GreenEnergyEstimator::trace(std::uint32_t location) const {
+  common::require<common::ConfigError>(location < traces_.size(),
+                                       "GreenEnergyEstimator: bad location");
+  return traces_[location];
+}
+
+double GreenEnergyEstimator::mean_green_watts(const cluster::NodeSpec& node,
+                                              double t0, double window_s) const {
+  return trace(node.location).mean_watts(t0, window_s);
+}
+
+double GreenEnergyEstimator::dirty_rate(const cluster::NodeSpec& node, double t0,
+                                        double window_s) const {
+  return node.power_watts - mean_green_watts(node, t0, window_s);
+}
+
+double GreenEnergyEstimator::dirty_energy_joules(const cluster::NodeSpec& node,
+                                                 double t0,
+                                                 double duration) const {
+  const EnergyTrace& tr = trace(node.location);
+  double joules = 0.0;
+  double t = t0;
+  double remaining = duration;
+  while (remaining > 0.0) {
+    const double hour_start = std::floor(t / 3600.0) * 3600.0;
+    const double dt = std::min(remaining, hour_start + 3600.0 - t);
+    const double deficit = std::max(0.0, node.power_watts - tr.green_watts(t));
+    joules += deficit * dt;
+    t += dt;
+    remaining -= dt;
+  }
+  return joules;
+}
+
+}  // namespace hetsim::energy

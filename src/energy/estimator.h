@@ -1,0 +1,51 @@
+// Green-energy estimator (paper component II).
+//
+// Binds location traces to cluster nodes and produces the quantities the
+// Pareto model needs:
+//   * the mean green power GE_bar_i over the anticipated execution window
+//     (the linearization that turns the energy objective into
+//     k_i * f_i(x_i) with k_i = E_i - GE_bar_i), and
+//   * exact dirty-energy accounting for reporting, integrating
+//     max(0, E_i - GE_i(t)) over the actual execution interval — surplus
+//     green power in one hour cannot offset deficit in another.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.h"
+#include "energy/solar.h"
+
+namespace hetsim::energy {
+
+class GreenEnergyEstimator {
+ public:
+  /// `traces[l]` is the green trace of location l; nodes reference
+  /// locations via NodeSpec::location.
+  explicit GreenEnergyEstimator(std::vector<EnergyTrace> traces);
+
+  /// Convenience: generate traces for the standard datacenter locations.
+  static GreenEnergyEstimator standard(std::size_t hours = 72);
+
+  [[nodiscard]] std::size_t locations() const noexcept { return traces_.size(); }
+  [[nodiscard]] const EnergyTrace& trace(std::uint32_t location) const;
+
+  /// Forecast mean green watts for a node over [t0, t0 + window).
+  [[nodiscard]] double mean_green_watts(const cluster::NodeSpec& node, double t0,
+                                        double window_s) const;
+
+  /// The node-specific dirty-rate constant k_i = E_i - GE_bar_i (watts).
+  /// May be negative when forecast green supply exceeds node draw.
+  [[nodiscard]] double dirty_rate(const cluster::NodeSpec& node, double t0,
+                                  double window_s) const;
+
+  /// Exact dirty energy (joules) of a node busy during [t0, t0+duration):
+  /// integral of max(0, E_i - GE_i(t)) dt, stepped at hour boundaries.
+  [[nodiscard]] double dirty_energy_joules(const cluster::NodeSpec& node,
+                                           double t0, double duration) const;
+
+ private:
+  std::vector<EnergyTrace> traces_;
+};
+
+}  // namespace hetsim::energy

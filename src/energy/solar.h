@@ -1,0 +1,78 @@
+// Renewable (solar) energy trace simulator.
+//
+// Stand-in for NREL's PVWATTS (paper section III-B): the paper feeds the
+// simulator a panel spec + location and gets hourly renewable production
+// from weather models. We generate traces with the same structure using
+// the Goiri/GreenSlot decomposition the paper cites:
+//
+//     GE(t) = p(w(t)) * B(t)
+//
+// where B(t) is the clear-sky ("ideal sunny") production, w(t) in [0,1]
+// is cloud cover, and p is an attenuation factor. B(t) is a half-sine
+// diurnal curve scaled by the panel's peak watts; w(t) is an AR(1)
+// process per location (deterministic seed); p(w) = 1 - 0.75 w^3 is the
+// Kasten-Czeplak global-radiation attenuation.
+//
+// Four location presets mirror the paper's "four Google datacenter
+// locations" with distinct insolation and cloudiness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetsim::energy {
+
+struct LocationSpec {
+  std::string name;
+  /// Peak clear-sky production of the node's panel share, watts.
+  double panel_watts_peak = 300.0;
+  /// Long-run mean cloud cover in [0,1].
+  double mean_cloud_cover = 0.4;
+  /// AR(1) innovation scale of the cloud process.
+  double cloud_volatility = 0.15;
+  /// AR(1) persistence in [0,1).
+  double cloud_persistence = 0.8;
+  /// Local sunrise/sunset hours of the diurnal curve.
+  double sunrise_hour = 6.0;
+  double sunset_hour = 18.0;
+  /// Seed for the deterministic cloud process.
+  std::uint64_t seed = 1;
+};
+
+/// Kasten-Czeplak attenuation of global radiation under cloud cover w.
+[[nodiscard]] double cloud_attenuation(double cloud_cover) noexcept;
+
+/// Clear-sky production B(t) at hour-of-day `hour` in [0,24).
+[[nodiscard]] double clear_sky_watts(const LocationSpec& loc, double hour) noexcept;
+
+/// The four datacenter location presets used by the standard cluster.
+/// Index corresponds to NodeSpec::location.
+[[nodiscard]] std::vector<LocationSpec> datacenter_locations();
+
+/// An hourly green-power trace for one location.
+class EnergyTrace {
+ public:
+  /// Simulate `hours` hourly samples starting at local midnight.
+  static EnergyTrace generate(const LocationSpec& loc, std::size_t hours);
+
+  [[nodiscard]] std::size_t hours() const noexcept { return watts_.size(); }
+  /// Green power available at absolute simulated time `t_seconds`
+  /// (piecewise-constant per hour; wraps around the trace length so long
+  /// jobs keep getting day/night cycles).
+  [[nodiscard]] double green_watts(double t_seconds) const;
+  /// Integral of green power over [t0, t0+duration) seconds, joules.
+  [[nodiscard]] double green_energy_joules(double t0, double duration) const;
+  /// Mean green power over [t0, t0+duration) seconds, watts.
+  [[nodiscard]] double mean_watts(double t0, double duration) const;
+
+  [[nodiscard]] const std::vector<double>& hourly_watts() const noexcept {
+    return watts_;
+  }
+
+ private:
+  explicit EnergyTrace(std::vector<double> watts) : watts_(std::move(watts)) {}
+  std::vector<double> watts_;
+};
+
+}  // namespace hetsim::energy

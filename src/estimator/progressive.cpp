@@ -1,0 +1,116 @@
+#include "estimator/progressive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "stratify/sampler.h"
+
+namespace hetsim::estimator {
+
+std::vector<NodeTimeModel> estimate_time_models(
+    cluster::Cluster& cluster, const stratify::Stratification& strat,
+    const SampleRunner& runner, const SampleSpec& spec) {
+  common::require<common::ConfigError>(
+      spec.steps >= 2 && spec.min_fraction > 0 &&
+          spec.max_fraction >= spec.min_fraction && spec.max_fraction <= 1.0,
+      "estimate_time_models: invalid sample spec");
+  common::require<common::ConfigError>(static_cast<bool>(runner),
+                                       "estimate_time_models: null runner");
+  const std::size_t n = strat.assignment.size();
+  common::require<common::ConfigError>(n > 0,
+                                       "estimate_time_models: empty dataset");
+
+  std::vector<NodeTimeModel> models(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    models[i].node_id = static_cast<std::uint32_t>(i);
+  }
+
+  common::Rng rng(spec.seed);
+  // Geometric spacing between min and max fraction.
+  const double ratio =
+      std::pow(spec.max_fraction / spec.min_fraction,
+               1.0 / static_cast<double>(spec.steps - 1));
+  double fraction = spec.min_fraction;
+  std::size_t previous = 0;
+  for (std::uint32_t step = 0; step < spec.steps; ++step, fraction *= ratio) {
+    auto want = static_cast<std::size_t>(
+        std::max(1.0, std::round(fraction * static_cast<double>(n))));
+    want = std::max(want, spec.min_records);
+    // Keep sizes strictly increasing so the regression never degenerates
+    // to a vertical stack of identical x values.
+    want = std::max(want, previous + 1);
+    want = std::min(want, n);
+    previous = want;
+    const std::vector<std::uint32_t> sample =
+        stratify::stratified_sample(strat, want, rng);
+    std::vector<cluster::NodeTask> tasks;
+    tasks.reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      tasks.push_back([&runner, &sample](cluster::NodeContext& ctx) {
+        runner(ctx, sample);
+      });
+    }
+    const cluster::PhaseReport report =
+        cluster.run_phase("progressive-sample-" + std::to_string(step), tasks);
+    for (const auto& r : report.per_node) {
+      models[r.node_id].sample_sizes.push_back(
+          static_cast<double>(sample.size()));
+      models[r.node_id].times_s.push_back(r.total_time_s());
+    }
+  }
+
+  for (auto& m : models) {
+    m.fit = common::fit_linear(m.sample_sizes, m.times_s);
+    // Guard against tiny negative intercepts from noise: a negative c_i
+    // would let the LP predict negative runtimes for small partitions.
+    if (m.fit.intercept < 0.0) m.fit.intercept = 0.0;
+    // Support-fraction algorithms can be non-monotone at very small
+    // samples (a lower absolute threshold admits more candidates), which
+    // can flip the fitted slope negative. The LP needs m_i > 0, so fall
+    // back to the through-origin least-squares rate, which is always
+    // positive for nonzero measurements.
+    if (m.fit.slope <= 0.0) {
+      double sxy = 0.0, sxx = 0.0;
+      for (std::size_t k = 0; k < m.sample_sizes.size(); ++k) {
+        sxy += m.sample_sizes[k] * m.times_s[k];
+        sxx += m.sample_sizes[k] * m.sample_sizes[k];
+      }
+      m.fit.slope = sxx > 0.0 ? sxy / sxx : 0.0;
+      m.fit.intercept = 0.0;
+      m.fit.r2 = 0.0;
+    }
+    // A workload that did no measurable work at any size still needs a
+    // valid (if meaningless) positive rate for the optimizer.
+    if (m.fit.slope <= 0.0) m.fit.slope = 1e-12;
+  }
+  return models;
+}
+
+double loo_relative_error(const NodeTimeModel& model) {
+  const std::size_t n = model.sample_sizes.size();
+  common::require<common::ConfigError>(
+      n >= 3 && model.times_s.size() == n,
+      "loo_relative_error: need >= 3 sample points");
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t hold = 0; hold < n; ++hold) {
+    std::vector<double> xs, ys;
+    xs.reserve(n - 1);
+    ys.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == hold) continue;
+      xs.push_back(model.sample_sizes[i]);
+      ys.push_back(model.times_s[i]);
+    }
+    const common::LinearFit fit = common::fit_linear(xs, ys);
+    const double truth = model.times_s[hold];
+    if (truth <= 0.0) continue;  // zero-work sample cannot be scored
+    total += std::abs(fit(model.sample_sizes[hold]) - truth) / truth;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace hetsim::estimator

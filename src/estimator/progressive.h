@@ -1,0 +1,73 @@
+// Task-specific heterogeneity estimator (paper component I).
+//
+// Learns the per-node execution-time utility f_i(x) = m_i·x + c_i by
+// progressive sampling: stratified samples of increasing size (0.05% to
+// 2% of the data by default) are run through the *actual* algorithm on
+// every node, the simulated times are recorded, and a linear regression
+// is fit per node. Because the samples are stratified they are
+// representative of the final partition payloads, so the learned slope
+// reflects the data distribution, not just record count — the property
+// section III-A argues a static CPU-speed model cannot capture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "stratify/kmodes.h"
+
+namespace hetsim::estimator {
+
+struct SampleSpec {
+  /// Smallest / largest sample as a fraction of the dataset.
+  double min_fraction = 0.0005;
+  double max_fraction = 0.02;
+  /// Number of progressively larger samples (geometric spacing).
+  std::uint32_t steps = 5;
+  /// Floor on the absolute sample size. The paper's corpora have 50k+
+  /// records, where 0.05% is already dozens of records; on small inputs
+  /// an unfloored fraction yields single-record samples on which
+  /// support-fraction algorithms behave degenerately.
+  std::size_t min_records = 20;
+  std::uint64_t seed = 29;
+};
+
+/// Learned execution-time model of one node.
+struct NodeTimeModel {
+  std::uint32_t node_id = 0;
+  /// seconds as a function of record count.
+  common::LinearFit fit;
+  std::vector<double> sample_sizes;  // x: records per run
+  std::vector<double> times_s;       // y: simulated seconds per run
+  [[nodiscard]] double predict_seconds(double records) const noexcept {
+    return fit(records);
+  }
+};
+
+/// Runs the target algorithm on the given records, metering its work via
+/// ctx.meter() (and any kvstore traffic through ctx clients).
+using SampleRunner =
+    std::function<void(cluster::NodeContext&, std::span<const std::uint32_t>)>;
+
+/// Drive progressive sampling over `cluster`. Every node runs every
+/// sample (one phase per sample size); returns one fitted model per node,
+/// indexed by node id. Advances the cluster clock by the estimation cost
+/// (the paper treats this as an amortized one-time cost; callers can
+/// snapshot Cluster::now() around the call to report it separately).
+[[nodiscard]] std::vector<NodeTimeModel> estimate_time_models(
+    cluster::Cluster& cluster, const stratify::Stratification& strat,
+    const SampleRunner& runner, const SampleSpec& spec = {});
+
+/// Leave-one-out cross-validation of a fitted model: for each measured
+/// (size, time) pair, refit on the remaining pairs and record the
+/// relative absolute error of the refit's prediction at the held-out
+/// size. Returns the mean relative error (0 = perfectly linear profile);
+/// a large value signals the sampling budget is too small or the
+/// workload is far from linear in the sampled range. Requires >= 3
+/// sample points.
+[[nodiscard]] double loo_relative_error(const NodeTimeModel& model);
+
+}  // namespace hetsim::estimator

@@ -1,0 +1,28 @@
+#include "kvstore/barrier.h"
+
+#include <thread>
+
+#include "common/error.h"
+
+namespace hetsim::kvstore {
+
+Barrier::Barrier(Store& store, std::string name, std::uint32_t parties)
+    : store_(store), key_("barrier:" + std::move(name)), parties_(parties) {
+  common::require<common::ConfigError>(parties >= 1,
+                                       "Barrier: parties must be >= 1");
+}
+
+std::uint64_t Barrier::arrive_and_wait() {
+  const std::int64_t ticket = store_.incrby(key_, 1);
+  // End of this ticket's epoch: smallest multiple of parties >= ticket.
+  const std::int64_t target =
+      ((ticket + parties_ - 1) / parties_) * static_cast<std::int64_t>(parties_);
+  std::uint64_t polls = 0;
+  while (store_.counter(key_) < target) {
+    ++polls;
+    std::this_thread::yield();
+  }
+  return polls;
+}
+
+}  // namespace hetsim::kvstore

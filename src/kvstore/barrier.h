@@ -1,0 +1,38 @@
+// Global barrier built on the store's atomic fetch-and-increment, the
+// same construction the paper uses over Redis INCR (section IV). The
+// framework phases (pivot extraction -> sketching -> clustering ->
+// partitioning) are separated by this barrier.
+//
+// Ticket algorithm: each arrival takes a ticket from an INCR counter; a
+// party waits until the counter reaches the end of its own epoch
+// (ceil(ticket / parties) * parties). The barrier is reusable across any
+// number of epochs without resetting state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kvstore/store.h"
+
+namespace hetsim::kvstore {
+
+class Barrier {
+ public:
+  /// `parties` threads must arrive to release an epoch; `name` keys the
+  /// counter inside `store`.
+  Barrier(Store& store, std::string name, std::uint32_t parties);
+
+  /// Blocks (spins with yield) until all parties of this epoch arrived.
+  /// Returns the number of polls performed (useful for cost accounting in
+  /// the simulator: each poll is one round trip).
+  std::uint64_t arrive_and_wait();
+
+  [[nodiscard]] std::uint32_t parties() const noexcept { return parties_; }
+
+ private:
+  Store& store_;
+  std::string key_;
+  std::uint32_t parties_;
+};
+
+}  // namespace hetsim::kvstore

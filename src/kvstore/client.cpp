@@ -1,0 +1,161 @@
+#include "kvstore/client.h"
+
+#include "common/error.h"
+#include "kvstore/resp.h"
+
+namespace hetsim::kvstore {
+
+Client::Client(net::Fabric& fabric, net::HostId self, net::HostId target,
+               Store& store, std::size_t pipeline_width)
+    : fabric_(fabric),
+      self_(self),
+      target_(target),
+      store_(store),
+      pipeline_width_(pipeline_width) {
+  common::require<common::ConfigError>(pipeline_width >= 1,
+                                       "Client: pipeline width must be >= 1");
+}
+
+std::size_t Client::request_bytes(const Command& cmd) {
+  // Exact RESP2 wire size (what hiredis would put on the socket).
+  return resp::command_wire_size(cmd);
+}
+
+std::size_t Client::response_bytes(const Command& cmd, const Reply& reply) {
+  return resp::reply_wire_size(cmd.type, reply);
+}
+
+Reply apply_command(Store& store, const Command& cmd) {
+  Reply r;
+  switch (cmd.type) {
+    case CommandType::kSet:
+      store.set(cmd.key, cmd.value);
+      r.ok = true;
+      break;
+    case CommandType::kGet: {
+      auto v = store.get(cmd.key);
+      r.ok = v.has_value();
+      if (v) r.blob = std::move(*v);
+      break;
+    }
+    case CommandType::kDel:
+      r.ok = store.del(cmd.key);
+      break;
+    case CommandType::kExists:
+      r.ok = store.exists(cmd.key);
+      break;
+    case CommandType::kRPush:
+      r.integer = static_cast<std::int64_t>(store.rpush(cmd.key, cmd.value));
+      r.ok = true;
+      break;
+    case CommandType::kLRange:
+      r.list = store.lrange(cmd.key, cmd.arg0, cmd.arg1);
+      r.ok = true;
+      break;
+    case CommandType::kLLen:
+      r.integer = static_cast<std::int64_t>(store.llen(cmd.key));
+      r.ok = true;
+      break;
+    case CommandType::kLIndex: {
+      auto v = store.lindex(cmd.key, cmd.arg0);
+      r.ok = v.has_value();
+      if (v) r.blob = std::move(*v);
+      break;
+    }
+    case CommandType::kIncrBy:
+      r.integer = store.incrby(cmd.key, cmd.arg0);
+      r.ok = true;
+      break;
+    case CommandType::kCounter:
+      r.integer = store.counter(cmd.key);
+      r.ok = true;
+      break;
+  }
+  return r;
+}
+
+Reply Client::apply(const Command& cmd) { return apply_command(store_, cmd); }
+
+Reply Client::execute(const Command& cmd) {
+  Reply reply = apply(cmd);
+  const std::size_t req = request_bytes(cmd);
+  const std::size_t rsp = response_bytes(cmd, reply);
+  sim_time_ += fabric_.exchange_cost(self_, target_, req, rsp);
+  fabric_.record(self_, target_, /*requests=*/1, /*round_trips=*/1, req + rsp);
+  return reply;
+}
+
+void Client::set(std::string_view key, std::string_view value) {
+  execute({.type = CommandType::kSet,
+           .key = std::string(key),
+           .value = std::string(value)});
+}
+
+std::optional<std::string> Client::get(std::string_view key) {
+  Reply r = execute({.type = CommandType::kGet, .key = std::string(key)});
+  if (!r.ok) return std::nullopt;
+  return std::move(r.blob);
+}
+
+std::size_t Client::rpush(std::string_view key, std::string_view element) {
+  Reply r = execute({.type = CommandType::kRPush,
+                     .key = std::string(key),
+                     .value = std::string(element)});
+  return static_cast<std::size_t>(r.integer);
+}
+
+std::vector<std::string> Client::lrange(std::string_view key, std::int64_t start,
+                                        std::int64_t stop) {
+  Reply r = execute({.type = CommandType::kLRange,
+                     .key = std::string(key),
+                     .arg0 = start,
+                     .arg1 = stop});
+  return std::move(r.list);
+}
+
+std::size_t Client::llen(std::string_view key) {
+  Reply r = execute({.type = CommandType::kLLen, .key = std::string(key)});
+  return static_cast<std::size_t>(r.integer);
+}
+
+std::int64_t Client::incrby(std::string_view key, std::int64_t delta) {
+  Reply r = execute(
+      {.type = CommandType::kIncrBy, .key = std::string(key), .arg0 = delta});
+  return r.integer;
+}
+
+std::int64_t Client::counter(std::string_view key) {
+  Reply r = execute({.type = CommandType::kCounter, .key = std::string(key)});
+  return r.integer;
+}
+
+void Client::enqueue(Command cmd) {
+  queue_.push_back(std::move(cmd));
+  if (queue_.size() >= pipeline_width_) flush_queue();
+}
+
+void Client::flush_queue() {
+  if (queue_.empty()) return;
+  std::vector<std::size_t> payloads;
+  payloads.reserve(queue_.size());
+  std::size_t bytes = 0;
+  for (const Command& cmd : queue_) {
+    Reply reply = apply(cmd);
+    const std::size_t p = request_bytes(cmd) + response_bytes(cmd, reply);
+    payloads.push_back(p);
+    bytes += p;
+    pending_replies_.push_back(std::move(reply));
+  }
+  sim_time_ += fabric_.pipelined_cost(self_, target_, payloads);
+  fabric_.record(self_, target_, queue_.size(), /*round_trips=*/1, bytes);
+  queue_.clear();
+}
+
+std::vector<Reply> Client::drain() {
+  flush_queue();
+  std::vector<Reply> out = std::move(pending_replies_);
+  pending_replies_.clear();
+  return out;
+}
+
+}  // namespace hetsim::kvstore

@@ -1,0 +1,106 @@
+// Pipelined client to a (possibly remote) Store, charging simulated
+// network time through net::Fabric.
+//
+// Mirrors the hiredis usage pattern in the paper: a client either issues
+// a command immediately (one round trip) or appends it to a pipeline that
+// is flushed when it reaches the configured width — one round trip for
+// the whole batch (section IV: "requests are batched up to the preset
+// pipeline width and then sent out").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kvstore/store.h"
+#include "net/fabric.h"
+
+namespace hetsim::kvstore {
+
+enum class CommandType : std::uint8_t {
+  kSet,
+  kGet,
+  kDel,
+  kExists,
+  kRPush,
+  kLRange,
+  kLLen,
+  kLIndex,
+  kIncrBy,
+  kCounter,
+};
+
+struct Command {
+  CommandType type{};
+  std::string key;
+  std::string value;       // kSet / kRPush payload
+  std::int64_t arg0 = 0;   // kLRange start, kLIndex index, kIncrBy delta
+  std::int64_t arg1 = 0;   // kLRange stop
+};
+
+struct Reply {
+  bool ok = false;                 // key found / operation applied
+  std::string blob;                // kGet / kLIndex
+  std::vector<std::string> list;   // kLRange
+  std::int64_t integer = 0;        // kIncrBy / kCounter / kLLen / kRPush
+};
+
+/// Execute a command against a store, producing its reply. Shared by the
+/// simulated Client and the RESP server dispatch.
+[[nodiscard]] Reply apply_command(Store& store, const Command& cmd);
+
+/// A connection from host `self` to the store hosted on `target`.
+class Client {
+ public:
+  /// `pipeline_width` caps the number of queued commands before an
+  /// automatic flush (must be >= 1).
+  Client(net::Fabric& fabric, net::HostId self, net::HostId target,
+         Store& store, std::size_t pipeline_width = 64);
+
+  // ---- immediate (one round trip each) -------------------------------
+  Reply execute(const Command& cmd);
+
+  void set(std::string_view key, std::string_view value);
+  [[nodiscard]] std::optional<std::string> get(std::string_view key);
+  std::size_t rpush(std::string_view key, std::string_view element);
+  [[nodiscard]] std::vector<std::string> lrange(std::string_view key,
+                                                std::int64_t start,
+                                                std::int64_t stop);
+  [[nodiscard]] std::size_t llen(std::string_view key);
+  std::int64_t incrby(std::string_view key, std::int64_t delta);
+  [[nodiscard]] std::int64_t counter(std::string_view key);
+
+  // ---- pipelined ------------------------------------------------------
+  /// Queue a command; auto-flushes when the pipeline is full. Replies for
+  /// auto-flushed commands are appended to the pending reply buffer.
+  void enqueue(Command cmd);
+  /// Flush the queue; returns replies for ALL commands enqueued since the
+  /// last drain (including auto-flushed ones), in order.
+  std::vector<Reply> drain();
+
+  /// Simulated seconds consumed by this client's traffic so far.
+  [[nodiscard]] double consumed_time() const noexcept { return sim_time_; }
+  void reset_time() noexcept { sim_time_ = 0.0; }
+
+  [[nodiscard]] net::HostId self() const noexcept { return self_; }
+  [[nodiscard]] net::HostId target() const noexcept { return target_; }
+
+ private:
+  Reply apply(const Command& cmd);
+  [[nodiscard]] static std::size_t request_bytes(const Command& cmd);
+  [[nodiscard]] static std::size_t response_bytes(const Command& cmd,
+                                                  const Reply& reply);
+  void flush_queue();
+
+  net::Fabric& fabric_;
+  net::HostId self_;
+  net::HostId target_;
+  Store& store_;
+  std::size_t pipeline_width_;
+  std::vector<Command> queue_;
+  std::vector<Reply> pending_replies_;
+  double sim_time_ = 0.0;
+};
+
+}  // namespace hetsim::kvstore

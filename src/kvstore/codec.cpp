@@ -1,0 +1,119 @@
+#include "kvstore/codec.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace hetsim::kvstore {
+
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(buf, 4);
+}
+
+std::uint32_t read_u32(std::string_view in, std::size_t at) {
+  common::require<common::StoreError>(at + 4 <= in.size(),
+                                      "codec: truncated length prefix");
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+}  // namespace
+
+std::string frame_record(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string pack_records(std::span<const std::string> records) {
+  std::size_t total = 0;
+  for (const auto& r : records) total += r.size() + 4;
+  std::string out;
+  out.reserve(total);
+  for (const auto& r : records) {
+    append_u32(out, static_cast<std::uint32_t>(r.size()));
+    out.append(r);
+  }
+  return out;
+}
+
+std::vector<std::string> unpack_records(std::string_view blob) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at < blob.size()) {
+    const std::uint32_t len = read_u32(blob, at);
+    at += 4;
+    common::require<common::StoreError>(at + len <= blob.size(),
+                                        "codec: truncated record body");
+    out.emplace_back(blob.substr(at, len));
+    at += len;
+  }
+  return out;
+}
+
+std::size_t count_records(std::string_view blob) {
+  std::size_t n = 0;
+  std::size_t at = 0;
+  while (at < blob.size()) {
+    const std::uint32_t len = read_u32(blob, at);
+    at += 4 + len;
+    common::require<common::StoreError>(at <= blob.size(),
+                                        "codec: truncated record body");
+    ++n;
+  }
+  return n;
+}
+
+std::string encode_u32s(std::span<const std::uint32_t> values) {
+  std::string out;
+  out.reserve(values.size() * 4);
+  for (const std::uint32_t v : values) append_u32(out, v);
+  return out;
+}
+
+std::vector<std::uint32_t> decode_u32s(std::string_view payload) {
+  common::require<common::StoreError>(payload.size() % 4 == 0,
+                                      "codec: u32 payload not a multiple of 4");
+  std::vector<std::uint32_t> out;
+  out.reserve(payload.size() / 4);
+  for (std::size_t at = 0; at < payload.size(); at += 4) {
+    out.push_back(read_u32(payload, at));
+  }
+  return out;
+}
+
+std::string encode_u64s(std::span<const std::uint64_t> values) {
+  std::string out;
+  out.reserve(values.size() * 8);
+  for (const std::uint64_t v : values) {
+    append_u32(out, static_cast<std::uint32_t>(v & 0xffffffffULL));
+    append_u32(out, static_cast<std::uint32_t>(v >> 32));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> decode_u64s(std::string_view payload) {
+  common::require<common::StoreError>(payload.size() % 8 == 0,
+                                      "codec: u64 payload not a multiple of 8");
+  std::vector<std::uint64_t> out;
+  out.reserve(payload.size() / 8);
+  for (std::size_t at = 0; at < payload.size(); at += 8) {
+    const std::uint64_t lo = read_u32(payload, at);
+    const std::uint64_t hi = read_u32(payload, at + 4);
+    out.push_back(lo | (hi << 32));
+  }
+  return out;
+}
+
+}  // namespace hetsim::kvstore

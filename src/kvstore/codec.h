@@ -1,0 +1,41 @@
+// Length-prefixed packed record codec.
+//
+// Section IV of the paper: "Instead of storing the individual attribute
+// values of a data item, we store the item as a sequence of raw bytes and
+// we maintain a list of such sequences ... The first four bytes in the
+// sequence contain the length of the data object." This codec implements
+// exactly that framing, so a whole partition moves in one get/put while
+// individual records stay addressable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetsim::kvstore {
+
+/// Serialize one record: 4-byte little-endian length prefix + payload.
+[[nodiscard]] std::string frame_record(std::string_view payload);
+
+/// Concatenate framed records into one blob.
+[[nodiscard]] std::string pack_records(std::span<const std::string> records);
+
+/// Split a blob of framed records back into payloads. Throws StoreError on
+/// truncated input.
+[[nodiscard]] std::vector<std::string> unpack_records(std::string_view blob);
+
+/// Number of framed records in a blob without materializing them.
+[[nodiscard]] std::size_t count_records(std::string_view blob);
+
+// ---- integer vector helpers (used for pivot/item sets) -----------------
+
+/// Pack a sorted set of u32 item ids as a record payload.
+[[nodiscard]] std::string encode_u32s(std::span<const std::uint32_t> values);
+[[nodiscard]] std::vector<std::uint32_t> decode_u32s(std::string_view payload);
+
+[[nodiscard]] std::string encode_u64s(std::span<const std::uint64_t> values);
+[[nodiscard]] std::vector<std::uint64_t> decode_u64s(std::string_view payload);
+
+}  // namespace hetsim::kvstore

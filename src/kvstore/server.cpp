@@ -1,0 +1,38 @@
+#include "kvstore/server.h"
+
+#include "common/error.h"
+#include "kvstore/client.h"
+#include "kvstore/resp.h"
+
+namespace hetsim::kvstore {
+
+std::string RespServer::handle(std::string_view wire_command) {
+  try {
+    const Command cmd = resp::decode_command(wire_command);
+    const Reply reply = apply_command(store_, cmd);
+    ++commands_served_;
+    return resp::encode_reply(cmd.type, reply);
+  } catch (const common::StoreError& e) {
+    return resp::encode(resp::Value::error(std::string("ERR ") + e.what()));
+  }
+}
+
+std::string RespServer::handle_pipeline(std::string_view wire_commands) {
+  std::string out;
+  std::size_t offset = 0;
+  while (offset < wire_commands.size()) {
+    // Decode one command value to find its extent, then dispatch it.
+    std::size_t end = offset;
+    try {
+      (void)resp::decode(wire_commands, end);
+    } catch (const common::StoreError& e) {
+      out += resp::encode(resp::Value::error(std::string("ERR ") + e.what()));
+      break;  // cannot resynchronize a corrupt stream
+    }
+    out += handle(wire_commands.substr(offset, end - offset));
+    offset = end;
+  }
+  return out;
+}
+
+}  // namespace hetsim::kvstore

@@ -1,0 +1,39 @@
+// RESP command dispatch: a socket-less Redis-compatible server loop.
+//
+// Completes the wire-protocol story: decode a RESP command buffer (as a
+// real client would send), execute it against a Store, and encode the
+// RESP reply Redis would produce. A transport (socket, in-process queue)
+// only has to shuttle the byte buffers. Malformed or unknown commands
+// produce RESP errors ("-ERR ...") rather than exceptions, matching
+// server semantics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "kvstore/store.h"
+
+namespace hetsim::kvstore {
+
+class RespServer {
+ public:
+  explicit RespServer(Store& store) : store_(store) {}
+
+  /// Handle one RESP command array; returns the RESP-encoded reply
+  /// (never throws — protocol errors become "-ERR ..." replies).
+  [[nodiscard]] std::string handle(std::string_view wire_command);
+
+  /// Handle a pipelined buffer of back-to-back commands; returns the
+  /// concatenated replies in order.
+  [[nodiscard]] std::string handle_pipeline(std::string_view wire_commands);
+
+  [[nodiscard]] std::uint64_t commands_served() const noexcept {
+    return commands_served_;
+  }
+
+ private:
+  Store& store_;
+  std::uint64_t commands_served_ = 0;
+};
+
+}  // namespace hetsim::kvstore

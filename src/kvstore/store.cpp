@@ -1,0 +1,150 @@
+#include "kvstore/store.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hetsim::kvstore {
+namespace {
+
+using common::StoreError;
+
+/// Clamp Redis-style [start, stop] (inclusive, negatives from end) to a
+/// concrete [begin, end) range over a list of size n.
+std::pair<std::size_t, std::size_t> clamp_range(std::size_t n,
+                                                std::int64_t start,
+                                                std::int64_t stop) {
+  const auto sn = static_cast<std::int64_t>(n);
+  if (start < 0) start = std::max<std::int64_t>(0, sn + start);
+  if (stop < 0) stop = sn + stop;
+  stop = std::min(stop, sn - 1);
+  if (start > stop || start >= sn) return {0, 0};
+  return {static_cast<std::size_t>(start), static_cast<std::size_t>(stop) + 1};
+}
+
+}  // namespace
+
+void Store::set(std::string_view key, std::string_view value) {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  data_.insert_or_assign(std::string(key), std::string(value));
+}
+
+std::optional<std::string> Store::get(std::string_view key) const {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  const auto* s = std::get_if<std::string>(&it->second);
+  common::require<StoreError>(s != nullptr, "GET on non-string key");
+  return *s;
+}
+
+std::size_t Store::rpush(std::string_view key, std::string_view element) {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  auto [it, inserted] = data_.try_emplace(std::string(key),
+                                          std::vector<std::string>{});
+  auto* list = std::get_if<std::vector<std::string>>(&it->second);
+  common::require<StoreError>(list != nullptr, "RPUSH on non-list key");
+  list->emplace_back(element);
+  return list->size();
+}
+
+std::vector<std::string> Store::lrange(std::string_view key, std::int64_t start,
+                                       std::int64_t stop) const {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return {};
+  const auto* list = std::get_if<std::vector<std::string>>(&it->second);
+  common::require<StoreError>(list != nullptr, "LRANGE on non-list key");
+  const auto [b, e] = clamp_range(list->size(), start, stop);
+  return {list->begin() + static_cast<std::ptrdiff_t>(b),
+          list->begin() + static_cast<std::ptrdiff_t>(e)};
+}
+
+std::size_t Store::llen(std::string_view key) const {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return 0;
+  const auto* list = std::get_if<std::vector<std::string>>(&it->second);
+  common::require<StoreError>(list != nullptr, "LLEN on non-list key");
+  return list->size();
+}
+
+std::optional<std::string> Store::lindex(std::string_view key,
+                                         std::int64_t index) const {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  const auto* list = std::get_if<std::vector<std::string>>(&it->second);
+  common::require<StoreError>(list != nullptr, "LINDEX on non-list key");
+  std::int64_t i = index;
+  if (i < 0) i += static_cast<std::int64_t>(list->size());
+  if (i < 0 || i >= static_cast<std::int64_t>(list->size())) return std::nullopt;
+  return (*list)[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Store::incrby(std::string_view key, std::int64_t delta) {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  auto [it, inserted] = data_.try_emplace(std::string(key), std::int64_t{0});
+  auto* counter = std::get_if<std::int64_t>(&it->second);
+  common::require<StoreError>(counter != nullptr, "INCRBY on non-counter key");
+  *counter += delta;
+  return *counter;
+}
+
+std::int64_t Store::counter(std::string_view key) const {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return 0;
+  const auto* counter = std::get_if<std::int64_t>(&it->second);
+  common::require<StoreError>(counter != nullptr, "counter read on non-counter key");
+  return *counter;
+}
+
+bool Store::exists(std::string_view key) const {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  return data_.find(key) != data_.end();
+}
+
+bool Store::del(std::string_view key) {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  data_.erase(it);
+  return true;
+}
+
+void Store::flush_all() {
+  std::lock_guard lock(mu_);
+  ++ops_;
+  data_.clear();
+}
+
+StoreStats Store::stats() const {
+  std::lock_guard lock(mu_);
+  StoreStats s;
+  s.keys = data_.size();
+  s.ops = ops_;
+  for (const auto& [key, value] : data_) {
+    s.bytes += key.size();
+    if (const auto* str = std::get_if<std::string>(&value)) {
+      s.bytes += str->size();
+    } else if (const auto* list = std::get_if<std::vector<std::string>>(&value)) {
+      for (const auto& e : *list) s.bytes += e.size();
+    } else {
+      s.bytes += sizeof(std::int64_t);
+    }
+  }
+  return s;
+}
+
+}  // namespace hetsim::kvstore

@@ -1,0 +1,73 @@
+// In-memory key-value store modelled on the subset of Redis the paper's
+// middleware uses (section IV): string blobs, lists of blobs, and an
+// atomic counter supporting fetch-and-increment (their barrier primitive).
+//
+// One Store instance plays the role of one Redis server process. It is
+// thread-safe (coarse mutex — the simulated workloads batch access, so a
+// finer scheme buys nothing) and completely deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hetsim::kvstore {
+
+/// Store statistics, for tests and capacity accounting.
+struct StoreStats {
+  std::uint64_t keys = 0;
+  std::uint64_t bytes = 0;  // payload bytes across all values
+  std::uint64_t ops = 0;    // operations served since construction
+};
+
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // ---- string values -------------------------------------------------
+  void set(std::string_view key, std::string_view value);
+  /// nullopt if the key is absent. Throws StoreError on type mismatch.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  // ---- list values ---------------------------------------------------
+  /// Appends to the list at `key` (creates it), returns new length.
+  std::size_t rpush(std::string_view key, std::string_view element);
+  /// Elements in [start, stop] inclusive, Redis-style; negative indices
+  /// count from the end (-1 is the last element). Empty if out of range.
+  [[nodiscard]] std::vector<std::string> lrange(std::string_view key,
+                                                std::int64_t start,
+                                                std::int64_t stop) const;
+  [[nodiscard]] std::size_t llen(std::string_view key) const;
+  /// nullopt when index is out of range or key absent.
+  [[nodiscard]] std::optional<std::string> lindex(std::string_view key,
+                                                  std::int64_t index) const;
+
+  // ---- counters ------------------------------------------------------
+  /// Atomic fetch-and-add; creates the counter at 0. Returns the NEW value
+  /// (Redis INCRBY semantics).
+  std::int64_t incrby(std::string_view key, std::int64_t delta);
+  [[nodiscard]] std::int64_t counter(std::string_view key) const;
+
+  // ---- keyspace ------------------------------------------------------
+  [[nodiscard]] bool exists(std::string_view key) const;
+  /// Returns true if the key was present.
+  bool del(std::string_view key);
+  void flush_all();
+  [[nodiscard]] StoreStats stats() const;
+
+ private:
+  using Value = std::variant<std::string, std::vector<std::string>, std::int64_t>;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Value, std::less<>> data_;
+  mutable std::uint64_t ops_ = 0;
+};
+
+}  // namespace hetsim::kvstore

@@ -1,0 +1,27 @@
+// Eclat: vertical frequent pattern mining (Zaki et al., the paper's
+// reference [21]).
+//
+// Where Apriori counts candidates horizontally (scan transactions per
+// level), Eclat keeps a tidset per item and grows patterns depth-first
+// by intersecting tidsets — support is just the intersection size. The
+// two produce identical frequent sets; their work profiles differ:
+// Eclat's cost tracks Σ|tidset| over the search tree, which favours
+// sparse/long-tailed data, while Apriori favours short transactions.
+//
+// Provided as an alternative local miner for the SON phase so benches
+// can compare the algorithms' heterogeneity behaviour (bench_ablations).
+#pragma once
+
+#include <span>
+
+#include "mining/apriori.h"
+
+namespace hetsim::mining {
+
+/// Mine frequent patterns with Eclat. Output is sorted exactly like
+/// apriori()'s (by length, then lexicographic) and supports are exact,
+/// so the two are drop-in interchangeable.
+[[nodiscard]] MiningResult eclat(std::span<const data::ItemSet> transactions,
+                                 const AprioriConfig& config);
+
+}  // namespace hetsim::mining

@@ -1,0 +1,25 @@
+// FP-Growth: frequent pattern mining without candidate generation
+// (Han, Pei & Yin). Third interchangeable local miner next to Apriori
+// and Eclat.
+//
+// Transactions are compressed into an FP-tree — a prefix tree over
+// items ordered by descending frequency, with per-item node chains —
+// and patterns are grown by recursively building conditional FP-trees
+// from each item's prefix paths. Cost tracks the tree sizes rather than
+// candidate counts, which favours dense corpora with heavily shared
+// prefixes.
+#pragma once
+
+#include <span>
+
+#include "mining/apriori.h"
+
+namespace hetsim::mining {
+
+/// Mine frequent patterns with FP-Growth. Output is sorted exactly like
+/// apriori()'s (by length, then lexicographic) with exact supports, so
+/// the three miners are drop-in interchangeable.
+[[nodiscard]] MiningResult fpgrowth(std::span<const data::ItemSet> transactions,
+                                    const AprioriConfig& config);
+
+}  // namespace hetsim::mining

@@ -1,0 +1,66 @@
+#include "mining/son.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hetsim::mining {
+
+std::vector<data::ItemSet> candidate_union(
+    std::span<const MiningResult> local_results) {
+  std::vector<data::ItemSet> all;
+  for (const MiningResult& r : local_results) {
+    for (const Pattern& p : r.frequent) all.push_back(p.items);
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+SonResult son_mine(std::span<const std::vector<data::ItemSet>> partitions,
+                   const AprioriConfig& config) {
+  common::require<common::ConfigError>(!partitions.empty(),
+                                       "son_mine: no partitions");
+  SonResult out;
+  std::size_t total_txns = 0;
+  for (const auto& p : partitions) total_txns += p.size();
+  common::require<common::ConfigError>(total_txns > 0,
+                                       "son_mine: empty dataset");
+
+  // Phase 1: local mining at the same support *fraction*.
+  std::vector<MiningResult> locals;
+  locals.reserve(partitions.size());
+  for (const auto& part : partitions) {
+    MiningResult r = part.empty() ? MiningResult{} : apriori(part, config);
+    out.local_work.push_back(r.work_ops);
+    out.local_frequent_counts.push_back(r.frequent.size());
+    locals.push_back(std::move(r));
+  }
+
+  // Union of local candidates.
+  const std::vector<data::ItemSet> candidates = candidate_union(locals);
+  out.union_candidates = candidates.size();
+
+  // Phase 2: global counting scan per partition.
+  std::vector<std::uint32_t> global_counts(candidates.size(), 0);
+  for (const auto& part : partitions) {
+    std::uint64_t ops = 0;
+    const std::vector<std::uint32_t> counts = count_support(part, candidates, ops);
+    out.global_work.push_back(ops);
+    for (std::size_t c = 0; c < counts.size(); ++c) global_counts[c] += counts[c];
+  }
+
+  const auto min_count = static_cast<std::uint32_t>(std::max<double>(
+      1.0, std::ceil(config.min_support * static_cast<double>(total_txns))));
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (global_counts[c] >= min_count) {
+      out.frequent.push_back(Pattern{candidates[c], global_counts[c]});
+    } else {
+      ++out.false_positives;
+    }
+  }
+  return out;
+}
+
+}  // namespace hetsim::mining

@@ -1,0 +1,217 @@
+#include "optimize/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/allocation.h"
+#include "common/error.h"
+
+namespace hetsim::optimize {
+
+namespace {
+
+constexpr double kTinyWork = 1e-9;
+
+void validate_models(std::span<const NodeModel> models) {
+  common::require<common::ConfigError>(!models.empty(),
+                                       "pareto: no node models");
+  for (const NodeModel& m : models) {
+    common::require<common::ConfigError>(m.slope > 0.0 && m.intercept >= 0.0,
+                                         "pareto: invalid time model");
+  }
+}
+
+PartitionPlan finalize(std::span<const NodeModel> models, std::size_t total,
+                       std::vector<double> continuous, std::size_t iterations) {
+  PartitionPlan plan;
+  plan.lp_iterations = iterations;
+  plan.predicted_makespan_s = 0.0;
+  plan.predicted_dirty_joules = 0.0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (continuous[i] > kTinyWork) {
+      const double t = models[i].time_s(continuous[i]);
+      plan.predicted_makespan_s = std::max(plan.predicted_makespan_s, t);
+      plan.predicted_dirty_joules += models[i].dirty_rate * t;
+    }
+  }
+  plan.sizes = common::proportional_allocation(continuous, total);
+  plan.continuous = std::move(continuous);
+  return plan;
+}
+
+}  // namespace
+
+namespace {
+
+/// Core LP: minimize w_time·v + w_energy·Σ k_i·m_i·x_i subject to the
+/// partitioning constraints. Both weights must be >= 0, not both zero.
+PartitionPlan solve_scalarized(std::span<const NodeModel> models,
+                               std::size_t total, double w_time,
+                               double w_energy) {
+  const std::size_t p = models.size();
+  LpProblem lp;
+  lp.num_vars = p + 1;  // x_0..x_{p-1}, then v
+  lp.objective.assign(p + 1, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    lp.objective[i] = w_energy * models[i].dirty_rate * models[i].slope;
+  }
+  lp.objective[p] = w_time;
+
+  // v >= m_i x_i + c_i   <=>   -m_i x_i + v >= c_i
+  for (std::size_t i = 0; i < p; ++i) {
+    std::vector<double> row(p + 1, 0.0);
+    row[i] = -models[i].slope;
+    row[p] = 1.0;
+    lp.add_constraint(std::move(row), Relation::kGe, models[i].intercept);
+  }
+  // Sum x_i = N.
+  std::vector<double> sum_row(p + 1, 0.0);
+  for (std::size_t i = 0; i < p; ++i) sum_row[i] = 1.0;
+  lp.add_constraint(std::move(sum_row), Relation::kEq,
+                    static_cast<double>(total));
+
+  const LpSolution sol = solve_lp(lp);
+  common::require<common::OptimizeError>(sol.status == LpStatus::kOptimal,
+                                         "pareto: LP not optimal (infeasible "
+                                         "or unbounded partitioning problem)");
+  std::vector<double> x(sol.x.begin(), sol.x.begin() + static_cast<long>(p));
+  return finalize(models, total, std::move(x), sol.iterations);
+}
+
+}  // namespace
+
+PartitionPlan solve_partition_sizes(std::span<const NodeModel> models,
+                                    std::size_t total, double alpha) {
+  validate_models(models);
+  common::require<common::ConfigError>(alpha >= 0.0 && alpha <= 1.0,
+                                       "pareto: alpha must be in [0, 1]");
+  return solve_scalarized(models, total, alpha, 1.0 - alpha);
+}
+
+PartitionPlan solve_partition_sizes_normalized(
+    std::span<const NodeModel> models, std::size_t total, double alpha) {
+  validate_models(models);
+  common::require<common::ConfigError>(alpha >= 0.0 && alpha <= 1.0,
+                                       "pareto: alpha must be in [0, 1]");
+  // Extreme points of the frontier give each objective's range.
+  const PartitionPlan fast = solve_scalarized(models, total, 1.0, 0.0);
+  const PartitionPlan green = solve_scalarized(models, total, 0.0, 1.0);
+  const double v_range =
+      green.predicted_makespan_s - fast.predicted_makespan_s;
+  const double g_range =
+      fast.predicted_dirty_joules - green.predicted_dirty_joules;
+  // Degenerate frontier (one point optimizes both): any alpha gives it.
+  if (v_range <= 1e-15 || g_range <= 1e-15) {
+    return solve_scalarized(models, total, alpha, 1.0 - alpha);
+  }
+  return solve_scalarized(models, total, alpha / v_range,
+                          (1.0 - alpha) / g_range);
+}
+
+PartitionPlan waterfill_makespan(std::span<const NodeModel> models,
+                                 std::size_t total) {
+  validate_models(models);
+  const std::size_t p = models.size();
+  std::vector<bool> active(p, true);
+  double v = 0.0;
+  for (;;) {
+    double inv_sum = 0.0;
+    double offset = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (!active[i]) continue;
+      inv_sum += 1.0 / models[i].slope;
+      offset += models[i].intercept / models[i].slope;
+    }
+    common::require<common::OptimizeError>(inv_sum > 0.0,
+                                           "waterfill: no active nodes");
+    v = (static_cast<double>(total) + offset) / inv_sum;
+    // Any active node whose intercept already exceeds the level gets no
+    // work; drop the worst offender and re-level.
+    std::size_t worst = p;
+    double worst_c = v;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (active[i] && models[i].intercept > worst_c) {
+        worst_c = models[i].intercept;
+        worst = i;
+      }
+    }
+    if (worst == p) break;
+    active[worst] = false;
+  }
+  std::vector<double> x(p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (active[i]) x[i] = (v - models[i].intercept) / models[i].slope;
+  }
+  return finalize(models, total, std::move(x), 0);
+}
+
+PartitionPlan equal_split(std::span<const NodeModel> models, std::size_t total) {
+  validate_models(models);
+  std::vector<double> x(models.size(),
+                        static_cast<double>(total) /
+                            static_cast<double>(models.size()));
+  return finalize(models, total, std::move(x), 0);
+}
+
+namespace {
+
+std::vector<FrontierPoint> sweep_impl(
+    std::span<const NodeModel> models, std::size_t total,
+    std::span<const double> alphas,
+    PartitionPlan (*solver)(std::span<const NodeModel>, std::size_t, double)) {
+  std::vector<FrontierPoint> frontier;
+  frontier.reserve(alphas.size());
+  for (const double alpha : alphas) {
+    PartitionPlan plan = solver(models, total, alpha);
+    FrontierPoint pt;
+    pt.alpha = alpha;
+    pt.makespan_s = plan.predicted_makespan_s;
+    pt.dirty_joules = plan.predicted_dirty_joules;
+    pt.sizes = std::move(plan.sizes);
+    frontier.push_back(std::move(pt));
+  }
+  return frontier;
+}
+
+}  // namespace
+
+std::vector<FrontierPoint> sweep_frontier(std::span<const NodeModel> models,
+                                          std::size_t total,
+                                          std::span<const double> alphas) {
+  return sweep_impl(models, total, alphas, &solve_partition_sizes);
+}
+
+std::vector<FrontierPoint> sweep_frontier_normalized(
+    std::span<const NodeModel> models, std::size_t total,
+    std::span<const double> alphas) {
+  return sweep_impl(models, total, alphas, &solve_partition_sizes_normalized);
+}
+
+double plan_makespan(std::span<const NodeModel> models,
+                     std::span<const std::size_t> sizes) {
+  common::require<common::ConfigError>(models.size() == sizes.size(),
+                                       "plan_makespan: arity mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (sizes[i] > 0) {
+      worst = std::max(worst, models[i].time_s(static_cast<double>(sizes[i])));
+    }
+  }
+  return worst;
+}
+
+double plan_dirty_joules(std::span<const NodeModel> models,
+                         std::span<const std::size_t> sizes) {
+  common::require<common::ConfigError>(models.size() == sizes.size(),
+                                       "plan_dirty_joules: arity mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (sizes[i] > 0) {
+      total += models[i].dirty_rate *
+               models[i].time_s(static_cast<double>(sizes[i]));
+    }
+  }
+  return total;
+}
+
+}  // namespace hetsim::optimize

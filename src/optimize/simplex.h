@@ -1,0 +1,51 @@
+// Dense two-phase primal simplex.
+//
+// The paper solves its scalarized partitioning objective "efficiently
+// using linear programming technique" without naming a solver; this is a
+// self-contained general LP solver so the framework has no external
+// dependency. The partitioning LPs are tiny (p+1 variables, p+1
+// constraints), so a dense tableau with Bland's anti-cycling rule is both
+// simple and exact enough.
+//
+//   minimize    c·x
+//   subject to  a_r·x {<=,=,>=} b_r   for each constraint r
+//               x >= 0
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetsim::optimize {
+
+enum class Relation { kLe, kEq, kGe };
+
+struct Constraint {
+  std::vector<double> coeffs;  // length num_vars
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  // length num_vars (minimized)
+  std::vector<Constraint> constraints;
+
+  Constraint& add_constraint(std::vector<double> coeffs, Relation rel,
+                             double rhs);
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Solve with two-phase simplex. Throws ConfigError on malformed input
+/// (wrong coefficient arity); infeasible/unbounded are reported via
+/// status, not exceptions.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace hetsim::optimize

@@ -1,0 +1,89 @@
+#include "partition/disk_writer.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "kvstore/codec.h"
+
+namespace hetsim::partition {
+
+namespace {
+
+std::string partition_filename(std::size_t index) {
+  return "part-" + std::to_string(index) + ".bin";
+}
+
+}  // namespace
+
+std::vector<DiskPartitionInfo> write_partitions(
+    const data::Dataset& dataset, const PartitionAssignment& assignment,
+    const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+  std::vector<DiskPartitionInfo> infos;
+  infos.reserve(assignment.partitions.size());
+  for (std::size_t p = 0; p < assignment.partitions.size(); ++p) {
+    DiskPartitionInfo info;
+    info.file = directory / partition_filename(p);
+    std::ofstream out(info.file, std::ios::binary | std::ios::trunc);
+    common::require<common::StoreError>(out.good(),
+                                        "write_partitions: cannot open " +
+                                            info.file.string());
+    for (const std::uint32_t idx : assignment.partitions[p]) {
+      common::require<common::ConfigError>(idx < dataset.records.size(),
+                                           "write_partitions: record index "
+                                           "out of range");
+      const std::string& payload = dataset.records[idx].payload;
+      const std::string framed = kvstore::frame_record(payload);
+      out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+      ++info.records;
+      info.bytes += payload.size();
+    }
+    common::require<common::StoreError>(out.good(),
+                                        "write_partitions: write failed for " +
+                                            info.file.string());
+    infos.push_back(std::move(info));
+  }
+  std::ofstream manifest(directory / "manifest.txt", std::ios::trunc);
+  common::require<common::StoreError>(manifest.good(),
+                                      "write_partitions: cannot open manifest");
+  for (const auto& info : infos) {
+    manifest << info.file.filename().string() << ' ' << info.records << ' '
+             << info.bytes << '\n';
+  }
+  return infos;
+}
+
+std::vector<std::string> read_partition(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  common::require<common::StoreError>(in.good(), "read_partition: cannot open " +
+                                                     file.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return kvstore::unpack_records(buffer.str());
+}
+
+std::vector<DiskPartitionInfo> read_manifest(
+    const std::filesystem::path& directory) {
+  std::ifstream in(directory / "manifest.txt");
+  common::require<common::StoreError>(in.good(),
+                                      "read_manifest: cannot open manifest in " +
+                                          directory.string());
+  std::vector<DiskPartitionInfo> infos;
+  std::string name;
+  std::size_t records = 0;
+  std::uint64_t bytes = 0;
+  while (in >> name >> records >> bytes) {
+    DiskPartitionInfo info;
+    info.file = directory / name;
+    info.records = records;
+    info.bytes = bytes;
+    common::require<common::StoreError>(std::filesystem::exists(info.file),
+                                        "read_manifest: missing " +
+                                            info.file.string());
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+}  // namespace hetsim::partition

@@ -1,0 +1,43 @@
+// Disk-backed partition storage.
+//
+// Paper section III-E: "Currently we support the final partitions to be
+// data partitions stored on disk, or data partitions stored on Redis."
+// This is the disk path: each partition is one file of length-prefixed
+// records (the same framing as the kvstore blob codec, section IV), plus
+// a small manifest, so a partition moves as one sequential read/write
+// while individual records stay addressable.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "partition/partitioner.h"
+
+namespace hetsim::partition {
+
+struct DiskPartitionInfo {
+  std::filesystem::path file;
+  std::size_t records = 0;
+  std::uint64_t bytes = 0;  // payload bytes (excluding framing)
+};
+
+/// Write each partition's record payloads to `<directory>/part-<i>.bin`
+/// (created if needed) and a `manifest.txt` listing files and counts.
+/// Returns per-partition info. Overwrites existing files.
+std::vector<DiskPartitionInfo> write_partitions(
+    const data::Dataset& dataset, const PartitionAssignment& assignment,
+    const std::filesystem::path& directory);
+
+/// Read one partition file back into record payloads.
+[[nodiscard]] std::vector<std::string> read_partition(
+    const std::filesystem::path& file);
+
+/// Parse a manifest written by write_partitions. Throws StoreError on a
+/// malformed manifest or missing files.
+[[nodiscard]] std::vector<DiskPartitionInfo> read_manifest(
+    const std::filesystem::path& directory);
+
+}  // namespace hetsim::partition

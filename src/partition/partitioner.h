@@ -1,0 +1,58 @@
+// Data partitioner (paper component V, section III-E).
+//
+// Takes the optimizer's partition sizes and the strata and materializes
+// record-to-partition assignments under one of two layouts:
+//
+//  * Representative — every partition is a stratified sample without
+//    replacement of the whole dataset, so each partition mirrors the
+//    global distribution (used by the frequent-pattern-mining workloads,
+//    where skewed partitions inflate false-positive candidates).
+//
+//  * SimilarTogether — records are ordered by stratum and cut into
+//    consecutive chunks of the prescribed sizes, giving low-entropy
+//    partitions (used by the compression workloads, where similar
+//    records compress together).
+//
+// Baselines: random assignment, and the paper's "Stratified" strawman is
+// simply one of these layouts with equal sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stratify/kmodes.h"
+
+namespace hetsim::partition {
+
+enum class Layout : std::uint8_t { kRepresentative, kSimilarTogether };
+
+struct PartitionAssignment {
+  /// partitions[p] = record indices of partition p (ascending order).
+  std::vector<std::vector<std::uint32_t>> partitions;
+
+  [[nodiscard]] std::size_t total_records() const noexcept;
+  /// Stratum histogram of one partition under a stratification.
+  [[nodiscard]] std::vector<std::size_t> stratum_histogram(
+      std::size_t p, const stratify::Stratification& strat) const;
+};
+
+/// Materialize partitions of the given sizes (must sum to the record
+/// count) from the strata. Deterministic given `seed`.
+[[nodiscard]] PartitionAssignment make_partitions(
+    const stratify::Stratification& strat, std::span<const std::size_t> sizes,
+    Layout layout, std::uint64_t seed = 37);
+
+/// Random baseline: shuffle and cut.
+[[nodiscard]] PartitionAssignment random_partitions(
+    std::size_t num_records, std::span<const std::size_t> sizes,
+    std::uint64_t seed = 41);
+
+/// L1 distance between a partition's stratum mix and the global mix,
+/// both as probability vectors (0 = perfectly representative). Test and
+/// bench metric for the Representative layout.
+[[nodiscard]] double representativeness_l1(
+    const PartitionAssignment& assignment, std::size_t p,
+    const stratify::Stratification& strat);
+
+}  // namespace hetsim::partition

@@ -1,0 +1,76 @@
+#include "sketch/minhash.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hetsim::sketch {
+
+namespace {
+
+// Mersenne prime 2^61 - 1: (a*x + b) mod p reduces with shifts only and
+// a*x fits in __uint128_t for a, x < p.
+constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+std::uint64_t mod_p(__uint128_t v) {
+  // Fold twice: any value < p^2 reduces below 2p after one fold.
+  std::uint64_t lo = static_cast<std::uint64_t>(v & kPrime);
+  std::uint64_t hi = static_cast<std::uint64_t>(v >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+}  // namespace
+
+MinHasher::MinHasher(SketchConfig config) {
+  common::require<common::ConfigError>(config.num_hashes >= 1,
+                                       "MinHasher: need at least one hash");
+  common::Rng rng(config.seed);
+  a_.resize(config.num_hashes);
+  b_.resize(config.num_hashes);
+  for (std::uint32_t j = 0; j < config.num_hashes; ++j) {
+    a_[j] = 1 + rng.bounded(kPrime - 1);
+    b_[j] = rng.bounded(kPrime);
+  }
+}
+
+std::uint64_t MinHasher::permute(std::uint32_t j, data::Item x) const {
+  common::require<common::ConfigError>(j < a_.size(),
+                                       "MinHasher: hash index out of range");
+  return mod_p(static_cast<__uint128_t>(a_[j]) * (static_cast<std::uint64_t>(x) + 1) +
+               b_[j]);
+}
+
+Sketch MinHasher::sketch(std::span<const data::Item> items) const {
+  Sketch sig(a_.size(), kEmptySentinel);
+  for (const data::Item x : items) {
+    for (std::size_t j = 0; j < a_.size(); ++j) {
+      const std::uint64_t h =
+          mod_p(static_cast<__uint128_t>(a_[j]) *
+                    (static_cast<std::uint64_t>(x) + 1) +
+                b_[j]);
+      if (h < sig[j]) sig[j] = h;
+    }
+  }
+  return sig;
+}
+
+std::vector<Sketch> MinHasher::sketch_all(
+    const std::vector<data::Record>& records) const {
+  std::vector<Sketch> out;
+  out.reserve(records.size());
+  for (const data::Record& r : records) out.push_back(sketch(r.items));
+  return out;
+}
+
+double MinHasher::estimate_jaccard(const Sketch& a, const Sketch& b) {
+  common::require<common::ConfigError>(a.size() == b.size() && !a.empty(),
+                                       "estimate_jaccard: size mismatch");
+  std::size_t match = 0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    if (a[j] == b[j]) ++match;
+  }
+  return static_cast<double>(match) / static_cast<double>(a.size());
+}
+
+}  // namespace hetsim::sketch

@@ -1,0 +1,71 @@
+#include "stratify/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/allocation.h"
+#include "common/error.h"
+
+namespace hetsim::stratify {
+
+std::vector<std::vector<std::uint32_t>> strata_members(
+    const Stratification& strat) {
+  std::vector<std::vector<std::uint32_t>> members(strat.num_strata);
+  for (std::uint32_t c = 0; c < strat.num_strata; ++c) {
+    members[c].reserve(strat.stratum_sizes[c]);
+  }
+  for (std::uint32_t i = 0; i < strat.assignment.size(); ++i) {
+    members[strat.assignment[i]].push_back(i);
+  }
+  return members;
+}
+
+std::vector<std::size_t> proportional_allocation(
+    const std::vector<double>& weights, std::size_t total) {
+  return common::proportional_allocation(weights, total);
+}
+
+std::vector<std::uint32_t> stratified_sample(const Stratification& strat,
+                                             std::size_t count,
+                                             common::Rng& rng) {
+  const std::size_t n = strat.assignment.size();
+  count = std::min(count, n);
+  std::vector<double> weights(strat.stratum_sizes.begin(),
+                              strat.stratum_sizes.end());
+  std::vector<std::size_t> take = proportional_allocation(weights, count);
+  auto members = strata_members(strat);
+  std::vector<std::uint32_t> sample;
+  sample.reserve(count);
+  for (std::uint32_t c = 0; c < strat.num_strata; ++c) {
+    auto& pool = members[c];
+    const std::size_t want = std::min(take[c], pool.size());
+    // Partial Fisher-Yates: the first `want` entries become the sample.
+    for (std::size_t i = 0; i < want; ++i) {
+      std::swap(pool[i], pool[i + rng.bounded(pool.size() - i)]);
+      sample.push_back(pool[i]);
+    }
+  }
+  // Rounding against small strata may leave a shortfall; top up from the
+  // largest strata's unsampled tails.
+  for (std::uint32_t c = 0; sample.size() < count && c < strat.num_strata; ++c) {
+    auto& pool = members[c];
+    for (std::size_t i = std::min(take[c], pool.size());
+         i < pool.size() && sample.size() < count; ++i) {
+      sample.push_back(pool[i]);
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+  return sample;
+}
+
+std::vector<std::uint32_t> strata_order(const Stratification& strat) {
+  std::vector<std::uint32_t> order;
+  order.reserve(strat.assignment.size());
+  for (const auto& members : strata_members(strat)) {
+    order.insert(order.end(), members.begin(), members.end());
+  }
+  return order;
+}
+
+}  // namespace hetsim::stratify

@@ -1,0 +1,42 @@
+// Stratified sampling utilities (paper sections III-C/III-E).
+//
+// Both partitioning layouts and the progressive-sampling estimator need
+// samples that follow the strata proportions: Cochran's result — the
+// reason the paper stratifies at all — is that a proportionally
+// allocated stratified sample tracks the population distribution far
+// better than a simple random sample of the same size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "stratify/kmodes.h"
+
+namespace hetsim::stratify {
+
+/// Record indices grouped by stratum: result[c] lists the records of
+/// stratum c in ascending index order.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> strata_members(
+    const Stratification& strat);
+
+/// Draw `count` record indices as a proportionally allocated stratified
+/// sample without replacement. Largest-remainder rounding makes the
+/// result exactly `count` (capped at the population size). Deterministic
+/// given `rng`.
+[[nodiscard]] std::vector<std::uint32_t> stratified_sample(
+    const Stratification& strat, std::size_t count, common::Rng& rng);
+
+/// All record indices ordered by stratum id (records of stratum 0 first,
+/// then 1, ...; ascending index within a stratum) — the ordering the
+/// similar-together partitioner chunks.
+[[nodiscard]] std::vector<std::uint32_t> strata_order(
+    const Stratification& strat);
+
+/// Apportion `total` into `weights.size()` integer shares proportional to
+/// `weights` (largest remainder method). Shares sum exactly to `total`;
+/// negative weights are treated as zero.
+[[nodiscard]] std::vector<std::size_t> proportional_allocation(
+    const std::vector<double>& weights, std::size_t total);
+
+}  // namespace hetsim::stratify

@@ -1,0 +1,105 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/args.h"
+#include "common/error.h"
+
+namespace hetsim::common {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test", "a test parser");
+  p.add_string("name", "a string", "default-name");
+  p.add_double("ratio", "a double", 0.5);
+  p.add_int("count", "an int", 7);
+  p.add_flag("verbose", "a flag");
+  return p;
+}
+
+bool parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "test");
+  std::ostringstream err;
+  return p.parse(static_cast<int>(argv.size()), argv.data(), err);
+}
+
+TEST(Args, DefaultsApplyWhenUnset) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get_string("name"), "default-name");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.5);
+  EXPECT_EQ(p.get_int("count"), 7);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--name", "abc", "--ratio", "1.25", "--count", "-3",
+                        "--verbose"}));
+  EXPECT_EQ(p.get_string("name"), "abc");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 1.25);
+  EXPECT_EQ(p.get_int("count"), -3);
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(Args, EqualsSeparatedValues) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--name=xyz", "--ratio=0.125", "--count=42"}));
+  EXPECT_EQ(p.get_string("name"), "xyz");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.125);
+  EXPECT_EQ(p.get_int("count"), 42);
+}
+
+TEST(Args, UnknownFlagFails) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--nope", "1"}));
+}
+
+TEST(Args, HelpReturnsFalseAndPrintsUsage) {
+  ArgParser p = make_parser();
+  std::ostringstream err;
+  const char* argv[] = {"test", "--help"};
+  EXPECT_FALSE(p.parse(2, argv, err));
+  EXPECT_NE(err.str().find("usage: test"), std::string::npos);
+  EXPECT_NE(err.str().find("--ratio"), std::string::npos);
+  EXPECT_NE(err.str().find("default: 0.5"), std::string::npos);
+}
+
+TEST(Args, TypeValidationAtParse) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--count", "abc"}));
+  ArgParser q = make_parser();
+  EXPECT_FALSE(parse(q, {"--ratio", "1.2.3"}));
+  ArgParser r = make_parser();
+  EXPECT_FALSE(parse(r, {"--count"}));  // missing value
+}
+
+TEST(Args, FlagRejectsValue) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--verbose=yes"}));
+}
+
+TEST(Args, PositionalArgumentsRejected) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"stray"}));
+}
+
+TEST(Args, WrongTypeAccessThrows) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_THROW((void)p.get_double("name"), ConfigError);
+  EXPECT_THROW((void)p.get_string("unknown"), ConfigError);
+  EXPECT_THROW((void)p.get_flag("count"), ConfigError);
+}
+
+TEST(Args, ReparseResetsState) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--name", "first"}));
+  EXPECT_EQ(p.get_string("name"), "first");
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get_string("name"), "default-name");
+}
+
+}  // namespace
+}  // namespace hetsim::common

@@ -1,0 +1,336 @@
+// Tests for bit I/O, the integer codes, LZ77 round trips, and the
+// BV-style webgraph codec — including the property that similar
+// neighbour lists compress better, which motivates the SimilarTogether
+// partition layout.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "compress/bitio.h"
+#include "compress/lz77.h"
+#include "compress/webgraph.h"
+#include "data/generators.h"
+
+namespace hetsim::compress {
+namespace {
+
+TEST(BitIo, BitsRoundTrip) {
+  BitWriter w;
+  w.write_bits(0b1011, 4);
+  w.write_bits(0, 1);
+  w.write_bits(0xdeadbeef, 32);
+  const std::string buf = w.finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.read_bits(4), 0b1011u);
+  EXPECT_EQ(r.read_bits(1), 0u);
+  EXPECT_EQ(r.read_bits(32), 0xdeadbeefu);
+}
+
+TEST(BitIo, UnaryRoundTrip) {
+  BitWriter w;
+  for (const std::uint32_t n : {0u, 1u, 7u, 40u, 100u}) w.write_unary(n);
+  const std::string buf = w.finish();
+  BitReader r(buf);
+  for (const std::uint32_t n : {0u, 1u, 7u, 40u, 100u}) {
+    EXPECT_EQ(r.read_unary(), n);
+  }
+}
+
+TEST(BitIo, GammaRoundTrip) {
+  BitWriter w;
+  std::vector<std::uint64_t> values{1, 2, 3, 7, 8, 100, 65535, 1000000007ULL};
+  for (const auto v : values) w.write_gamma(v);
+  const std::string buf = w.finish();
+  BitReader r(buf);
+  for (const auto v : values) EXPECT_EQ(r.read_gamma(), v);
+}
+
+TEST(BitIo, ZetaRoundTripAcrossK) {
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    BitWriter w;
+    std::vector<std::uint64_t> values{1, 2, 9, 31, 32, 1000, 123456789ULL};
+    for (const auto v : values) w.write_zeta(v, k);
+    const std::string buf = w.finish();
+    BitReader r(buf);
+    for (const auto v : values) EXPECT_EQ(r.read_zeta(k), v) << "k=" << k;
+  }
+}
+
+TEST(BitIo, GammaIsPrefixFreeUnderConcatenation) {
+  common::Rng rng(9);
+  std::vector<std::uint64_t> values;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = 1 + rng.bounded(1 << 20);
+    values.push_back(v);
+    w.write_gamma(v);
+  }
+  const std::string buf = w.finish();
+  BitReader r(buf);
+  for (const auto v : values) ASSERT_EQ(r.read_gamma(), v);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write_bits(1, 1);
+  const std::string buf = w.finish();
+  BitReader r(buf);
+  (void)r.read_bits(8);  // padding makes one byte available
+  EXPECT_THROW((void)r.read_bits(8), common::StoreError);
+}
+
+TEST(BitIo, RejectsInvalidCodes) {
+  BitWriter w;
+  EXPECT_THROW(w.write_gamma(0), common::ConfigError);
+  EXPECT_THROW(w.write_zeta(0, 2), common::ConfigError);
+  EXPECT_THROW(w.write_zeta(5, 0), common::ConfigError);
+}
+
+// ---- LZ77 ------------------------------------------------------------------
+
+TEST(Lz77, RoundTripAssortedInputs) {
+  common::Rng rng(21);
+  std::vector<std::string> inputs{
+      "",
+      "a",
+      "abcabcabcabcabcabc",
+      std::string(10000, 'z'),
+      "the quick brown fox jumps over the lazy dog",
+  };
+  // Random binary blob.
+  std::string blob;
+  for (int i = 0; i < 5000; ++i) {
+    blob.push_back(static_cast<char>(rng.bounded(256)));
+  }
+  inputs.push_back(blob);
+  // Repetitive structured payload.
+  std::string rep;
+  for (int i = 0; i < 300; ++i) rep += "header|field1|field2|value" + std::to_string(i % 7);
+  inputs.push_back(rep);
+  for (const auto& input : inputs) {
+    const std::string packed = lz77_compress(input);
+    EXPECT_EQ(lz77_decompress(packed), input) << "size " << input.size();
+  }
+}
+
+TEST(Lz77, CompressesRepetitiveData) {
+  std::string input;
+  for (int i = 0; i < 1000; ++i) input += "abcdefgh";
+  Lz77Stats stats;
+  const std::string packed = lz77_compress(input, {}, &stats);
+  EXPECT_GT(compression_ratio(input.size(), packed.size()), 10.0);
+  EXPECT_GT(stats.matches, 0u);
+}
+
+TEST(Lz77, RandomDataBarelyExpands) {
+  common::Rng rng(33);
+  std::string input;
+  for (int i = 0; i < 20000; ++i) {
+    input.push_back(static_cast<char>(rng.bounded(256)));
+  }
+  const std::string packed = lz77_compress(input);
+  // Flag bytes cost at most 1/8 overhead.
+  EXPECT_LT(packed.size(), input.size() * 9 / 8 + 16);
+  EXPECT_EQ(lz77_decompress(packed), input);
+}
+
+TEST(Lz77, OverlappingMatchHandled) {
+  // "aaaa..." forces matches with offset 1 < length.
+  const std::string input(500, 'a');
+  const std::string packed = lz77_compress(input);
+  EXPECT_EQ(lz77_decompress(packed), input);
+  EXPECT_LT(packed.size(), 32u);
+}
+
+TEST(Lz77, WorkIsNearLinear) {
+  std::string small, large;
+  common::Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    small.push_back(static_cast<char>('a' + rng.bounded(4)));
+  }
+  large = small + small + small + small;
+  Lz77Stats s1, s4;
+  (void)lz77_compress(small, {}, &s1);
+  (void)lz77_compress(large, {}, &s4);
+  EXPECT_LT(s4.work_ops, s1.work_ops * 8);  // ~4x data -> <8x work
+}
+
+TEST(Lz77, MalformedInputThrows) {
+  // Flag byte claims a match but the stream is truncated.
+  std::string bad;
+  bad.push_back(static_cast<char>(0x01));
+  bad.push_back('\x05');
+  EXPECT_THROW((void)lz77_decompress(bad), common::StoreError);
+  // Match offset beyond produced output.
+  std::string bad2;
+  bad2.push_back(static_cast<char>(0x01));
+  bad2.push_back('\xff');
+  bad2.push_back('\x00');
+  bad2.push_back('\x04');
+  EXPECT_THROW((void)lz77_decompress(bad2), common::StoreError);
+}
+
+TEST(Lz77, RejectsBadConfig) {
+  Lz77Config bad;
+  bad.window = 1 << 20;  // > 65535
+  EXPECT_THROW((void)lz77_compress("abc", bad), common::ConfigError);
+}
+
+// ---- webgraph --------------------------------------------------------------
+
+std::vector<std::vector<std::uint32_t>> sample_lists() {
+  return {
+      {1, 2, 3, 10, 20},
+      {1, 2, 3, 10, 21},   // near-copy of previous
+      {1, 2, 3, 10, 20, 22},
+      {},
+      {5},
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+  };
+}
+
+TEST(WebGraph, RoundTrip) {
+  const auto lists = sample_lists();
+  WebGraphStats stats;
+  const std::string blob = compress_adjacency(lists, {}, &stats);
+  EXPECT_EQ(decompress_adjacency(blob, lists.size()), lists);
+  EXPECT_EQ(stats.lists, lists.size());
+  EXPECT_EQ(stats.edges, 27u);
+}
+
+TEST(WebGraph, RoundTripOnGeneratedGraph) {
+  data::WebGraphConfig cfg;
+  cfg.num_vertices = 1500;
+  cfg.seed = 17;
+  const data::Graph g = data::generate_webgraph(cfg);
+  std::vector<std::vector<std::uint32_t>> lists;
+  lists.reserve(g.num_vertices());
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    lists.emplace_back(nb.begin(), nb.end());
+  }
+  const std::string blob = compress_adjacency(lists);
+  EXPECT_EQ(decompress_adjacency(blob, lists.size()), lists);
+  // Copying-model graphs must compress well below raw.
+  EXPECT_GT(compression_ratio(raw_adjacency_bytes(lists), blob.size()), 2.0);
+}
+
+TEST(WebGraph, ReferencesUsedForSimilarLists) {
+  const auto lists = sample_lists();
+  WebGraphStats stats;
+  (void)compress_adjacency(lists, {}, &stats);
+  EXPECT_GT(stats.referenced_lists, 0u);
+  EXPECT_GT(stats.copied_edges, 0u);
+}
+
+TEST(WebGraph, SimilarOrderingCompressesBetterThanScattered) {
+  // Two blocks of similar lists; ordering by block (similar together)
+  // must beat interleaving them.
+  std::vector<std::vector<std::uint32_t>> grouped, interleaved;
+  common::Rng rng(3);
+  std::vector<std::vector<std::uint32_t>> block_a, block_b;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint32_t> a{10, 11, 12, 13, 14, 15};
+    std::vector<std::uint32_t> b{500, 600, 700, 800, 900, 1000};
+    a.push_back(20 + static_cast<std::uint32_t>(rng.bounded(3)));
+    b.push_back(1100 + static_cast<std::uint32_t>(rng.bounded(3)));
+    data::normalize(a);
+    data::normalize(b);
+    block_a.push_back(a);
+    block_b.push_back(b);
+  }
+  for (int i = 0; i < 50; ++i) grouped.push_back(block_a[i]);
+  for (int i = 0; i < 50; ++i) grouped.push_back(block_b[i]);
+  for (int i = 0; i < 50; ++i) {
+    interleaved.push_back(block_a[i]);
+    interleaved.push_back(block_b[i]);
+  }
+  WebGraphCodecConfig cfg;
+  cfg.ref_window = 1;  // tight window makes ordering matter
+  const std::string g = compress_adjacency(grouped, cfg);
+  const std::string x = compress_adjacency(interleaved, cfg);
+  EXPECT_LT(g.size(), x.size());
+  EXPECT_EQ(decompress_adjacency(g, grouped.size(), cfg), grouped);
+  EXPECT_EQ(decompress_adjacency(x, interleaved.size(), cfg), interleaved);
+}
+
+TEST(WebGraph, DisablingReferencesStillRoundTrips) {
+  const auto lists = sample_lists();
+  WebGraphCodecConfig cfg;
+  cfg.ref_window = 0;
+  WebGraphStats stats;
+  const std::string blob = compress_adjacency(lists, cfg, &stats);
+  EXPECT_EQ(decompress_adjacency(blob, lists.size(), cfg), lists);
+  EXPECT_EQ(stats.referenced_lists, 0u);
+}
+
+TEST(WebGraph, RejectsUnsortedLists) {
+  const std::vector<std::vector<std::uint32_t>> bad{{3, 1, 2}};
+  EXPECT_THROW((void)compress_adjacency(bad), common::ConfigError);
+  const std::vector<std::vector<std::uint32_t>> dup{{1, 1, 2}};
+  EXPECT_THROW((void)compress_adjacency(dup), common::ConfigError);
+}
+
+TEST(WebGraph, IntervalsRoundTrip) {
+  // Lists with long consecutive runs plus scattered singletons.
+  const std::vector<std::vector<std::uint32_t>> lists{
+      {0, 1, 2, 3, 4, 100, 200, 300},
+      {5, 6, 7, 8, 9, 10, 11, 50},
+      {},
+      {42},
+      {10, 11, 12, 13, 20, 21, 22, 23, 99},
+  };
+  for (const std::uint32_t min_interval : {2u, 3u, 4u, 8u}) {
+    compress::WebGraphCodecConfig cfg;
+    cfg.min_interval = min_interval;
+    const std::string blob = compress_adjacency(lists, cfg);
+    EXPECT_EQ(decompress_adjacency(blob, lists.size(), cfg), lists)
+        << "min_interval " << min_interval;
+  }
+}
+
+TEST(WebGraph, IntervalsShrinkConsecutiveRuns) {
+  // Pages linking to big consecutive ranges: intervalization must win.
+  std::vector<std::vector<std::uint32_t>> lists;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    std::vector<std::uint32_t> run;
+    for (std::uint32_t v = i * 7; v < i * 7 + 30; ++v) run.push_back(v);
+    lists.push_back(std::move(run));
+  }
+  compress::WebGraphCodecConfig plain;
+  plain.ref_window = 0;
+  compress::WebGraphCodecConfig intervals = plain;
+  intervals.min_interval = 3;
+  const std::string a = compress_adjacency(lists, plain);
+  const std::string b = compress_adjacency(lists, intervals);
+  EXPECT_LT(b.size(), a.size() / 3);
+  EXPECT_EQ(decompress_adjacency(b, lists.size(), intervals), lists);
+}
+
+TEST(WebGraph, IntervalsWithReferencesRoundTrip) {
+  data::WebGraphConfig gcfg;
+  gcfg.num_vertices = 1000;
+  gcfg.seed = 23;
+  const data::Graph g = data::generate_webgraph(gcfg);
+  std::vector<std::vector<std::uint32_t>> lists;
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    lists.emplace_back(nb.begin(), nb.end());
+  }
+  compress::WebGraphCodecConfig cfg;
+  cfg.min_interval = 4;
+  const std::string blob = compress_adjacency(lists, cfg);
+  EXPECT_EQ(decompress_adjacency(blob, lists.size(), cfg), lists);
+}
+
+TEST(WebGraph, LargeIdsSupported) {
+  const std::vector<std::vector<std::uint32_t>> lists{
+      {0xfffffff0u, 0xfffffff5u, 0xfffffffeu}};
+  const std::string blob = compress_adjacency(lists);
+  EXPECT_EQ(decompress_adjacency(blob, 1), lists);
+}
+
+}  // namespace
+}  // namespace hetsim::compress

@@ -1,0 +1,104 @@
+// Tests for the disk-backed partition storage (paper section III-E's
+// "partitions stored on disk" option).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "partition/disk_writer.h"
+#include "partition/partitioner.h"
+
+namespace hetsim::partition {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DiskWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hetsim_disk_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+data::Dataset small_corpus() {
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = 120;
+  cfg.seed = 55;
+  return data::generate_text_corpus(cfg, "disk-test");
+}
+
+TEST_F(DiskWriterTest, WriteThenReadRoundTrips) {
+  const data::Dataset ds = small_corpus();
+  const std::vector<std::size_t> sizes{50, 40, 30};
+  const auto assignment = random_partitions(ds.size(), sizes, 3);
+  const auto infos = write_partitions(ds, assignment, dir_);
+  ASSERT_EQ(infos.size(), 3u);
+  for (std::size_t p = 0; p < infos.size(); ++p) {
+    EXPECT_EQ(infos[p].records, sizes[p]);
+    const auto payloads = read_partition(infos[p].file);
+    ASSERT_EQ(payloads.size(), sizes[p]);
+    for (std::size_t k = 0; k < payloads.size(); ++k) {
+      EXPECT_EQ(payloads[k], ds.records[assignment.partitions[p][k]].payload);
+    }
+  }
+}
+
+TEST_F(DiskWriterTest, ManifestMatchesFiles) {
+  const data::Dataset ds = small_corpus();
+  const std::vector<std::size_t> sizes{70, 50};
+  const auto assignment = random_partitions(ds.size(), sizes, 5);
+  const auto written = write_partitions(ds, assignment, dir_);
+  const auto manifest = read_manifest(dir_);
+  ASSERT_EQ(manifest.size(), written.size());
+  for (std::size_t p = 0; p < manifest.size(); ++p) {
+    EXPECT_EQ(manifest[p].file, written[p].file);
+    EXPECT_EQ(manifest[p].records, written[p].records);
+    EXPECT_EQ(manifest[p].bytes, written[p].bytes);
+  }
+}
+
+TEST_F(DiskWriterTest, EmptyPartitionWritesEmptyFile) {
+  const data::Dataset ds = small_corpus();
+  const std::vector<std::size_t> sizes{120, 0};
+  const auto assignment = random_partitions(ds.size(), sizes, 7);
+  const auto infos = write_partitions(ds, assignment, dir_);
+  EXPECT_EQ(infos[1].records, 0u);
+  EXPECT_TRUE(read_partition(infos[1].file).empty());
+}
+
+TEST_F(DiskWriterTest, OverwriteReplacesPreviousContent) {
+  const data::Dataset ds = small_corpus();
+  const std::vector<std::size_t> big{120};
+  const std::vector<std::size_t> split{60, 60};
+  (void)write_partitions(ds, random_partitions(ds.size(), big, 1), dir_);
+  const auto infos =
+      write_partitions(ds, random_partitions(ds.size(), split, 1), dir_);
+  EXPECT_EQ(infos.size(), 2u);
+  EXPECT_EQ(read_partition(infos[0].file).size(), 60u);
+  // Manifest reflects the new layout only.
+  EXPECT_EQ(read_manifest(dir_).size(), 2u);
+}
+
+TEST_F(DiskWriterTest, MissingManifestThrows) {
+  EXPECT_THROW((void)read_manifest(dir_ / "nope"), common::StoreError);
+}
+
+TEST_F(DiskWriterTest, CorruptPartitionFileThrows) {
+  const data::Dataset ds = small_corpus();
+  const auto assignment =
+      random_partitions(ds.size(), std::vector<std::size_t>{120}, 1);
+  const auto infos = write_partitions(ds, assignment, dir_);
+  // Truncate mid-record.
+  fs::resize_file(infos[0].file, fs::file_size(infos[0].file) - 3);
+  EXPECT_THROW((void)read_partition(infos[0].file), common::StoreError);
+}
+
+}  // namespace
+}  // namespace hetsim::partition

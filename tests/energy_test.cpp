@@ -1,0 +1,150 @@
+// Tests for the solar trace simulator and the green-energy estimator.
+#include <gtest/gtest.h>
+
+#include "cluster/node.h"
+#include "common/error.h"
+#include "energy/estimator.h"
+#include "energy/solar.h"
+
+namespace hetsim::energy {
+namespace {
+
+LocationSpec sunny() {
+  LocationSpec loc;
+  loc.name = "sunny";
+  loc.panel_watts_peak = 400.0;
+  loc.mean_cloud_cover = 0.0;
+  loc.cloud_volatility = 0.0;
+  loc.sunrise_hour = 6.0;
+  loc.sunset_hour = 18.0;
+  loc.seed = 1;
+  return loc;
+}
+
+TEST(Solar, AttenuationBoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(cloud_attenuation(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cloud_attenuation(1.0), 0.25);
+  EXPECT_GT(cloud_attenuation(0.3), cloud_attenuation(0.7));
+  // Clamped outside [0,1].
+  EXPECT_DOUBLE_EQ(cloud_attenuation(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cloud_attenuation(2.0), 0.25);
+}
+
+TEST(Solar, ClearSkyZeroAtNightPeakAtNoon) {
+  const LocationSpec loc = sunny();
+  EXPECT_DOUBLE_EQ(clear_sky_watts(loc, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(clear_sky_watts(loc, 23.0), 0.0);
+  EXPECT_NEAR(clear_sky_watts(loc, 12.0), 400.0, 1e-9);
+  EXPECT_GT(clear_sky_watts(loc, 9.0), 0.0);
+  EXPECT_LT(clear_sky_watts(loc, 9.0), 400.0);
+}
+
+TEST(Solar, TraceIsDeterministic) {
+  const auto locs = datacenter_locations();
+  const EnergyTrace a = EnergyTrace::generate(locs[0], 48);
+  const EnergyTrace b = EnergyTrace::generate(locs[0], 48);
+  EXPECT_EQ(a.hourly_watts(), b.hourly_watts());
+}
+
+TEST(Solar, TraceFollowsDiurnalCycle) {
+  const EnergyTrace t = EnergyTrace::generate(sunny(), 24);
+  // Night hours produce nothing; midday produces close to peak.
+  EXPECT_DOUBLE_EQ(t.hourly_watts()[2], 0.0);
+  EXPECT_GT(t.hourly_watts()[12], 350.0);
+}
+
+TEST(Solar, CloudierLocationsHarvestLess) {
+  const auto locs = datacenter_locations();
+  ASSERT_EQ(locs.size(), 4u);
+  double first = 0.0, last = 0.0;
+  const EnergyTrace sunny_trace = EnergyTrace::generate(locs[0], 72);
+  const EnergyTrace cloudy_trace = EnergyTrace::generate(locs[3], 72);
+  for (const double w : sunny_trace.hourly_watts()) first += w;
+  for (const double w : cloudy_trace.hourly_watts()) last += w;
+  EXPECT_GT(first, last);
+}
+
+TEST(Solar, GreenEnergyIntegralMatchesHand) {
+  const EnergyTrace t = EnergyTrace::generate(sunny(), 24);
+  // Integrating exactly one hour at hour 12 = watts * 3600.
+  const double j = t.green_energy_joules(12.0 * 3600.0, 3600.0);
+  EXPECT_NEAR(j, t.hourly_watts()[12] * 3600.0, 1e-6);
+  // Half-hour spanning an hour boundary picks up both rates.
+  const double spanning = t.green_energy_joules(12.5 * 3600.0, 3600.0);
+  EXPECT_NEAR(spanning,
+              t.hourly_watts()[12] * 1800.0 + t.hourly_watts()[13] * 1800.0,
+              1e-6);
+}
+
+TEST(Solar, TraceWrapsAround) {
+  const EnergyTrace t = EnergyTrace::generate(sunny(), 24);
+  EXPECT_DOUBLE_EQ(t.green_watts(0.0), t.green_watts(24.0 * 3600.0));
+}
+
+TEST(Solar, MeanWattsIsTimeAverage) {
+  const EnergyTrace t = EnergyTrace::generate(sunny(), 24);
+  const double mean = t.mean_watts(10.0 * 3600.0, 4.0 * 3600.0);
+  const double integral = t.green_energy_joules(10.0 * 3600.0, 4.0 * 3600.0);
+  EXPECT_NEAR(mean, integral / (4.0 * 3600.0), 1e-9);
+}
+
+TEST(Solar, RejectsBadSpecs) {
+  LocationSpec bad = sunny();
+  bad.sunset_hour = bad.sunrise_hour - 1;
+  EXPECT_THROW((void)EnergyTrace::generate(bad, 24), common::ConfigError);
+  EXPECT_THROW((void)EnergyTrace::generate(sunny(), 0), common::ConfigError);
+}
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  GreenEnergyEstimator est_ = GreenEnergyEstimator::standard(72);
+  cluster::NodeSpec node_ =
+      cluster::standard_node(0, cluster::NodeType::kType1, 0);
+};
+
+TEST_F(EstimatorTest, DirtyRateIsPowerMinusMeanGreen) {
+  const double t0 = 10 * 3600.0;
+  const double window = 4 * 3600.0;
+  const double mean = est_.mean_green_watts(node_, t0, window);
+  EXPECT_NEAR(est_.dirty_rate(node_, t0, window), node_.power_watts - mean,
+              1e-9);
+  EXPECT_GT(mean, 0.0);  // daytime window harvests something
+}
+
+TEST_F(EstimatorTest, DirtyEnergyNeverNegative) {
+  // Even with a tiny node draw, dirty energy is clamped at zero per hour.
+  cluster::NodeSpec tiny = node_;
+  tiny.power_watts = 1.0;
+  const double dirty = est_.dirty_energy_joules(tiny, 12 * 3600.0, 3600.0);
+  EXPECT_GE(dirty, 0.0);
+  EXPECT_LT(dirty, 1.0 * 3600.0 + 1e-9);
+}
+
+TEST_F(EstimatorTest, NightRunsAreFullyDirty) {
+  const double dirty = est_.dirty_energy_joules(node_, 0.0, 3600.0);
+  EXPECT_NEAR(dirty, node_.power_watts * 3600.0, 1e-6);
+}
+
+TEST_F(EstimatorTest, DaytimeRunsAreCleanerThanNight) {
+  const double day = est_.dirty_energy_joules(node_, 12 * 3600.0, 3600.0);
+  const double night = est_.dirty_energy_joules(node_, 0.0, 3600.0);
+  EXPECT_LT(day, night);
+}
+
+TEST_F(EstimatorTest, LocationsDifferInDirtyRate) {
+  cluster::NodeSpec a = node_;
+  a.location = 0;
+  cluster::NodeSpec b = node_;
+  b.location = 3;
+  const double t0 = 10 * 3600.0, w = 4 * 3600.0;
+  EXPECT_NE(est_.dirty_rate(a, t0, w), est_.dirty_rate(b, t0, w));
+}
+
+TEST_F(EstimatorTest, RejectsUnknownLocation) {
+  cluster::NodeSpec bad = node_;
+  bad.location = 99;
+  EXPECT_THROW((void)est_.dirty_rate(bad, 0, 3600), common::ConfigError);
+}
+
+}  // namespace
+}  // namespace hetsim::energy

@@ -1,0 +1,176 @@
+// Tests for the progressive-sampling heterogeneity estimator: the fitted
+// per-node models must recover the ground-truth work profile and the
+// cluster's speed ratios.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/error.h"
+#include "estimator/progressive.h"
+#include "stratify/kmodes.h"
+
+namespace hetsim::estimator {
+namespace {
+
+stratify::Stratification uniform_strat(std::size_t n, std::uint32_t k) {
+  stratify::Stratification s;
+  s.assignment.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.assignment[i] = static_cast<std::uint32_t>(i % k);
+  }
+  s.num_strata = k;
+  s.stratum_sizes.assign(k, 0);
+  for (const auto a : s.assignment) ++s.stratum_sizes[a];
+  return s;
+}
+
+TEST(Progressive, RecoversLinearWorkProfile) {
+  cluster::Cluster c(cluster::standard_cluster(4));
+  const auto strat = uniform_strat(100000, 8);
+  // Ground truth: 3 work units per record + 1000 fixed units.
+  const SampleRunner runner = [](cluster::NodeContext& ctx,
+                                 std::span<const std::uint32_t> indices) {
+    ctx.meter().add(1000.0 + 3.0 * static_cast<double>(indices.size()));
+  };
+  const auto models = estimate_time_models(c, strat, runner);
+  ASSERT_EQ(models.size(), 4u);
+  const double base_rate = c.options().work_rate.base_rate;
+  for (const auto& m : models) {
+    const double speed = c.node(m.node_id).speed;
+    // slope = 3 / (base_rate * speed)
+    EXPECT_NEAR(m.fit.slope, 3.0 / (base_rate * speed), 1e-9)
+        << "node " << m.node_id;
+    EXPECT_GT(m.fit.r2, 0.999);
+  }
+}
+
+TEST(Progressive, SlopesReflectSpeedRatios) {
+  cluster::Cluster c(cluster::standard_cluster(4));  // speeds 4,3,2,1
+  const auto strat = uniform_strat(50000, 4);
+  const SampleRunner runner = [](cluster::NodeContext& ctx,
+                                 std::span<const std::uint32_t> indices) {
+    ctx.meter().add(static_cast<double>(indices.size()));
+  };
+  const auto models = estimate_time_models(c, strat, runner);
+  EXPECT_NEAR(models[3].fit.slope / models[0].fit.slope, 4.0, 1e-6);
+  EXPECT_NEAR(models[2].fit.slope / models[1].fit.slope, 1.5, 1e-6);
+}
+
+TEST(Progressive, SampleSizesSpanConfiguredRange) {
+  cluster::Cluster c(cluster::standard_cluster(2));
+  const std::size_t n = 200000;
+  const auto strat = uniform_strat(n, 4);
+  SampleSpec spec;
+  spec.min_fraction = 0.001;
+  spec.max_fraction = 0.02;
+  spec.steps = 5;
+  const SampleRunner runner = [](cluster::NodeContext& ctx,
+                                 std::span<const std::uint32_t> indices) {
+    ctx.meter().add(static_cast<double>(indices.size()));
+  };
+  const auto models = estimate_time_models(c, strat, runner, spec);
+  ASSERT_EQ(models[0].sample_sizes.size(), 5u);
+  EXPECT_NEAR(models[0].sample_sizes.front(), 0.001 * n, 2.0);
+  EXPECT_NEAR(models[0].sample_sizes.back(), 0.02 * n, 2.0);
+  // Strictly increasing sizes.
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GT(models[0].sample_sizes[i], models[0].sample_sizes[i - 1]);
+  }
+}
+
+TEST(Progressive, EstimationAdvancesClusterClock) {
+  cluster::Cluster c(cluster::standard_cluster(2));
+  const auto strat = uniform_strat(10000, 2);
+  const SampleRunner runner = [](cluster::NodeContext& ctx,
+                                 std::span<const std::uint32_t> indices) {
+    ctx.meter().add(static_cast<double>(indices.size()));
+  };
+  const double before = c.now();
+  (void)estimate_time_models(c, strat, runner);
+  EXPECT_GT(c.now(), before);
+}
+
+TEST(Progressive, NegativeInterceptClampedToZero) {
+  cluster::Cluster c(cluster::standard_cluster(2));
+  const auto strat = uniform_strat(100000, 2);
+  // Superlinear work produces a linear fit with a negative intercept.
+  const SampleRunner runner = [](cluster::NodeContext& ctx,
+                                 std::span<const std::uint32_t> indices) {
+    const double n = static_cast<double>(indices.size());
+    ctx.meter().add(n * n / 500.0);
+  };
+  const auto models = estimate_time_models(c, strat, runner);
+  for (const auto& m : models) EXPECT_GE(m.fit.intercept, 0.0);
+}
+
+TEST(Progressive, PredictSecondsExtrapolates) {
+  cluster::Cluster c(cluster::standard_cluster(1));
+  const auto strat = uniform_strat(100000, 2);
+  const SampleRunner runner = [](cluster::NodeContext& ctx,
+                                 std::span<const std::uint32_t> indices) {
+    ctx.meter().add(2.0 * static_cast<double>(indices.size()));
+  };
+  const auto models = estimate_time_models(c, strat, runner);
+  const double base_rate = c.options().work_rate.base_rate;
+  const double speed = c.node(0).speed;
+  EXPECT_NEAR(models[0].predict_seconds(1e6),
+              2e6 / (base_rate * speed), 1e-3);
+}
+
+TEST(Progressive, LooErrorNearZeroForLinearProfile) {
+  cluster::Cluster c(cluster::standard_cluster(2));
+  const auto strat = uniform_strat(100000, 4);
+  const SampleRunner runner = [](cluster::NodeContext& ctx,
+                                 std::span<const std::uint32_t> indices) {
+    ctx.meter().add(5.0 * static_cast<double>(indices.size()) + 100.0);
+  };
+  const auto models = estimate_time_models(c, strat, runner);
+  for (const auto& m : models) {
+    EXPECT_LT(loo_relative_error(m), 1e-6);
+  }
+}
+
+TEST(Progressive, LooErrorFlagsNonlinearProfile) {
+  cluster::Cluster c(cluster::standard_cluster(1));
+  const auto strat = uniform_strat(100000, 4);
+  SampleSpec spec;
+  spec.min_fraction = 0.001;
+  spec.max_fraction = 0.05;
+  spec.steps = 6;
+  const SampleRunner cubic = [](cluster::NodeContext& ctx,
+                                std::span<const std::uint32_t> indices) {
+    const double n = static_cast<double>(indices.size());
+    ctx.meter().add(n * n * n / 1e4);
+  };
+  const auto models = estimate_time_models(c, strat, cubic, spec);
+  EXPECT_GT(loo_relative_error(models[0]), 0.05);
+}
+
+TEST(Progressive, LooNeedsThreePoints) {
+  NodeTimeModel tiny;
+  tiny.sample_sizes = {1.0, 2.0};
+  tiny.times_s = {1.0, 2.0};
+  EXPECT_THROW((void)loo_relative_error(tiny), common::ConfigError);
+}
+
+TEST(Progressive, RejectsBadSpecs) {
+  cluster::Cluster c(cluster::standard_cluster(2));
+  const auto strat = uniform_strat(100, 2);
+  const SampleRunner runner = [](cluster::NodeContext& ctx,
+                                 std::span<const std::uint32_t>) {
+    ctx.meter().add(1.0);
+  };
+  SampleSpec bad;
+  bad.steps = 1;
+  EXPECT_THROW((void)estimate_time_models(c, strat, runner, bad),
+               common::ConfigError);
+  bad = SampleSpec{};
+  bad.min_fraction = 0.5;
+  bad.max_fraction = 0.1;
+  EXPECT_THROW((void)estimate_time_models(c, strat, runner, bad),
+               common::ConfigError);
+  EXPECT_THROW((void)estimate_time_models(c, strat, nullptr, SampleSpec{}),
+               common::ConfigError);
+}
+
+}  // namespace
+}  // namespace hetsim::estimator

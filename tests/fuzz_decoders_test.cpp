@@ -1,0 +1,144 @@
+// Fuzz-lite robustness suite: every decoder in the library is fed
+// random byte strings and mutated valid streams. The contract under
+// test: decoders either succeed or throw StoreError — never crash,
+// hang, or read out of bounds. (Run under ASan/UBSan for full effect;
+// the assertions here catch the exception-contract half.)
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "compress/huffman.h"
+#include "compress/lz77.h"
+#include "compress/webgraph.h"
+#include "data/dataset.h"
+#include "kvstore/codec.h"
+#include "kvstore/resp.h"
+
+namespace hetsim {
+namespace {
+
+std::string random_bytes(common::Rng& rng, std::size_t max_len) {
+  std::string s;
+  const std::size_t len = rng.bounded(max_len + 1);
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng.bounded(256)));
+  }
+  return s;
+}
+
+/// Run `decode` on the input; pass if it returns or throws StoreError.
+template <typename F>
+::testing::AssertionResult tolerates(F&& decode, const std::string& input) {
+  try {
+    decode(input);
+    return ::testing::AssertionSuccess();
+  } catch (const common::StoreError&) {
+    return ::testing::AssertionSuccess();
+  } catch (const std::exception& e) {
+    return ::testing::AssertionFailure()
+           << "unexpected exception type: " << e.what();
+  }
+}
+
+class FuzzDecoders : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  common::Rng rng_{GetParam()};
+};
+
+TEST_P(FuzzDecoders, RespToleratesGarbage) {
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = random_bytes(rng_, 64);
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)kvstore::resp::decode_all(s); },
+        input));
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)kvstore::resp::decode_command(s); },
+        input));
+  }
+}
+
+TEST_P(FuzzDecoders, RespToleratesMutatedValidStreams) {
+  const kvstore::Command cmd{.type = kvstore::CommandType::kSet,
+                             .key = "key",
+                             .value = "some-value"};
+  const std::string valid = kvstore::resp::encode_command(cmd);
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = valid;
+    mutated[rng_.bounded(mutated.size())] =
+        static_cast<char>(rng_.bounded(256));
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)kvstore::resp::decode_command(s); },
+        mutated));
+  }
+}
+
+TEST_P(FuzzDecoders, Lz77ToleratesGarbage) {
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)compress::lz77_decompress(s); },
+        random_bytes(rng_, 256)));
+  }
+}
+
+TEST_P(FuzzDecoders, Lz77ToleratesTruncationAndMutation) {
+  std::string input;
+  for (int i = 0; i < 300; ++i) input += "abcabcXYZ";
+  const std::string valid = compress::lz77_compress(input);
+  for (int i = 0; i < 100; ++i) {
+    std::string bad = valid.substr(0, rng_.bounded(valid.size()));
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)compress::lz77_decompress(s); },
+        bad));
+    std::string mutated = valid;
+    mutated[rng_.bounded(mutated.size())] =
+        static_cast<char>(rng_.bounded(256));
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)compress::lz77_decompress(s); },
+        mutated));
+  }
+}
+
+TEST_P(FuzzDecoders, HuffmanToleratesGarbage) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)compress::huffman_decompress(s); },
+        random_bytes(rng_, 512)));
+  }
+  // Mutated valid stream.
+  const std::string valid = compress::huffman_compress("hello hello hello");
+  for (int i = 0; i < 100; ++i) {
+    std::string mutated = valid;
+    mutated[rng_.bounded(mutated.size())] =
+        static_cast<char>(rng_.bounded(256));
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)compress::huffman_decompress(s); },
+        mutated));
+  }
+}
+
+TEST_P(FuzzDecoders, KvCodecToleratesGarbage) {
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = random_bytes(rng_, 128);
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)kvstore::unpack_records(s); }, input));
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)kvstore::decode_u32s(s); }, input));
+  }
+}
+
+TEST_P(FuzzDecoders, DatasetPayloadsTolerateGarbage) {
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = random_bytes(rng_, 128);
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)data::decode_items(s); }, input));
+    EXPECT_TRUE(tolerates(
+        [](const std::string& s) { (void)data::decode_tree(s); }, input));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecoders,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace hetsim

@@ -1,0 +1,135 @@
+// Tests for the canonical Huffman coder and the DEFLATE-like pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "compress/huffman.h"
+#include "compress/lz77.h"
+
+namespace hetsim::compress {
+namespace {
+
+TEST(Huffman, RoundTripAssortedInputs) {
+  common::Rng rng(77);
+  std::vector<std::string> inputs{"", "a", "ab", "aaaaaaaaaa",
+                                  "the quick brown fox"};
+  std::string uniform;
+  for (int i = 0; i < 4096; ++i) {
+    uniform.push_back(static_cast<char>(rng.bounded(256)));
+  }
+  inputs.push_back(uniform);
+  std::string skewed;
+  for (int i = 0; i < 10000; ++i) {
+    skewed.push_back(static_cast<char>('a' + rng.zipf(20, 1.5)));
+  }
+  inputs.push_back(skewed);
+  for (const std::string& input : inputs) {
+    const std::string packed = huffman_compress(input);
+    EXPECT_EQ(huffman_decompress(packed), input) << "size " << input.size();
+  }
+}
+
+TEST(Huffman, SkewedInputCompressesNearEntropy) {
+  // Two symbols at 90/10: entropy ~0.47 bits/byte.
+  common::Rng rng(5);
+  std::string input;
+  for (int i = 0; i < 20000; ++i) {
+    input.push_back(rng.uniform() < 0.9 ? 'x' : 'y');
+  }
+  HuffmanStats stats;
+  const std::string packed = huffman_compress(input, &stats);
+  // 1 bit per symbol is the floor for a 2-symbol Huffman code.
+  EXPECT_LE(stats.output_bits, 20000u + 64);
+  EXPECT_EQ(huffman_decompress(packed), input);
+}
+
+TEST(Huffman, UniformBytesCostAboutEightBits) {
+  common::Rng rng(9);
+  std::string input;
+  for (int i = 0; i < 8192; ++i) {
+    input.push_back(static_cast<char>(rng.bounded(256)));
+  }
+  HuffmanStats stats;
+  (void)huffman_compress(input, &stats);
+  const double bits_per_byte =
+      static_cast<double>(stats.output_bits) / input.size();
+  EXPECT_GT(bits_per_byte, 7.5);
+  EXPECT_LT(bits_per_byte, 8.5);
+}
+
+TEST(Huffman, CodeLengthsSatisfyKraft) {
+  common::Rng rng(13);
+  std::string input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<char>('a' + rng.zipf(30, 1.2)));
+  }
+  HuffmanStats stats;
+  (void)huffman_compress(input, &stats);
+  double kraft = 0.0;
+  for (const std::uint32_t len : stats.code_lengths) {
+    if (len > 0) kraft += std::pow(2.0, -static_cast<double>(len));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+  EXPECT_GT(kraft, 0.99);  // full binary tree uses the whole budget
+}
+
+TEST(Huffman, SingleSymbolInput) {
+  const std::string input(1000, 'z');
+  HuffmanStats stats;
+  const std::string packed = huffman_compress(input, &stats);
+  EXPECT_EQ(stats.code_lengths['z'], 1u);
+  EXPECT_EQ(huffman_decompress(packed), input);
+  // ~1 bit/symbol plus the fixed 260-byte header.
+  EXPECT_LT(packed.size(), 4 + 256 + 1000 / 8 + 2);
+}
+
+TEST(Huffman, TruncatedInputThrows) {
+  const std::string packed = huffman_compress("hello world");
+  EXPECT_THROW((void)huffman_decompress(packed.substr(0, 100)),
+               common::StoreError);
+  EXPECT_THROW((void)huffman_decompress("xy"), common::StoreError);
+}
+
+TEST(Huffman, CorruptLengthsRejected) {
+  std::string packed = huffman_compress("hello hello hello");
+  packed[4 + 'h'] = 60;  // invalid code length > 32
+  EXPECT_THROW((void)huffman_decompress(packed), common::StoreError);
+}
+
+TEST(Deflate, RoundTripOnStructuredPayload) {
+  // Large semi-structured payload: enough residual literal redundancy
+  // for the entropy stage to beat raw LZ77 despite its 260-byte header.
+  common::Rng rng(3);
+  std::string input;
+  for (int i = 0; i < 8000; ++i) {
+    input += "rec|";
+    for (int k = 0; k < 6; ++k) {
+      input.push_back(static_cast<char>('a' + rng.zipf(16, 1.3)));
+    }
+  }
+  std::uint64_t ops = 0;
+  const std::string packed = deflate_compress(input, &ops);
+  EXPECT_EQ(deflate_decompress(packed), input);
+  EXPECT_GT(ops, 0u);
+  const std::string lz_only = lz77_compress(input);
+  EXPECT_LT(packed.size(), lz_only.size());
+}
+
+TEST(Deflate, RandomDataRoundTrips) {
+  common::Rng rng(21);
+  std::string input;
+  for (int i = 0; i < 30000; ++i) {
+    input.push_back(static_cast<char>(rng.bounded(256)));
+  }
+  EXPECT_EQ(deflate_decompress(deflate_compress(input)), input);
+}
+
+TEST(Deflate, EmptyInput) {
+  EXPECT_EQ(deflate_decompress(deflate_compress("")), "");
+}
+
+}  // namespace
+}  // namespace hetsim::compress

@@ -1,0 +1,127 @@
+// Integration matrix: every workload kind crossed with every strategy,
+// asserting the invariants that must hold for ANY (workload, strategy)
+// combination — exact record conservation, non-negative energy split,
+// quality present, Het-Aware no slower than the Stratified baseline,
+// and JSON serializability of each report.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "core/compression_workload.h"
+#include "core/framework.h"
+#include "core/mining_workload.h"
+#include "core/report_io.h"
+#include "core/subtree_workload.h"
+#include "data/generators.h"
+
+namespace hetsim::core {
+namespace {
+
+struct MatrixCase {
+  const char* name;
+  data::Dataset (*make_dataset)();
+  std::unique_ptr<Workload> (*make_workload)();
+};
+
+data::Dataset text_dataset() {
+  return data::generate_text_corpus(data::rcv1_like(0.25), "matrix-text");
+}
+data::Dataset tree_dataset() {
+  return data::generate_tree_corpus(data::swissprot_like(0.4), "matrix-tree");
+}
+data::Dataset graph_dataset() {
+  return data::generate_graph_corpus(data::uk_like(0.12), "matrix-graph");
+}
+
+std::unique_ptr<Workload> apriori_workload() {
+  return std::make_unique<PatternMiningWorkload>(
+      mining::AprioriConfig{.min_support = 0.08, .max_pattern_length = 3});
+}
+std::unique_ptr<Workload> subtree_workload() {
+  return std::make_unique<SubtreeMiningWorkload>(
+      mining::TreeMinerConfig{.min_support = 0.08, .max_pattern_nodes = 2});
+}
+std::unique_ptr<Workload> webgraph_workload() {
+  return std::make_unique<CompressionWorkload>(
+      CompressionWorkload::Algorithm::kWebGraph);
+}
+std::unique_ptr<Workload> lz77_workload() {
+  return std::make_unique<CompressionWorkload>(
+      CompressionWorkload::Algorithm::kLz77);
+}
+std::unique_ptr<Workload> deflate_workload() {
+  return std::make_unique<CompressionWorkload>(
+      CompressionWorkload::Algorithm::kDeflate);
+}
+
+class IntegrationMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(IntegrationMatrix, AllStrategiesSatisfyInvariants) {
+  const MatrixCase& c = GetParam();
+  const data::Dataset ds = c.make_dataset();
+  const std::unique_ptr<Workload> workload = c.make_workload();
+
+  cluster::Cluster cluster(cluster::standard_cluster(8));
+  const energy::GreenEnergyEstimator energy =
+      energy::GreenEnergyEstimator::standard(72);
+  FrameworkConfig cfg;
+  cfg.sketch.num_hashes = 32;
+  cfg.kmodes.num_strata = 12;
+  cfg.kmodes.max_iterations = 8;
+  cfg.sampling.steps = 4;
+  cfg.sampling.min_fraction = 0.02;
+  cfg.sampling.max_fraction = 0.10;
+  cfg.sampling.min_records = 30;
+  cfg.normalized_alpha = true;
+  cfg.energy_alpha = 0.7;
+  ParetoFramework framework(cluster, energy, cfg);
+  framework.prepare(ds, *workload);
+
+  double stratified_time = 0.0;
+  double het_time = 0.0;
+  for (const Strategy strategy :
+       {Strategy::kRandom, Strategy::kStratified, Strategy::kHetAware,
+        Strategy::kHetEnergyAware}) {
+    const JobReport r = framework.run(strategy, ds, *workload);
+    SCOPED_TRACE(std::string(c.name) + " / " + strategy_name(strategy));
+    // Record conservation.
+    EXPECT_EQ(std::accumulate(r.partition_sizes.begin(),
+                              r.partition_sizes.end(), std::size_t{0}),
+              ds.size());
+    // Time and energy sanity.
+    EXPECT_GT(r.exec_time_s, 0.0);
+    EXPECT_GT(r.load_time_s, 0.0);
+    EXPECT_GE(r.dirty_energy_j, 0.0);
+    EXPECT_GE(r.green_energy_j, 0.0);
+    EXPECT_GT(r.total_work_units, 0.0);
+    EXPECT_GT(r.quality, 0.0);
+    // Reports serialize.
+    const std::string json = to_json(r);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find(strategy_name(strategy)), std::string::npos);
+    if (strategy == Strategy::kStratified) stratified_time = r.exec_time_s;
+    if (strategy == Strategy::kHetAware) het_time = r.exec_time_s;
+  }
+  // The paper's core claim, required of every workload.
+  EXPECT_LT(het_time, stratified_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, IntegrationMatrix,
+    ::testing::Values(
+        MatrixCase{"apriori-text", &text_dataset, &apriori_workload},
+        MatrixCase{"subtree-tree", &tree_dataset, &subtree_workload},
+        MatrixCase{"webgraph-graph", &graph_dataset, &webgraph_workload},
+        MatrixCase{"lz77-graph", &graph_dataset, &lz77_workload},
+        MatrixCase{"deflate-graph", &graph_dataset, &deflate_workload}),
+    [](const ::testing::TestParamInfo<MatrixCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace hetsim::core

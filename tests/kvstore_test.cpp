@@ -1,0 +1,279 @@
+// Unit tests for the kvstore substrate: store semantics, codec framing,
+// pipelined client cost accounting, and the INCR-based barrier.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "kvstore/barrier.h"
+#include "kvstore/client.h"
+#include "kvstore/codec.h"
+#include "kvstore/store.h"
+#include "net/fabric.h"
+
+namespace hetsim::kvstore {
+namespace {
+
+TEST(Store, SetGetRoundTrip) {
+  Store s;
+  s.set("k", "value");
+  EXPECT_EQ(s.get("k"), "value");
+  EXPECT_EQ(s.get("missing"), std::nullopt);
+}
+
+TEST(Store, OverwriteReplaces) {
+  Store s;
+  s.set("k", "a");
+  s.set("k", "b");
+  EXPECT_EQ(s.get("k"), "b");
+}
+
+TEST(Store, TypeMismatchThrows) {
+  Store s;
+  s.set("str", "x");
+  EXPECT_THROW((void)s.rpush("str", "y"), common::StoreError);
+  (void)s.rpush("list", "y");
+  EXPECT_THROW((void)s.get("list"), common::StoreError);
+  (void)s.incrby("ctr", 1);
+  EXPECT_THROW((void)s.lrange("ctr", 0, -1), common::StoreError);
+}
+
+TEST(Store, RPushGrowsAndLLenCounts) {
+  Store s;
+  EXPECT_EQ(s.rpush("l", "a"), 1u);
+  EXPECT_EQ(s.rpush("l", "b"), 2u);
+  EXPECT_EQ(s.llen("l"), 2u);
+  EXPECT_EQ(s.llen("nope"), 0u);
+}
+
+TEST(Store, LRangeRedisSemantics) {
+  Store s;
+  for (const char* e : {"a", "b", "c", "d"}) (void)s.rpush("l", e);
+  EXPECT_EQ(s.lrange("l", 0, -1), (std::vector<std::string>{"a", "b", "c", "d"}));
+  EXPECT_EQ(s.lrange("l", 1, 2), (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(s.lrange("l", -2, -1), (std::vector<std::string>{"c", "d"}));
+  EXPECT_TRUE(s.lrange("l", 3, 1).empty());
+  EXPECT_TRUE(s.lrange("l", 10, 20).empty());
+  EXPECT_TRUE(s.lrange("missing", 0, -1).empty());
+}
+
+TEST(Store, LIndexBothEnds) {
+  Store s;
+  for (const char* e : {"a", "b", "c"}) (void)s.rpush("l", e);
+  EXPECT_EQ(s.lindex("l", 0), "a");
+  EXPECT_EQ(s.lindex("l", -1), "c");
+  EXPECT_EQ(s.lindex("l", 3), std::nullopt);
+  EXPECT_EQ(s.lindex("l", -4), std::nullopt);
+}
+
+TEST(Store, IncrByIsFetchAndAdd) {
+  Store s;
+  EXPECT_EQ(s.incrby("c", 1), 1);
+  EXPECT_EQ(s.incrby("c", 5), 6);
+  EXPECT_EQ(s.incrby("c", -2), 4);
+  EXPECT_EQ(s.counter("c"), 4);
+  EXPECT_EQ(s.counter("fresh"), 0);
+}
+
+TEST(Store, DelAndExists) {
+  Store s;
+  s.set("k", "v");
+  EXPECT_TRUE(s.exists("k"));
+  EXPECT_TRUE(s.del("k"));
+  EXPECT_FALSE(s.exists("k"));
+  EXPECT_FALSE(s.del("k"));
+}
+
+TEST(Store, StatsTrackKeysAndBytes) {
+  Store s;
+  s.set("key", "12345");
+  (void)s.rpush("list", "abc");
+  const StoreStats st = s.stats();
+  EXPECT_EQ(st.keys, 2u);
+  EXPECT_EQ(st.bytes, 3 + 5 + 4 + 3u);  // "key"+"12345"+"list"+"abc"
+}
+
+TEST(Store, ConcurrentIncrIsAtomic) {
+  Store s;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s] {
+      for (int i = 0; i < kIncrements; ++i) (void)s.incrby("c", 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(s.counter("c"), kThreads * kIncrements);
+}
+
+TEST(Codec, FrameAndUnpackRoundTrip) {
+  std::vector<std::string> records{"", "a", "hello world", std::string(1000, 'x')};
+  const std::string blob = pack_records(records);
+  EXPECT_EQ(unpack_records(blob), records);
+  EXPECT_EQ(count_records(blob), records.size());
+}
+
+TEST(Codec, FrameRecordPrefixesLength) {
+  const std::string framed = frame_record("abc");
+  ASSERT_EQ(framed.size(), 7u);
+  EXPECT_EQ(static_cast<unsigned char>(framed[0]), 3);
+  EXPECT_EQ(framed.substr(4), "abc");
+}
+
+TEST(Codec, TruncatedBlobThrows) {
+  std::string blob = frame_record("abcdef");
+  blob.resize(blob.size() - 2);
+  EXPECT_THROW((void)unpack_records(blob), common::StoreError);
+  EXPECT_THROW((void)count_records(blob), common::StoreError);
+}
+
+TEST(Codec, U32VectorRoundTrip) {
+  const std::vector<std::uint32_t> values{0, 1, 42, 0xffffffffu};
+  EXPECT_EQ(decode_u32s(encode_u32s(values)), values);
+  EXPECT_THROW((void)decode_u32s("abc"), common::StoreError);
+}
+
+TEST(Codec, U64VectorRoundTrip) {
+  const std::vector<std::uint64_t> values{0, 1, 0xdeadbeefcafef00dULL};
+  EXPECT_EQ(decode_u64s(encode_u64s(values)), values);
+}
+
+class ClientTest : public ::testing::Test {
+ protected:
+  net::Fabric fabric_{2};
+  Store store_;
+};
+
+TEST_F(ClientTest, ImmediateOpsWork) {
+  Client c(fabric_, 0, 1, store_);
+  c.set("k", "v");
+  EXPECT_EQ(c.get("k"), "v");
+  EXPECT_EQ(c.get("missing"), std::nullopt);
+  EXPECT_EQ(c.rpush("l", "a"), 1u);
+  EXPECT_EQ(c.llen("l"), 1u);
+  EXPECT_EQ(c.lrange("l", 0, -1), std::vector<std::string>{"a"});
+  EXPECT_EQ(c.incrby("c", 7), 7);
+  EXPECT_EQ(c.counter("c"), 7);
+}
+
+TEST_F(ClientTest, EveryImmediateOpCostsARoundTrip) {
+  Client c(fabric_, 0, 1, store_);
+  c.set("a", "1");
+  c.set("b", "2");
+  const net::LinkStats st = fabric_.stats(0, 1);
+  EXPECT_EQ(st.round_trips, 2u);
+  EXPECT_EQ(st.messages, 2u);
+  EXPECT_GT(c.consumed_time(), 0.0);
+}
+
+TEST_F(ClientTest, PipelineBatchesIntoOneRoundTrip) {
+  Client c(fabric_, 0, 1, store_, /*pipeline_width=*/100);
+  for (int i = 0; i < 50; ++i) {
+    c.enqueue({.type = CommandType::kSet,
+               .key = "k" + std::to_string(i),
+               .value = "v"});
+  }
+  const auto replies = c.drain();
+  EXPECT_EQ(replies.size(), 50u);
+  const net::LinkStats st = fabric_.stats(0, 1);
+  EXPECT_EQ(st.round_trips, 1u);
+  EXPECT_EQ(st.messages, 50u);
+}
+
+TEST_F(ClientTest, PipelineAutoFlushesAtWidth) {
+  Client c(fabric_, 0, 1, store_, /*pipeline_width=*/10);
+  for (int i = 0; i < 25; ++i) {
+    c.enqueue({.type = CommandType::kSet,
+               .key = "k" + std::to_string(i),
+               .value = "v"});
+  }
+  const auto replies = c.drain();
+  EXPECT_EQ(replies.size(), 25u);
+  // 10 + 10 auto-flushed, 5 in the final drain.
+  EXPECT_EQ(fabric_.stats(0, 1).round_trips, 3u);
+}
+
+TEST_F(ClientTest, PipeliningIsCheaperThanImmediate) {
+  Client imm(fabric_, 0, 1, store_);
+  for (int i = 0; i < 20; ++i) imm.set("a" + std::to_string(i), "v");
+  Client pipe(fabric_, 0, 1, store_, 64);
+  for (int i = 0; i < 20; ++i) {
+    pipe.enqueue({.type = CommandType::kSet,
+                  .key = "b" + std::to_string(i),
+                  .value = "v"});
+  }
+  (void)pipe.drain();
+  EXPECT_LT(pipe.consumed_time(), imm.consumed_time() / 5.0);
+}
+
+TEST_F(ClientTest, PipelinedRepliesPreserveOrder) {
+  Client c(fabric_, 0, 1, store_, 4);
+  store_.set("x", "X");
+  c.enqueue({.type = CommandType::kGet, .key = "x"});
+  c.enqueue({.type = CommandType::kGet, .key = "missing"});
+  c.enqueue({.type = CommandType::kIncrBy, .key = "n", .arg0 = 3});
+  const auto replies = c.drain();
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].blob, "X");
+  EXPECT_FALSE(replies[1].ok);
+  EXPECT_EQ(replies[2].integer, 3);
+}
+
+TEST(Barrier, SingleThreadEpochsAdvance) {
+  Store s;
+  Barrier b(s, "test", 1);
+  EXPECT_EQ(b.arrive_and_wait(), 0u);
+  EXPECT_EQ(b.arrive_and_wait(), 0u);
+  EXPECT_EQ(s.counter("barrier:test"), 2);
+}
+
+TEST(Barrier, ThreadsRendezvous) {
+  Store s;
+  constexpr std::uint32_t kParties = 4;
+  Barrier b(s, "sync", kParties);
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  std::atomic<bool> ordering_ok{true};
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      ++before;
+      b.arrive_and_wait();
+      // Everyone must have arrived before anyone proceeds.
+      if (before.load() != kParties) ordering_ok = false;
+      ++after;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ordering_ok);
+  EXPECT_EQ(after.load(), static_cast<int>(kParties));
+}
+
+TEST(Barrier, ReusableAcrossEpochs) {
+  Store s;
+  constexpr std::uint32_t kParties = 3;
+  constexpr int kEpochs = 5;
+  Barrier b(s, "loop", kParties);
+  std::atomic<int> counter{0};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int e = 0; e < kEpochs; ++e) {
+        ++counter;
+        b.arrive_and_wait();
+        // After epoch e, exactly (e+1)*parties arrivals happened.
+        if (counter.load() < (e + 1) * static_cast<int>(kParties)) ok = false;
+        b.arrive_and_wait();  // second barrier so epochs don't overlap
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace hetsim::kvstore

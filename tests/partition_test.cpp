@@ -1,0 +1,186 @@
+// Tests for the data partitioner: both layouts, baselines, exact size
+// compliance, disjointness/coverage invariants, and the statistical
+// properties each layout promises.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "partition/partitioner.h"
+#include "stratify/kmodes.h"
+
+namespace hetsim::partition {
+namespace {
+
+stratify::Stratification make_strat(std::vector<std::uint32_t> assignment,
+                                    std::uint32_t k) {
+  stratify::Stratification s;
+  s.assignment = std::move(assignment);
+  s.num_strata = k;
+  s.stratum_sizes.assign(k, 0);
+  for (const auto a : s.assignment) ++s.stratum_sizes[a];
+  return s;
+}
+
+/// Stratification with `per_stratum` records in each of `k` strata,
+/// interleaved so record order doesn't trivially align with strata.
+stratify::Stratification interleaved(std::uint32_t k, std::uint32_t per_stratum) {
+  std::vector<std::uint32_t> assignment(k * per_stratum);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = static_cast<std::uint32_t>(i % k);
+  }
+  return make_strat(std::move(assignment), k);
+}
+
+void check_disjoint_cover(const PartitionAssignment& pa, std::size_t n) {
+  std::set<std::uint32_t> seen;
+  for (const auto& part : pa.partitions) {
+    for (const auto i : part) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate record " << i;
+      EXPECT_LT(i, n);
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(Partitioner, RepresentativeRespectsSizesExactly) {
+  const auto strat = interleaved(5, 40);  // 200 records
+  const std::vector<std::size_t> sizes{70, 60, 40, 30};
+  const auto pa = make_partitions(strat, sizes, Layout::kRepresentative);
+  ASSERT_EQ(pa.partitions.size(), 4u);
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    EXPECT_EQ(pa.partitions[p].size(), sizes[p]);
+  }
+  check_disjoint_cover(pa, 200);
+}
+
+TEST(Partitioner, RepresentativePartitionsMirrorGlobalMix) {
+  const auto strat = interleaved(4, 100);  // 400 records, uniform strata
+  const std::vector<std::size_t> sizes{160, 120, 80, 40};
+  const auto pa = make_partitions(strat, sizes, Layout::kRepresentative);
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    EXPECT_LT(representativeness_l1(pa, p, strat), 0.15)
+        << "partition " << p << " deviates from the global stratum mix";
+  }
+}
+
+TEST(Partitioner, RepresentativeBeatsSimilarOnRepresentativeness) {
+  const auto strat = interleaved(4, 100);
+  const std::vector<std::size_t> sizes{100, 100, 100, 100};
+  const auto rep = make_partitions(strat, sizes, Layout::kRepresentative);
+  const auto sim = make_partitions(strat, sizes, Layout::kSimilarTogether);
+  double rep_dev = 0, sim_dev = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    rep_dev += representativeness_l1(rep, p, strat);
+    sim_dev += representativeness_l1(sim, p, strat);
+  }
+  EXPECT_LT(rep_dev, sim_dev / 2.0);
+}
+
+TEST(Partitioner, SimilarTogetherKeepsStrataContiguous) {
+  const auto strat = interleaved(4, 25);  // 100 records, strata of 25
+  const std::vector<std::size_t> sizes{25, 25, 25, 25};
+  const auto pa = make_partitions(strat, sizes, Layout::kSimilarTogether);
+  check_disjoint_cover(pa, 100);
+  // Sizes match strata here, so each partition must be pure.
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto hist = pa.stratum_histogram(p, strat);
+    std::size_t nonzero = 0;
+    for (const auto h : hist) {
+      if (h > 0) ++nonzero;
+    }
+    EXPECT_EQ(nonzero, 1u) << "partition " << p << " mixes strata";
+  }
+}
+
+TEST(Partitioner, SimilarTogetherMinimizesStrataSpread) {
+  const auto strat = interleaved(8, 25);  // 200 records
+  const std::vector<std::size_t> sizes{80, 60, 40, 20};
+  const auto pa = make_partitions(strat, sizes, Layout::kSimilarTogether);
+  check_disjoint_cover(pa, 200);
+  // A chunk of size s crossing strata of size 25 touches at most
+  // ceil(s/25) + 1 strata.
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    const auto hist = pa.stratum_histogram(p, strat);
+    std::size_t touched = 0;
+    for (const auto h : hist) {
+      if (h > 0) ++touched;
+    }
+    EXPECT_LE(touched, sizes[p] / 25 + 2);
+  }
+}
+
+TEST(Partitioner, ZeroSizedPartitionsAllowed) {
+  const auto strat = interleaved(2, 10);
+  const std::vector<std::size_t> sizes{20, 0};
+  for (const Layout layout :
+       {Layout::kRepresentative, Layout::kSimilarTogether}) {
+    const auto pa = make_partitions(strat, sizes, layout);
+    EXPECT_EQ(pa.partitions[0].size(), 20u);
+    EXPECT_TRUE(pa.partitions[1].empty());
+  }
+}
+
+TEST(Partitioner, DeterministicForSeed) {
+  const auto strat = interleaved(4, 50);
+  const std::vector<std::size_t> sizes{120, 50, 20, 10};
+  const auto a = make_partitions(strat, sizes, Layout::kRepresentative, 7);
+  const auto b = make_partitions(strat, sizes, Layout::kRepresentative, 7);
+  const auto c = make_partitions(strat, sizes, Layout::kRepresentative, 8);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(a.partitions[p], b.partitions[p]);
+  }
+  // Different seed shuffles stratum pools differently.
+  bool any_diff = false;
+  for (std::size_t p = 0; p < 4; ++p) {
+    if (a.partitions[p] != c.partitions[p]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Partitioner, RandomPartitionsCoverEverything) {
+  const std::vector<std::size_t> sizes{33, 33, 34};
+  const auto pa = random_partitions(100, sizes);
+  check_disjoint_cover(pa, 100);
+  EXPECT_EQ(pa.total_records(), 100u);
+}
+
+TEST(Partitioner, RejectsSizeMismatch) {
+  const auto strat = interleaved(2, 10);
+  const std::vector<std::size_t> wrong{5, 5};
+  EXPECT_THROW((void)make_partitions(strat, wrong, Layout::kRepresentative),
+               common::ConfigError);
+  EXPECT_THROW((void)random_partitions(100, wrong), common::ConfigError);
+}
+
+TEST(Partitioner, HistogramCountsMatchPartitionSize) {
+  const auto strat = interleaved(3, 30);
+  const std::vector<std::size_t> sizes{45, 45};
+  const auto pa = make_partitions(strat, sizes, Layout::kRepresentative);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto hist = pa.stratum_histogram(p, strat);
+    EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), std::size_t{0}),
+              pa.partitions[p].size());
+  }
+}
+
+TEST(Partitioner, SkewedStrataStillCoverEverything) {
+  // One giant stratum, several tiny ones.
+  std::vector<std::uint32_t> assignment(200, 0);
+  for (int i = 0; i < 5; ++i) assignment[i] = 1 + (i % 3);
+  const auto strat = make_strat(std::move(assignment), 4);
+  const std::vector<std::size_t> sizes{90, 60, 30, 20};
+  for (const Layout layout :
+       {Layout::kRepresentative, Layout::kSimilarTogether}) {
+    const auto pa = make_partitions(strat, sizes, layout);
+    check_disjoint_cover(pa, 200);
+    for (std::size_t p = 0; p < sizes.size(); ++p) {
+      EXPECT_EQ(pa.partitions[p].size(), sizes[p]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetsim::partition

@@ -1,0 +1,404 @@
+// Parameterized property suites (TEST_P) over the library's invariants:
+// codec round trips across configuration grids, estimator properties of
+// minhash, optimality/feasibility of the LP solvers on random instances,
+// SON-equals-Apriori across partition counts, sampling proportionality,
+// barrier rendezvous across party counts, and trace invariants across
+// locations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "compress/lz77.h"
+#include "compress/webgraph.h"
+#include "data/generators.h"
+#include "energy/solar.h"
+#include "kvstore/barrier.h"
+#include "mining/son.h"
+#include "optimize/pareto.h"
+#include "optimize/simplex.h"
+#include "sketch/minhash.h"
+#include "stratify/sampler.h"
+
+namespace hetsim {
+namespace {
+
+// ---- LZ77 round trip across the config grid --------------------------------
+
+struct Lz77Param {
+  std::uint32_t window;
+  std::uint32_t min_match;
+  std::uint32_t max_chain;
+};
+
+class Lz77RoundTrip : public ::testing::TestWithParam<Lz77Param> {};
+
+TEST_P(Lz77RoundTrip, AssortedInputsAreLossless) {
+  const Lz77Param p = GetParam();
+  const compress::Lz77Config cfg{.window = p.window,
+                                 .min_match = p.min_match,
+                                 .max_match = 255,
+                                 .max_chain = p.max_chain};
+  common::Rng rng(p.window * 31 + p.min_match);
+  std::vector<std::string> inputs;
+  // Highly repetitive.
+  std::string rep;
+  for (int i = 0; i < 400; ++i) rep += "pattern" + std::to_string(i % 5);
+  inputs.push_back(rep);
+  // Random bytes.
+  std::string rand_bytes;
+  for (int i = 0; i < 8192; ++i) {
+    rand_bytes.push_back(static_cast<char>(rng.bounded(256)));
+  }
+  inputs.push_back(rand_bytes);
+  // Low-entropy alphabet (forces long overlapping matches).
+  std::string low;
+  for (int i = 0; i < 6000; ++i) {
+    low.push_back(static_cast<char>('a' + rng.bounded(3)));
+  }
+  inputs.push_back(low);
+  inputs.push_back("");
+  inputs.push_back("xyz");
+  for (const std::string& input : inputs) {
+    const std::string packed = compress::lz77_compress(input, cfg);
+    EXPECT_EQ(compress::lz77_decompress(packed), input)
+        << "window=" << p.window << " min_match=" << p.min_match
+        << " input size=" << input.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, Lz77RoundTrip,
+    ::testing::Values(Lz77Param{256, 4, 4}, Lz77Param{256, 8, 32},
+                      Lz77Param{4096, 4, 16}, Lz77Param{32768, 4, 32},
+                      Lz77Param{65535, 6, 64}, Lz77Param{1024, 16, 1}));
+
+// ---- WebGraph codec round trip across the config grid -----------------------
+
+struct WebGraphParam {
+  std::uint32_t ref_window;
+  std::uint32_t zeta_k;
+};
+
+class WebGraphRoundTrip : public ::testing::TestWithParam<WebGraphParam> {};
+
+TEST_P(WebGraphRoundTrip, GeneratedGraphIsLossless) {
+  const WebGraphParam p = GetParam();
+  const compress::WebGraphCodecConfig cfg{.ref_window = p.ref_window,
+                                          .zeta_k = p.zeta_k};
+  data::WebGraphConfig gcfg;
+  gcfg.num_vertices = 800;
+  gcfg.seed = 19 + p.ref_window;
+  const data::Graph g = data::generate_webgraph(gcfg);
+  std::vector<std::vector<std::uint32_t>> lists;
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    lists.emplace_back(nb.begin(), nb.end());
+  }
+  const std::string blob = compress::compress_adjacency(lists, cfg);
+  EXPECT_EQ(compress::decompress_adjacency(blob, lists.size(), cfg), lists);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, WebGraphRoundTrip,
+    ::testing::Values(WebGraphParam{0, 3}, WebGraphParam{1, 1},
+                      WebGraphParam{3, 2}, WebGraphParam{7, 3},
+                      WebGraphParam{15, 5}, WebGraphParam{7, 8}));
+
+// ---- MinHash accuracy scales as 1/sqrt(k) -----------------------------------
+
+class MinHashAccuracy : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MinHashAccuracy, ErrorWithinFourStdErr) {
+  const std::uint32_t hashes = GetParam();
+  const sketch::MinHasher h({.num_hashes = hashes, .seed = 99});
+  // Jaccard exactly 1/3: |inter|=200, each side has 200 extra.
+  data::ItemSet a, b;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  for (std::uint32_t i = 0; i < 200; ++i) a.push_back(1000 + i);
+  for (std::uint32_t i = 0; i < 200; ++i) b.push_back(2000 + i);
+  const double truth = 1.0 / 3.0;
+  const double est = sketch::MinHasher::estimate_jaccard(h.sketch(a), h.sketch(b));
+  const double stderr4 =
+      4.0 * std::sqrt(truth * (1.0 - truth) / static_cast<double>(hashes));
+  EXPECT_NEAR(est, truth, stderr4);
+}
+
+INSTANTIATE_TEST_SUITE_P(HashCounts, MinHashAccuracy,
+                         ::testing::Values(16u, 32u, 64u, 128u, 256u, 512u));
+
+// ---- Simplex on random bounded-feasible instances ---------------------------
+
+class SimplexRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandom, SolutionFeasibleAndUndominated) {
+  common::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.bounded(4);  // 2..5 vars
+  const std::size_t m = 1 + rng.bounded(4);  // 1..4 extra constraints
+  optimize::LpProblem p;
+  p.num_vars = n;
+  p.objective.resize(n);
+  for (auto& c : p.objective) c = rng.uniform(-2.0, 2.0);
+  // Box constraints keep the problem bounded; origin keeps it feasible.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> row(n, 0.0);
+    row[j] = 1.0;
+    p.add_constraint(std::move(row), optimize::Relation::kLe,
+                     rng.uniform(0.5, 5.0));
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<double> row(n);
+    for (auto& a : row) a = rng.uniform(0.0, 1.0);
+    p.add_constraint(std::move(row), optimize::Relation::kLe,
+                     rng.uniform(1.0, 6.0));
+  }
+  const optimize::LpSolution sol = optimize::solve_lp(p);
+  ASSERT_EQ(sol.status, optimize::LpStatus::kOptimal);
+  // Feasibility.
+  for (std::size_t j = 0; j < n; ++j) EXPECT_GE(sol.x[j], -1e-9);
+  for (const auto& c : p.constraints) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) lhs += c.coeffs[j] * sol.x[j];
+    EXPECT_LE(lhs, c.rhs + 1e-7);
+  }
+  // Undominated: no random feasible point does better.
+  for (int probe = 0; probe < 300; ++probe) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.uniform(0.0, 5.0);
+    bool feasible = true;
+    for (const auto& c : p.constraints) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += c.coeffs[j] * x[j];
+      if (lhs > c.rhs) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    double obj = 0.0;
+    for (std::size_t j = 0; j < n; ++j) obj += p.objective[j] * x[j];
+    EXPECT_GE(obj, sol.objective - 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- Pareto LP optimality across the alpha grid -----------------------------
+
+class ParetoAlphaGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParetoAlphaGrid, ScalarizedObjectiveIsMinimal) {
+  const double alpha = GetParam();
+  common::Rng rng(1234);
+  std::vector<optimize::NodeModel> models;
+  for (int i = 0; i < 6; ++i) {
+    models.push_back({.slope = rng.uniform(5e-5, 5e-4),
+                      .intercept = rng.uniform(0.0, 0.3),
+                      .dirty_rate = rng.uniform(-50.0, 400.0)});
+  }
+  const std::size_t total = 100000;
+  const auto plan = optimize::solve_partition_sizes(models, total, alpha);
+  const auto scalarized = [&](std::span<const double> x) {
+    double v = 0.0, g = 0.0;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      const double t = models[i].time_s(x[i]);
+      v = std::max(v, t);
+      g += models[i].dirty_rate * t;
+    }
+    return alpha * v + (1.0 - alpha) * g;
+  };
+  // Note: the LP includes idle nodes' intercepts in its objective, while
+  // this oracle does too (time_s(0) = intercept). Compare against random
+  // feasible allocations projected onto the sum constraint.
+  const double best = scalarized(plan.continuous);
+  for (int probe = 0; probe < 500; ++probe) {
+    std::vector<double> x(models.size());
+    double sum = 0.0;
+    for (auto& v : x) {
+      v = rng.uniform(0.0, 1.0);
+      sum += v;
+    }
+    for (auto& v : x) v *= static_cast<double>(total) / sum;
+    EXPECT_GE(scalarized(x), best - 1e-5 * (1.0 + std::abs(best)))
+        << "alpha=" << alpha;
+  }
+  // Integer sizes conserve the total.
+  EXPECT_EQ(std::accumulate(plan.sizes.begin(), plan.sizes.end(),
+                            std::size_t{0}),
+            total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ParetoAlphaGrid,
+                         ::testing::Values(1.0, 0.999, 0.99, 0.9, 0.7, 0.5,
+                                           0.3, 0.0));
+
+// ---- SON equals Apriori across partition counts -----------------------------
+
+class SonPartitions : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SonPartitions, GlobalResultIndependentOfPartitioning) {
+  const std::size_t parts = GetParam();
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = 600;
+  cfg.seed = 77;
+  const data::Dataset ds = data::generate_text_corpus(cfg);
+  std::vector<data::ItemSet> txns;
+  for (const auto& r : ds.records) txns.push_back(r.items);
+  const mining::AprioriConfig acfg{.min_support = 0.1, .max_pattern_length = 3};
+  const mining::MiningResult direct = mining::apriori(txns, acfg);
+  std::vector<std::vector<data::ItemSet>> partitions(parts);
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    partitions[i % parts].push_back(txns[i]);
+  }
+  const mining::SonResult son = mining::son_mine(partitions, acfg);
+  const auto as_map = [](const std::vector<mining::Pattern>& patterns) {
+    std::map<data::ItemSet, std::uint32_t> m;
+    for (const auto& p : patterns) m[p.items] = p.support;
+    return m;
+  };
+  EXPECT_EQ(as_map(son.frequent), as_map(direct.frequent));
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, SonPartitions,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---- Stratified sampling proportionality across shapes ----------------------
+
+struct SampleParam {
+  std::uint32_t strata;
+  std::size_t per_stratum;
+  std::size_t count;
+};
+
+class StratifiedSampling : public ::testing::TestWithParam<SampleParam> {};
+
+TEST_P(StratifiedSampling, ProportionsWithinOne) {
+  const SampleParam p = GetParam();
+  stratify::Stratification strat;
+  strat.num_strata = p.strata;
+  strat.assignment.resize(p.strata * p.per_stratum);
+  for (std::size_t i = 0; i < strat.assignment.size(); ++i) {
+    strat.assignment[i] = static_cast<std::uint32_t>(i % p.strata);
+  }
+  strat.stratum_sizes.assign(p.strata, p.per_stratum);
+  common::Rng rng(p.strata * 1000 + p.count);
+  const auto sample = stratify::stratified_sample(strat, p.count, rng);
+  EXPECT_EQ(sample.size(), std::min(p.count, strat.assignment.size()));
+  std::vector<std::size_t> hist(p.strata, 0);
+  for (const auto i : sample) ++hist[strat.assignment[i]];
+  const double expected =
+      static_cast<double>(sample.size()) / static_cast<double>(p.strata);
+  for (const auto h : hist) {
+    EXPECT_NEAR(static_cast<double>(h), expected, 1.0 + 1e-9);
+  }
+  // No duplicates.
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), sample.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StratifiedSampling,
+    ::testing::Values(SampleParam{2, 100, 30}, SampleParam{4, 50, 60},
+                      SampleParam{8, 25, 64}, SampleParam{16, 20, 100},
+                      SampleParam{3, 7, 21}, SampleParam{5, 10, 500}));
+
+// ---- Barrier rendezvous across party counts ---------------------------------
+
+class BarrierParties : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BarrierParties, AllPartiesRendezvous) {
+  const std::uint32_t parties = GetParam();
+  kvstore::Store store;
+  kvstore::Barrier barrier(store, "prop", parties);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < parties; ++t) {
+    threads.emplace_back([&] {
+      ++arrived;
+      barrier.arrive_and_wait();
+      if (arrived.load() != static_cast<int>(parties)) ok = false;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parties, BarrierParties,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+// ---- Energy trace invariants per location -----------------------------------
+
+class TraceLocations : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceLocations, PhysicalInvariantsHold) {
+  const auto locs = energy::datacenter_locations();
+  const auto& loc = locs[static_cast<std::size_t>(GetParam())];
+  const energy::EnergyTrace trace = energy::EnergyTrace::generate(loc, 96);
+  for (std::size_t h = 0; h < trace.hours(); ++h) {
+    const double w = trace.hourly_watts()[h];
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, loc.panel_watts_peak + 1e-9);
+    const double hour_of_day = static_cast<double>(h % 24) + 0.5;
+    if (hour_of_day < loc.sunrise_hour || hour_of_day > loc.sunset_hour) {
+      EXPECT_EQ(w, 0.0) << "production outside daylight at hour " << h;
+    }
+  }
+  // Integral over the whole trace equals the hourly sum.
+  double hand = 0.0;
+  for (const double w : trace.hourly_watts()) hand += w * 3600.0;
+  EXPECT_NEAR(trace.green_energy_joules(0.0, 96.0 * 3600.0), hand, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Locations, TraceLocations,
+                         ::testing::Values(0, 1, 2, 3));
+
+// ---- Prüfer bijection across tree shapes -----------------------------------
+
+class PruferShapes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PruferShapes, EncodeDecodeIdentity) {
+  common::Rng rng(GetParam());
+  const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.bounded(60));
+  data::LabeledTree t;
+  t.parent.resize(n);
+  t.label.resize(n);
+  t.parent[0] = 0;
+  for (std::uint32_t v = 1; v < n; ++v) {
+    // Mix of chain-ish and star-ish shapes by biasing the parent draw.
+    t.parent[v] = rng.uniform() < 0.5
+                      ? v - 1
+                      : static_cast<std::uint32_t>(rng.bounded(v));
+    t.label[v] = v;
+  }
+  const auto seq = data::prufer_encode(t);
+  const data::LabeledTree back = data::prufer_decode(seq);
+  // Same degree sequence (the shape invariant Prüfer preserves).
+  std::vector<std::uint32_t> deg_a(n, 0), deg_b(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (v != t.root()) {
+      ++deg_a[v];
+      ++deg_a[t.parent[v]];
+    }
+    if (v != back.root()) {
+      ++deg_b[v];
+      ++deg_b[back.parent[v]];
+    }
+  }
+  EXPECT_EQ(deg_a, deg_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruferShapes,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace hetsim

@@ -1,0 +1,170 @@
+// Tests for the RESP wire codec: value round trips, command/reply
+// mapping, exact wire-size accounting, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "kvstore/resp.h"
+
+namespace hetsim::kvstore::resp {
+namespace {
+
+TEST(RespValue, SimpleStringRoundTrip) {
+  const Value v = Value::simple("OK");
+  EXPECT_EQ(encode(v), "+OK\r\n");
+  EXPECT_EQ(decode_all("+OK\r\n"), v);
+}
+
+TEST(RespValue, ErrorRoundTrip) {
+  const Value v = Value::error("ERR unknown");
+  EXPECT_EQ(encode(v), "-ERR unknown\r\n");
+  EXPECT_EQ(decode_all(encode(v)), v);
+}
+
+TEST(RespValue, IntegerRoundTrip) {
+  for (const std::int64_t i : {0LL, 1LL, -1LL, 123456789LL, -987654321LL}) {
+    const Value v = Value::integer_value(i);
+    EXPECT_EQ(decode_all(encode(v)), v) << i;
+  }
+  EXPECT_EQ(encode(Value::integer_value(42)), ":42\r\n");
+}
+
+TEST(RespValue, BulkStringRoundTrip) {
+  EXPECT_EQ(encode(Value::bulk("hello")), "$5\r\nhello\r\n");
+  EXPECT_EQ(decode_all("$5\r\nhello\r\n"), Value::bulk("hello"));
+  // Empty and binary-safe payloads.
+  EXPECT_EQ(decode_all(encode(Value::bulk(""))), Value::bulk(""));
+  const std::string binary("\x00\r\n\xff", 4);
+  EXPECT_EQ(decode_all(encode(Value::bulk(binary))), Value::bulk(binary));
+}
+
+TEST(RespValue, NullEncodesAsMinusOne) {
+  EXPECT_EQ(encode(Value::null()), "$-1\r\n");
+  EXPECT_EQ(decode_all("$-1\r\n").type, ValueType::kNull);
+}
+
+TEST(RespValue, NestedArrayRoundTrip) {
+  const Value v = Value::array_value(
+      {Value::bulk("a"), Value::integer_value(7),
+       Value::array_value({Value::bulk("nested"), Value::null()})});
+  EXPECT_EQ(decode_all(encode(v)), v);
+}
+
+TEST(RespValue, EmptyArray) {
+  EXPECT_EQ(encode(Value::array_value({})), "*0\r\n");
+  const Value v = decode_all("*0\r\n");
+  EXPECT_EQ(v.type, ValueType::kArray);
+  EXPECT_TRUE(v.array.empty());
+}
+
+TEST(RespValue, MalformedInputsThrow) {
+  EXPECT_THROW((void)decode_all(""), common::StoreError);
+  EXPECT_THROW((void)decode_all("?\r\n"), common::StoreError);
+  EXPECT_THROW((void)decode_all(":\r\n"), common::StoreError);
+  EXPECT_THROW((void)decode_all(":12x\r\n"), common::StoreError);
+  EXPECT_THROW((void)decode_all("+OK"), common::StoreError);        // no CRLF
+  EXPECT_THROW((void)decode_all("$5\r\nhel\r\n"), common::StoreError);
+  EXPECT_THROW((void)decode_all("$5\r\nhelloXY"), common::StoreError);
+  EXPECT_THROW((void)decode_all("*2\r\n+a\r\n"), common::StoreError);
+  EXPECT_THROW((void)decode_all("+OK\r\n+EXTRA\r\n"), common::StoreError);
+}
+
+TEST(RespCommand, SetEncodesAsRedisWould) {
+  const Command cmd{.type = CommandType::kSet, .key = "k", .value = "v"};
+  EXPECT_EQ(encode_command(cmd),
+            "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n");
+}
+
+TEST(RespCommand, AllTypesRoundTrip) {
+  const std::vector<Command> commands{
+      {.type = CommandType::kSet, .key = "key", .value = "value"},
+      {.type = CommandType::kGet, .key = "key"},
+      {.type = CommandType::kDel, .key = "key"},
+      {.type = CommandType::kExists, .key = "key"},
+      {.type = CommandType::kRPush, .key = "list", .value = "elem"},
+      {.type = CommandType::kLRange, .key = "list", .arg0 = 0, .arg1 = -1},
+      {.type = CommandType::kLLen, .key = "list"},
+      {.type = CommandType::kLIndex, .key = "list", .arg0 = -2},
+      {.type = CommandType::kIncrBy, .key = "ctr", .arg0 = 41},
+      {.type = CommandType::kCounter, .key = "ctr"},
+  };
+  for (const Command& cmd : commands) {
+    const Command back = decode_command(encode_command(cmd));
+    EXPECT_EQ(back.type, cmd.type);
+    EXPECT_EQ(back.key, cmd.key);
+    EXPECT_EQ(back.value, cmd.value);
+    EXPECT_EQ(back.arg0, cmd.arg0);
+    EXPECT_EQ(back.arg1, cmd.arg1);
+  }
+}
+
+TEST(RespCommand, UnknownCommandRejected) {
+  EXPECT_THROW((void)decode_command("*1\r\n$4\r\nPING\r\n"),
+               common::StoreError);
+  EXPECT_THROW((void)decode_command("*1\r\n$3\r\nGET\r\n"),  // missing key
+               common::StoreError);
+}
+
+TEST(RespCommand, WireSizeIsExact) {
+  const std::vector<Command> commands{
+      {.type = CommandType::kSet, .key = "some-key", .value = std::string(300, 'x')},
+      {.type = CommandType::kGet, .key = ""},
+      {.type = CommandType::kLRange, .key = "l", .arg0 = -100, .arg1 = 100000},
+      {.type = CommandType::kIncrBy, .key = "c", .arg0 = -1},
+  };
+  for (const Command& cmd : commands) {
+    EXPECT_EQ(command_wire_size(cmd), encode_command(cmd).size());
+  }
+}
+
+TEST(RespReply, GetFoundAndMissing) {
+  Reply found{.ok = true, .blob = "data"};
+  EXPECT_EQ(encode_reply(CommandType::kGet, found), "$4\r\ndata\r\n");
+  Reply missing{.ok = false};
+  EXPECT_EQ(encode_reply(CommandType::kGet, missing), "$-1\r\n");
+  EXPECT_FALSE(decode_reply(CommandType::kGet, "$-1\r\n").ok);
+  EXPECT_EQ(decode_reply(CommandType::kGet, "$4\r\ndata\r\n").blob, "data");
+}
+
+TEST(RespReply, AllTypesRoundTrip) {
+  const std::vector<std::pair<CommandType, Reply>> cases{
+      {CommandType::kSet, Reply{.ok = true}},
+      {CommandType::kGet, Reply{.ok = true, .blob = "abc"}},
+      {CommandType::kGet, Reply{.ok = false}},
+      {CommandType::kDel, Reply{.ok = true}},
+      {CommandType::kDel, Reply{.ok = false}},
+      {CommandType::kExists, Reply{.ok = true}},
+      {CommandType::kRPush, Reply{.ok = true, .integer = 17}},
+      {CommandType::kLRange, Reply{.ok = true, .list = {"a", "", "ccc"}}},
+      {CommandType::kLLen, Reply{.ok = true, .integer = 3}},
+      {CommandType::kLIndex, Reply{.ok = true, .blob = "x"}},
+      {CommandType::kIncrBy, Reply{.ok = true, .integer = -5}},
+      {CommandType::kCounter, Reply{.ok = true, .integer = 0}},
+  };
+  for (const auto& [type, reply] : cases) {
+    const std::string wire = encode_reply(type, reply);
+    const Reply back = decode_reply(type, wire);
+    EXPECT_EQ(back.ok, reply.ok);
+    EXPECT_EQ(back.blob, reply.blob);
+    EXPECT_EQ(back.list, reply.list);
+    EXPECT_EQ(back.integer, reply.integer);
+    EXPECT_EQ(reply_wire_size(type, reply), wire.size());
+  }
+}
+
+TEST(RespReply, LRangeOfEmptyList) {
+  Reply empty{.ok = true};
+  EXPECT_EQ(encode_reply(CommandType::kLRange, empty), "*0\r\n");
+  EXPECT_TRUE(decode_reply(CommandType::kLRange, "*0\r\n").list.empty());
+}
+
+TEST(RespReply, WrongShapeRejected) {
+  EXPECT_THROW((void)decode_reply(CommandType::kGet, ":1\r\n"),
+               common::StoreError);
+  EXPECT_THROW((void)decode_reply(CommandType::kIncrBy, "$1\r\nx\r\n"),
+               common::StoreError);
+  EXPECT_THROW((void)decode_reply(CommandType::kLRange, "*1\r\n:5\r\n"),
+               common::StoreError);
+}
+
+}  // namespace
+}  // namespace hetsim::kvstore::resp

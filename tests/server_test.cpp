@@ -1,0 +1,98 @@
+// Tests for the RESP server dispatch: full client-wire -> server ->
+// reply-wire loop against a live store.
+#include <gtest/gtest.h>
+
+#include "kvstore/resp.h"
+#include "kvstore/server.h"
+#include "kvstore/store.h"
+
+namespace hetsim::kvstore {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  Store store_;
+  RespServer server_{store_};
+
+  /// Issue a typed command over the wire and decode the reply.
+  Reply round_trip(const Command& cmd) {
+    const std::string reply_wire = server_.handle(resp::encode_command(cmd));
+    return resp::decode_reply(cmd.type, reply_wire);
+  }
+};
+
+TEST_F(ServerTest, SetThenGetOverTheWire) {
+  EXPECT_TRUE(round_trip({.type = CommandType::kSet, .key = "k", .value = "v"}).ok);
+  const Reply got = round_trip({.type = CommandType::kGet, .key = "k"});
+  EXPECT_TRUE(got.ok);
+  EXPECT_EQ(got.blob, "v");
+  EXPECT_TRUE(store_.exists("k"));  // effect landed on the real store
+}
+
+TEST_F(ServerTest, MissingKeyIsNullBulk) {
+  const std::string wire = server_.handle(
+      resp::encode_command({.type = CommandType::kGet, .key = "absent"}));
+  EXPECT_EQ(wire, "$-1\r\n");
+}
+
+TEST_F(ServerTest, ListCommandsOverTheWire) {
+  for (const char* e : {"a", "b", "c"}) {
+    const Reply r = round_trip(
+        {.type = CommandType::kRPush, .key = "l", .value = e});
+    EXPECT_TRUE(r.ok);
+  }
+  const Reply len = round_trip({.type = CommandType::kLLen, .key = "l"});
+  EXPECT_EQ(len.integer, 3);
+  const Reply range = round_trip(
+      {.type = CommandType::kLRange, .key = "l", .arg0 = 0, .arg1 = -1});
+  EXPECT_EQ(range.list, (std::vector<std::string>{"a", "b", "c"}));
+  const Reply idx = round_trip(
+      {.type = CommandType::kLIndex, .key = "l", .arg0 = -1});
+  EXPECT_EQ(idx.blob, "c");
+}
+
+TEST_F(ServerTest, CounterSemantics) {
+  EXPECT_EQ(round_trip({.type = CommandType::kIncrBy, .key = "c", .arg0 = 5})
+                .integer,
+            5);
+  EXPECT_EQ(round_trip({.type = CommandType::kIncrBy, .key = "c", .arg0 = -2})
+                .integer,
+            3);
+  EXPECT_EQ(round_trip({.type = CommandType::kCounter, .key = "c"}).integer, 3);
+}
+
+TEST_F(ServerTest, TypeErrorsBecomeRespErrors) {
+  (void)round_trip({.type = CommandType::kSet, .key = "s", .value = "x"});
+  const std::string wire = server_.handle(
+      resp::encode_command({.type = CommandType::kRPush, .key = "s",
+                            .value = "y"}));
+  EXPECT_EQ(wire.front(), '-');  // -ERR ...
+  EXPECT_NE(wire.find("ERR"), std::string::npos);
+}
+
+TEST_F(ServerTest, MalformedWireBecomesRespError) {
+  EXPECT_EQ(server_.handle("*1\r\n$4\r\nPING\r\n").front(), '-');
+  EXPECT_EQ(server_.handle("garbage").front(), '-');
+}
+
+TEST_F(ServerTest, PipelinedBufferRepliesInOrder) {
+  std::string wire;
+  wire += resp::encode_command({.type = CommandType::kSet, .key = "a", .value = "1"});
+  wire += resp::encode_command({.type = CommandType::kIncrBy, .key = "n", .arg0 = 9});
+  wire += resp::encode_command({.type = CommandType::kGet, .key = "a"});
+  const std::string replies = server_.handle_pipeline(wire);
+  EXPECT_EQ(replies, "+OK\r\n:9\r\n$1\r\n1\r\n");
+  EXPECT_EQ(server_.commands_served(), 3u);
+}
+
+TEST_F(ServerTest, PipelineStopsAtCorruption) {
+  std::string wire;
+  wire += resp::encode_command({.type = CommandType::kSet, .key = "a", .value = "1"});
+  wire += "*zzz";
+  const std::string replies = server_.handle_pipeline(wire);
+  EXPECT_EQ(replies.substr(0, 5), "+OK\r\n");
+  EXPECT_NE(replies.find("-ERR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetsim::kvstore

@@ -1,0 +1,287 @@
+// Tests for minhash sketching and compositeKModes stratification,
+// including the statistical property the whole pipeline rests on:
+// sketch match fraction estimates Jaccard similarity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "sketch/minhash.h"
+#include "stratify/kmodes.h"
+#include "stratify/sampler.h"
+
+namespace hetsim {
+namespace {
+
+using data::ItemSet;
+using sketch::MinHasher;
+using sketch::Sketch;
+using sketch::SketchConfig;
+
+TEST(MinHash, DeterministicForSeed) {
+  const MinHasher a(SketchConfig{.num_hashes = 16, .seed = 5});
+  const MinHasher b(SketchConfig{.num_hashes = 16, .seed = 5});
+  const ItemSet s{1, 2, 3, 100};
+  EXPECT_EQ(a.sketch(s), b.sketch(s));
+}
+
+TEST(MinHash, DifferentSeedsGiveDifferentPermutations) {
+  const MinHasher a(SketchConfig{.num_hashes = 16, .seed = 5});
+  const MinHasher b(SketchConfig{.num_hashes = 16, .seed = 6});
+  const ItemSet s{1, 2, 3, 100};
+  EXPECT_NE(a.sketch(s), b.sketch(s));
+}
+
+TEST(MinHash, IdenticalSetsMatchPerfectly) {
+  const MinHasher h(SketchConfig{.num_hashes = 32});
+  const ItemSet s{4, 8, 15, 16, 23, 42};
+  EXPECT_DOUBLE_EQ(MinHasher::estimate_jaccard(h.sketch(s), h.sketch(s)), 1.0);
+}
+
+TEST(MinHash, EmptySetsSketchToSentinel) {
+  const MinHasher h(SketchConfig{.num_hashes = 8});
+  const Sketch s = h.sketch(ItemSet{});
+  for (const auto v : s) EXPECT_EQ(v, MinHasher::kEmptySentinel);
+  EXPECT_DOUBLE_EQ(MinHasher::estimate_jaccard(s, h.sketch(ItemSet{})), 1.0);
+}
+
+TEST(MinHash, SketchIsOrderOfMagnitudeSmaller) {
+  ItemSet big;
+  for (std::uint32_t i = 0; i < 10000; ++i) big.push_back(i * 7);
+  const MinHasher h(SketchConfig{.num_hashes = 64});
+  EXPECT_EQ(h.sketch(big).size(), 64u);
+}
+
+/// Property: E[match fraction] = Jaccard. Checked across controlled
+/// overlap levels with tolerance ~3 standard errors.
+TEST(MinHash, EstimatesJaccardUnbiased) {
+  constexpr std::uint32_t kHashes = 256;
+  const MinHasher h(SketchConfig{.num_hashes = kHashes, .seed = 11});
+  for (const double target : {0.1, 0.3, 0.5, 0.8}) {
+    // Build sets with |a∩b|/|a∪b| == target: union size 1000.
+    const std::size_t inter = static_cast<std::size_t>(1000 * target);
+    const std::size_t only = (1000 - inter) / 2;
+    ItemSet a, b;
+    std::uint32_t next = 0;
+    for (std::size_t i = 0; i < inter; ++i) {
+      a.push_back(next);
+      b.push_back(next);
+      ++next;
+    }
+    for (std::size_t i = 0; i < only; ++i) a.push_back(next++);
+    for (std::size_t i = 0; i < only; ++i) b.push_back(next++);
+    const double truth = data::jaccard(a, b);
+    const double est = MinHasher::estimate_jaccard(h.sketch(a), h.sketch(b));
+    const double stderr3 = 3.0 * std::sqrt(truth * (1 - truth) / kHashes);
+    EXPECT_NEAR(est, truth, stderr3 + 0.02) << "target " << target;
+  }
+}
+
+TEST(MinHash, MoreHashesReduceError) {
+  common::Rng rng(3);
+  ItemSet a, b;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    a.push_back(i);
+    b.push_back(i + 200);  // Jaccard = 200/600
+  }
+  const double truth = data::jaccard(a, b);
+  double err_small = 0, err_large = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const MinHasher hs(SketchConfig{.num_hashes = 16, .seed = seed});
+    const MinHasher hl(SketchConfig{.num_hashes = 256, .seed = seed});
+    err_small += std::abs(
+        MinHasher::estimate_jaccard(hs.sketch(a), hs.sketch(b)) - truth);
+    err_large += std::abs(
+        MinHasher::estimate_jaccard(hl.sketch(a), hl.sketch(b)) - truth);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(MinHash, PermuteStaysBelowPrime) {
+  const MinHasher h(SketchConfig{.num_hashes = 4, .seed = 9});
+  constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    for (std::uint32_t x = 0; x < 1000; x += 13) {
+      EXPECT_LT(h.permute(j, x), kPrime);
+    }
+  }
+}
+
+TEST(MinHash, RejectsMismatchedSketches) {
+  const MinHasher h(SketchConfig{.num_hashes = 4});
+  const MinHasher h8(SketchConfig{.num_hashes = 8});
+  const ItemSet one{1};
+  EXPECT_THROW((void)MinHasher::estimate_jaccard(h.sketch(one), h8.sketch(one)),
+               common::ConfigError);
+}
+
+// ---- stratification -------------------------------------------------------
+
+/// Build sketches from a corpus with clear latent topics.
+std::vector<Sketch> topical_sketches(std::size_t docs, std::uint32_t topics,
+                                     std::vector<std::uint32_t>* truth) {
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.num_topics = topics;
+  cfg.topic_word_prob = 0.95;  // crisp topics
+  cfg.topic_skew = 0.0;
+  cfg.seed = 21;
+  const data::Dataset ds = data::generate_text_corpus(cfg);
+  if (truth) {
+    // Recover the dominant topic range per document as ground truth.
+    const std::uint32_t background = cfg.vocab_size / 4;
+    const std::uint32_t per_topic = (cfg.vocab_size - background) / topics;
+    truth->clear();
+    for (const auto& r : ds.records) {
+      std::map<std::uint32_t, int> votes;
+      for (const auto item : r.items) {
+        if (item >= background) ++votes[(item - background) / per_topic];
+      }
+      std::uint32_t best = 0;
+      int best_votes = -1;
+      for (const auto& [topic, v] : votes) {
+        if (v > best_votes) {
+          best_votes = v;
+          best = topic;
+        }
+      }
+      truth->push_back(best);
+    }
+  }
+  const MinHasher h(SketchConfig{.num_hashes = 48, .seed = 31});
+  return h.sketch_all(ds.records);
+}
+
+TEST(KModes, AssignsEveryPoint) {
+  const auto sketches = topical_sketches(300, 4, nullptr);
+  stratify::KModesConfig cfg;
+  cfg.num_strata = 8;
+  const auto strat = stratify::composite_kmodes(sketches, cfg);
+  EXPECT_EQ(strat.assignment.size(), 300u);
+  EXPECT_EQ(strat.num_strata, 8u);
+  std::size_t total = 0;
+  for (const auto s : strat.stratum_sizes) total += s;
+  EXPECT_EQ(total, 300u);
+  for (const auto a : strat.assignment) EXPECT_LT(a, 8u);
+}
+
+TEST(KModes, DeterministicForSeed) {
+  const auto sketches = topical_sketches(200, 4, nullptr);
+  stratify::KModesConfig cfg;
+  cfg.num_strata = 6;
+  const auto a = stratify::composite_kmodes(sketches, cfg);
+  const auto b = stratify::composite_kmodes(sketches, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KModes, RecoversLatentTopics) {
+  std::vector<std::uint32_t> truth;
+  const auto sketches = topical_sketches(400, 4, &truth);
+  stratify::KModesConfig cfg;
+  cfg.num_strata = 4;
+  cfg.composite_l = 4;
+  cfg.max_iterations = 30;
+  const auto strat = stratify::composite_kmodes(sketches, cfg);
+  // Purity: majority true topic per stratum should dominate.
+  std::size_t correct = 0;
+  for (std::uint32_t c = 0; c < strat.num_strata; ++c) {
+    std::map<std::uint32_t, std::size_t> votes;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (strat.assignment[i] == c) ++votes[truth[i]];
+    }
+    std::size_t best = 0;
+    for (const auto& [topic, v] : votes) best = std::max(best, v);
+    correct += best;
+  }
+  const double purity = static_cast<double>(correct) / truth.size();
+  EXPECT_GT(purity, 0.7);
+}
+
+TEST(KModes, CompositeLReducesZeroMatches) {
+  const auto sketches = topical_sketches(400, 8, nullptr);
+  stratify::KModesConfig l1;
+  l1.num_strata = 8;
+  l1.composite_l = 1;
+  stratify::KModesConfig l4 = l1;
+  l4.composite_l = 4;
+  const auto strat1 = stratify::composite_kmodes(sketches, l1);
+  const auto strat4 = stratify::composite_kmodes(sketches, l4);
+  EXPECT_LE(strat4.zero_match_assignments, strat1.zero_match_assignments);
+}
+
+TEST(KModes, FewerPointsThanStrataShrinksK) {
+  const auto sketches = topical_sketches(3, 2, nullptr);
+  stratify::KModesConfig cfg;
+  cfg.num_strata = 10;
+  const auto strat = stratify::composite_kmodes(sketches, cfg);
+  EXPECT_EQ(strat.num_strata, 3u);
+}
+
+TEST(KModes, RejectsRaggedInput) {
+  std::vector<Sketch> bad{{1, 2}, {1}};
+  EXPECT_THROW((void)stratify::composite_kmodes(bad, {}), common::ConfigError);
+}
+
+// ---- stratified sampling ---------------------------------------------------
+
+stratify::Stratification fake_strat(std::vector<std::uint32_t> assignment,
+                                    std::uint32_t k) {
+  stratify::Stratification s;
+  s.assignment = std::move(assignment);
+  s.num_strata = k;
+  s.stratum_sizes.assign(k, 0);
+  for (const auto a : s.assignment) ++s.stratum_sizes[a];
+  return s;
+}
+
+TEST(Sampler, ProportionalAllocationAcrossStrata) {
+  // 60 in stratum 0, 30 in stratum 1, 10 in stratum 2.
+  std::vector<std::uint32_t> assignment;
+  for (int i = 0; i < 60; ++i) assignment.push_back(0);
+  for (int i = 0; i < 30; ++i) assignment.push_back(1);
+  for (int i = 0; i < 10; ++i) assignment.push_back(2);
+  const auto strat = fake_strat(std::move(assignment), 3);
+  common::Rng rng(17);
+  const auto sample = stratify::stratified_sample(strat, 20, rng);
+  EXPECT_EQ(sample.size(), 20u);
+  std::vector<int> by_stratum(3, 0);
+  for (const auto i : sample) ++by_stratum[strat.assignment[i]];
+  EXPECT_EQ(by_stratum[0], 12);
+  EXPECT_EQ(by_stratum[1], 6);
+  EXPECT_EQ(by_stratum[2], 2);
+}
+
+TEST(Sampler, SampleHasNoDuplicates) {
+  const auto strat = fake_strat(std::vector<std::uint32_t>(100, 0), 1);
+  common::Rng rng(19);
+  const auto sample = stratify::stratified_sample(strat, 50, rng);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(Sampler, OversizedRequestClampsToPopulation) {
+  const auto strat = fake_strat({0, 0, 1}, 2);
+  common::Rng rng(23);
+  EXPECT_EQ(stratify::stratified_sample(strat, 100, rng).size(), 3u);
+}
+
+TEST(Sampler, StrataOrderGroupsByStratum) {
+  const auto strat = fake_strat({1, 0, 1, 0, 2}, 3);
+  const auto order = stratify::strata_order(strat);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 3, 0, 2, 4}));
+}
+
+TEST(Sampler, StrataMembersPartitionTheIndexSpace) {
+  const auto strat = fake_strat({2, 0, 1, 2, 1, 0}, 3);
+  const auto members = stratify::strata_members(strat);
+  EXPECT_EQ(members[0], (std::vector<std::uint32_t>{1, 5}));
+  EXPECT_EQ(members[1], (std::vector<std::uint32_t>{2, 4}));
+  EXPECT_EQ(members[2], (std::vector<std::uint32_t>{0, 3}));
+}
+
+}  // namespace
+}  // namespace hetsim

@@ -1,0 +1,309 @@
+// Tests for the FREQT-style frequent subtree miner and the Eclat miner.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "mining/eclat.h"
+#include "mining/fpgrowth.h"
+#include "mining/treeminer.h"
+
+namespace hetsim::mining {
+namespace {
+
+/// Tree builder from (parent, label) pairs; node 0 is the root.
+data::LabeledTree make_tree(std::vector<std::uint32_t> parents,
+                            std::vector<std::uint32_t> labels) {
+  data::LabeledTree t;
+  t.parent = std::move(parents);
+  t.label = std::move(labels);
+  t.validate();
+  return t;
+}
+
+TreePattern pattern(std::vector<std::pair<std::uint32_t, std::uint32_t>> nodes) {
+  TreePattern p;
+  p.nodes = std::move(nodes);
+  return p;
+}
+
+std::map<TreePattern, std::uint32_t> as_map(const TreeMiningResult& r) {
+  std::map<TreePattern, std::uint32_t> m;
+  for (const auto& f : r.frequent) m[f.pattern] = f.support;
+  return m;
+}
+
+TEST(TreeMiner, SingleNodePatternsAreLabelSupports) {
+  //  a(0) -> b, c ;  a(0) -> b  ;  c alone
+  std::vector<data::LabeledTree> corpus{
+      make_tree({0, 0, 0}, {1, 2, 3}),
+      make_tree({0, 0}, {1, 2}),
+      make_tree({0}, {3}),
+  };
+  const TreeMinerConfig cfg{.min_support = 0.01, .max_pattern_nodes = 1};
+  const auto m = as_map(mine_subtrees(corpus, cfg));
+  EXPECT_EQ(m.at(pattern({{0, 1}})), 2u);  // label 1 in trees 0,1
+  EXPECT_EQ(m.at(pattern({{0, 2}})), 2u);
+  EXPECT_EQ(m.at(pattern({{0, 3}})), 2u);  // trees 0 and 2
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(TreeMiner, FindsPlantedChain) {
+  // Every tree contains the chain 5 -> 6 -> 7 plus noise.
+  std::vector<data::LabeledTree> corpus;
+  common::Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    // nodes: 0 (label 5), 1 (6, child of 0), 2 (7, child of 1) + 3 noise
+    std::vector<std::uint32_t> parents{0, 0, 1};
+    std::vector<std::uint32_t> labels{5, 6, 7};
+    for (int k = 0; k < 3; ++k) {
+      parents.push_back(static_cast<std::uint32_t>(rng.bounded(parents.size())));
+      labels.push_back(100 + static_cast<std::uint32_t>(rng.bounded(50)));
+    }
+    corpus.push_back(make_tree(std::move(parents), std::move(labels)));
+  }
+  const TreeMinerConfig cfg{.min_support = 0.9, .max_pattern_nodes = 3};
+  const auto m = as_map(mine_subtrees(corpus, cfg));
+  EXPECT_EQ(m.at(pattern({{0, 5}, {1, 6}, {2, 7}})), 20u);
+  EXPECT_EQ(m.at(pattern({{0, 5}, {1, 6}})), 20u);
+  EXPECT_EQ(m.at(pattern({{0, 6}, {1, 7}})), 20u);
+}
+
+TEST(TreeMiner, DistinguishesSiblingsFromChain) {
+  // Tree A: root 1 with children 2,3 (siblings). Tree B: 1 -> 2 -> 3.
+  std::vector<data::LabeledTree> corpus{
+      make_tree({0, 0, 0}, {1, 2, 3}),
+      make_tree({0, 0, 1}, {1, 2, 3}),
+  };
+  const TreeMinerConfig cfg{.min_support = 0.01, .max_pattern_nodes = 3};
+  const auto m = as_map(mine_subtrees(corpus, cfg));
+  // Sibling pattern (1 with children 2 and 3) only in tree A.
+  EXPECT_EQ(m.at(pattern({{0, 1}, {1, 2}, {1, 3}})), 1u);
+  // Chain pattern 1 -> 2 -> 3 only in tree B.
+  EXPECT_EQ(m.at(pattern({{0, 1}, {1, 2}, {2, 3}})), 1u);
+  // Pattern 1 -> 2 in both.
+  EXPECT_EQ(m.at(pattern({{0, 1}, {1, 2}})), 2u);
+}
+
+TEST(TreeMiner, OrderedSemanticsRespectSiblingOrder) {
+  // Node ids define sibling order. Tree A: children (label 2, label 3)
+  // in that order; tree B: (3, 2). Induced *ordered* pattern 1(2,3)
+  // occurs only in A.
+  std::vector<data::LabeledTree> corpus{
+      make_tree({0, 0, 0}, {1, 2, 3}),
+      make_tree({0, 0, 0}, {1, 3, 2}),
+  };
+  const TreeMinerConfig cfg{.min_support = 0.01, .max_pattern_nodes = 3};
+  const auto m = as_map(mine_subtrees(corpus, cfg));
+  EXPECT_EQ(m.at(pattern({{0, 1}, {1, 2}, {1, 3}})), 1u);
+  EXPECT_EQ(m.at(pattern({{0, 1}, {1, 3}, {1, 2}})), 1u);
+}
+
+TEST(TreeMiner, SupportIsAntiMonotone) {
+  const auto trees = data::generate_trees(data::swissprot_like(0.05));
+  const TreeMinerConfig cfg{.min_support = 0.05, .max_pattern_nodes = 3};
+  const TreeMiningResult r = mine_subtrees(trees, cfg);
+  ASSERT_FALSE(r.frequent.empty());
+  std::map<TreePattern, std::uint32_t> m = as_map(r);
+  for (const auto& f : r.frequent) {
+    if (f.pattern.size() < 2) continue;
+    // The prefix with the last node removed is also frequent, with
+    // support at least as high.
+    TreePattern prefix = f.pattern;
+    prefix.nodes.pop_back();
+    const auto it = m.find(prefix);
+    ASSERT_NE(it, m.end()) << prefix.to_string();
+    EXPECT_GE(it->second, f.support);
+  }
+}
+
+TEST(TreeMiner, SupportsMatchContainsSubtree) {
+  const auto trees = data::generate_trees(data::treebank_like(0.03));
+  const TreeMinerConfig cfg{.min_support = 0.08, .max_pattern_nodes = 3};
+  const TreeMiningResult r = mine_subtrees(trees, cfg);
+  ASSERT_FALSE(r.frequent.empty());
+  std::uint64_t ops = 0;
+  for (const auto& f : r.frequent) {
+    std::uint32_t count = 0;
+    for (const auto& t : trees) {
+      if (contains_subtree(t, f.pattern, ops)) ++count;
+    }
+    EXPECT_EQ(count, f.support) << f.pattern.to_string();
+  }
+}
+
+TEST(TreeMiner, CountSubtreeSupportAgrees) {
+  const auto trees = data::generate_trees(data::swissprot_like(0.03));
+  const TreeMinerConfig cfg{.min_support = 0.1, .max_pattern_nodes = 2};
+  const TreeMiningResult r = mine_subtrees(trees, cfg);
+  std::vector<TreePattern> patterns;
+  for (const auto& f : r.frequent) patterns.push_back(f.pattern);
+  std::uint64_t ops = 0;
+  const auto counts = count_subtree_support(trees, patterns, ops);
+  ASSERT_EQ(counts.size(), patterns.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], r.frequent[i].support);
+  }
+  EXPECT_GT(ops, 0u);
+}
+
+TEST(TreeMiner, MaxNodesCapsPatternSize) {
+  const auto trees = data::generate_trees(data::swissprot_like(0.03));
+  const TreeMinerConfig cfg{.min_support = 0.05, .max_pattern_nodes = 2};
+  for (const auto& f : mine_subtrees(trees, cfg).frequent) {
+    EXPECT_LE(f.pattern.size(), 2u);
+  }
+}
+
+TEST(TreeMiner, EmptyAndInvalidInputs) {
+  EXPECT_TRUE(mine_subtrees({}, {}).frequent.empty());
+  const TreeMinerConfig bad{.min_support = 0.0};
+  std::vector<data::LabeledTree> corpus{make_tree({0}, {1})};
+  EXPECT_THROW((void)mine_subtrees(corpus, bad), common::ConfigError);
+  std::uint64_t ops = 0;
+  EXPECT_THROW((void)contains_subtree(corpus[0], TreePattern{}, ops),
+               common::ConfigError);
+}
+
+TEST(TreeMiner, DeterministicOutputOrder) {
+  const auto trees = data::generate_trees(data::swissprot_like(0.03));
+  const TreeMinerConfig cfg{.min_support = 0.08, .max_pattern_nodes = 3};
+  const auto a = mine_subtrees(trees, cfg);
+  const auto b = mine_subtrees(trees, cfg);
+  ASSERT_EQ(a.frequent.size(), b.frequent.size());
+  for (std::size_t i = 0; i < a.frequent.size(); ++i) {
+    EXPECT_EQ(a.frequent[i].pattern, b.frequent[i].pattern);
+    EXPECT_EQ(a.frequent[i].support, b.frequent[i].support);
+  }
+}
+
+// ---- Eclat vs Apriori -------------------------------------------------------
+
+TEST(Eclat, MatchesAprioriOnTextCorpus) {
+  const data::Dataset ds = data::generate_text_corpus(data::rcv1_like(0.05));
+  std::vector<data::ItemSet> txns;
+  for (const auto& r : ds.records) txns.push_back(r.items);
+  const AprioriConfig cfg{.min_support = 0.08, .max_pattern_length = 3};
+  const MiningResult a = apriori(txns, cfg);
+  const MiningResult e = eclat(txns, cfg);
+  ASSERT_EQ(a.frequent.size(), e.frequent.size());
+  for (std::size_t i = 0; i < a.frequent.size(); ++i) {
+    EXPECT_EQ(a.frequent[i].items, e.frequent[i].items);
+    EXPECT_EQ(a.frequent[i].support, e.frequent[i].support);
+  }
+}
+
+TEST(Eclat, MatchesAprioriAcrossSupports) {
+  common::Rng rng(91);
+  std::vector<data::ItemSet> txns;
+  for (int i = 0; i < 300; ++i) {
+    data::ItemSet t;
+    const std::size_t len = 2 + rng.bounded(8);
+    for (std::size_t j = 0; j < len; ++j) {
+      t.push_back(static_cast<data::Item>(rng.zipf(30, 1.1)));
+    }
+    data::normalize(t);
+    txns.push_back(std::move(t));
+  }
+  for (const double support : {0.02, 0.05, 0.1, 0.3}) {
+    const AprioriConfig cfg{.min_support = support, .max_pattern_length = 4};
+    const MiningResult a = apriori(txns, cfg);
+    const MiningResult e = eclat(txns, cfg);
+    ASSERT_EQ(a.frequent.size(), e.frequent.size()) << "support " << support;
+    for (std::size_t i = 0; i < a.frequent.size(); ++i) {
+      EXPECT_EQ(a.frequent[i].items, e.frequent[i].items);
+      EXPECT_EQ(a.frequent[i].support, e.frequent[i].support);
+    }
+  }
+}
+
+TEST(Eclat, EmptyInputAndCaps) {
+  EXPECT_TRUE(eclat({}, {}).frequent.empty());
+  std::vector<data::ItemSet> txns(10, data::ItemSet{1, 2, 3});
+  const AprioriConfig cfg{.min_support = 1.0, .max_pattern_length = 2};
+  for (const auto& p : eclat(txns, cfg).frequent) {
+    EXPECT_LE(p.items.size(), 2u);
+  }
+}
+
+// ---- FP-Growth vs the other miners ------------------------------------------
+
+TEST(FpGrowth, MatchesAprioriOnTextCorpus) {
+  const data::Dataset ds = data::generate_text_corpus(data::rcv1_like(0.05));
+  std::vector<data::ItemSet> txns;
+  for (const auto& r : ds.records) txns.push_back(r.items);
+  const AprioriConfig cfg{.min_support = 0.08, .max_pattern_length = 3};
+  const MiningResult a = apriori(txns, cfg);
+  const MiningResult f = fpgrowth(txns, cfg);
+  ASSERT_EQ(a.frequent.size(), f.frequent.size());
+  for (std::size_t i = 0; i < a.frequent.size(); ++i) {
+    EXPECT_EQ(a.frequent[i].items, f.frequent[i].items);
+    EXPECT_EQ(a.frequent[i].support, f.frequent[i].support);
+  }
+}
+
+TEST(FpGrowth, ThreeMinersAgreeOnRandomData) {
+  common::Rng rng(123);
+  std::vector<data::ItemSet> txns;
+  for (int i = 0; i < 250; ++i) {
+    data::ItemSet t;
+    const std::size_t len = 2 + rng.bounded(7);
+    for (std::size_t j = 0; j < len; ++j) {
+      t.push_back(static_cast<data::Item>(rng.zipf(25, 1.0)));
+    }
+    data::normalize(t);
+    txns.push_back(std::move(t));
+  }
+  for (const double support : {0.03, 0.08, 0.2}) {
+    const AprioriConfig cfg{.min_support = support, .max_pattern_length = 4};
+    const MiningResult a = apriori(txns, cfg);
+    const MiningResult e = eclat(txns, cfg);
+    const MiningResult f = fpgrowth(txns, cfg);
+    ASSERT_EQ(a.frequent.size(), f.frequent.size()) << "support " << support;
+    ASSERT_EQ(e.frequent.size(), f.frequent.size()) << "support " << support;
+    for (std::size_t i = 0; i < a.frequent.size(); ++i) {
+      EXPECT_EQ(a.frequent[i].items, f.frequent[i].items);
+      EXPECT_EQ(a.frequent[i].support, f.frequent[i].support);
+    }
+  }
+}
+
+TEST(FpGrowth, TextbookExampleSupports) {
+  // Same toy basket as the Apriori test; check a few supports directly.
+  const std::vector<data::ItemSet> txns{
+      {1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3}, {2, 3}, {1, 3},
+      {1, 2, 3, 5}, {1, 2, 3},
+  };
+  const AprioriConfig cfg{.min_support = 2.0 / 9.0, .max_pattern_length = 3};
+  const MiningResult f = fpgrowth(txns, cfg);
+  std::map<data::ItemSet, std::uint32_t> m;
+  for (const auto& p : f.frequent) m[p.items] = p.support;
+  EXPECT_EQ(m.at({2}), 7u);
+  EXPECT_EQ(m.at({1, 2}), 4u);
+  EXPECT_EQ(m.at({1, 2, 5}), 2u);
+  EXPECT_EQ(m.size(), 13u);
+}
+
+TEST(FpGrowth, EmptyInputAndCaps) {
+  EXPECT_TRUE(fpgrowth({}, {}).frequent.empty());
+  std::vector<data::ItemSet> txns(10, data::ItemSet{1, 2, 3});
+  const AprioriConfig cfg{.min_support = 1.0, .max_pattern_length = 2};
+  for (const auto& p : fpgrowth(txns, cfg).frequent) {
+    EXPECT_LE(p.items.size(), 2u);
+  }
+  EXPECT_THROW((void)fpgrowth(txns, AprioriConfig{.min_support = 0.0}),
+               common::ConfigError);
+}
+
+TEST(Eclat, MetersWork) {
+  std::vector<data::ItemSet> txns(50, data::ItemSet{1, 2, 3, 4});
+  const AprioriConfig cfg{.min_support = 0.5, .max_pattern_length = 4};
+  const MiningResult r = eclat(txns, cfg);
+  EXPECT_GT(r.work_ops, 0u);
+  EXPECT_GT(r.candidates_generated, 0u);
+}
+
+}  // namespace
+}  // namespace hetsim::mining
