@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_tree_mining.dir/bench_fig2_tree_mining.cpp.o"
+  "CMakeFiles/bench_fig2_tree_mining.dir/bench_fig2_tree_mining.cpp.o.d"
+  "bench_fig2_tree_mining"
+  "bench_fig2_tree_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tree_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_text_mining.dir/bench_fig3_text_mining.cpp.o"
+  "CMakeFiles/bench_fig3_text_mining.dir/bench_fig3_text_mining.cpp.o.d"
+  "bench_fig3_text_mining"
+  "bench_fig3_text_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_text_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_graph_compression.dir/bench_fig4_graph_compression.cpp.o"
+  "CMakeFiles/bench_fig4_graph_compression.dir/bench_fig4_graph_compression.cpp.o.d"
+  "bench_fig4_graph_compression"
+  "bench_fig4_graph_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_graph_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

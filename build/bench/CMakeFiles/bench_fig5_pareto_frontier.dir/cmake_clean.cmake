@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pareto_frontier.dir/bench_fig5_pareto_frontier.cpp.o"
+  "CMakeFiles/bench_fig5_pareto_frontier.dir/bench_fig5_pareto_frontier.cpp.o.d"
+  "bench_fig5_pareto_frontier"
+  "bench_fig5_pareto_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pareto_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_tab3_lz77.dir/bench_tab2_tab3_lz77.cpp.o"
+  "CMakeFiles/bench_tab2_tab3_lz77.dir/bench_tab2_tab3_lz77.cpp.o.d"
+  "bench_tab2_tab3_lz77"
+  "bench_tab2_tab3_lz77.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_tab3_lz77.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab2_tab3_lz77.
+# This may be replaced when dependencies are built.

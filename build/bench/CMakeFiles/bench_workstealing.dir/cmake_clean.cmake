@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workstealing.dir/bench_workstealing.cpp.o"
+  "CMakeFiles/bench_workstealing.dir/bench_workstealing.cpp.o.d"
+  "bench_workstealing"
+  "bench_workstealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workstealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/hetsim_bench_harness.dir/harness.cpp.o.d"
+  "libhetsim_bench_harness.a"
+  "libhetsim_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

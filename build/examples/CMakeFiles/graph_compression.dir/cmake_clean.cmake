@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_compression.dir/graph_compression.cpp.o"
+  "CMakeFiles/graph_compression.dir/graph_compression.cpp.o.d"
+  "graph_compression"
+  "graph_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green_scheduling.dir/green_scheduling.cpp.o"
+  "CMakeFiles/green_scheduling.dir/green_scheduling.cpp.o.d"
+  "green_scheduling"
+  "green_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

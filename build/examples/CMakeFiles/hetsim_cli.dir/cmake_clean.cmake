@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_cli.dir/hetsim_cli.cpp.o"
+  "CMakeFiles/hetsim_cli.dir/hetsim_cli.cpp.o.d"
+  "hetsim_cli"
+  "hetsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

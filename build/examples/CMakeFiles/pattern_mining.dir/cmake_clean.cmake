@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_mining.dir/pattern_mining.cpp.o"
+  "CMakeFiles/pattern_mining.dir/pattern_mining.cpp.o.d"
+  "pattern_mining"
+  "pattern_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

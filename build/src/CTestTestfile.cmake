@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("kvstore")
+subdirs("cluster")
+subdirs("energy")
+subdirs("data")
+subdirs("sketch")
+subdirs("stratify")
+subdirs("estimator")
+subdirs("optimize")
+subdirs("partition")
+subdirs("mining")
+subdirs("compress")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/hetsim_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/hetsim_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/hetsim_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/hetsim_cluster.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hetsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hetsim_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

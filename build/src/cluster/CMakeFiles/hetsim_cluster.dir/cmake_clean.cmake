@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hetsim_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/hetsim_cluster.dir/node.cpp.o"
+  "CMakeFiles/hetsim_cluster.dir/node.cpp.o.d"
+  "libhetsim_cluster.a"
+  "libhetsim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_common.dir/allocation.cpp.o"
+  "CMakeFiles/hetsim_common.dir/allocation.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/args.cpp.o"
+  "CMakeFiles/hetsim_common.dir/args.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/json.cpp.o"
+  "CMakeFiles/hetsim_common.dir/json.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/rng.cpp.o"
+  "CMakeFiles/hetsim_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/stats.cpp.o"
+  "CMakeFiles/hetsim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/table.cpp.o"
+  "CMakeFiles/hetsim_common.dir/table.cpp.o.d"
+  "libhetsim_common.a"
+  "libhetsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetsim_common.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitio.cpp" "src/compress/CMakeFiles/hetsim_compress.dir/bitio.cpp.o" "gcc" "src/compress/CMakeFiles/hetsim_compress.dir/bitio.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/hetsim_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/hetsim_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/lz77.cpp" "src/compress/CMakeFiles/hetsim_compress.dir/lz77.cpp.o" "gcc" "src/compress/CMakeFiles/hetsim_compress.dir/lz77.cpp.o.d"
+  "/root/repo/src/compress/webgraph.cpp" "src/compress/CMakeFiles/hetsim_compress.dir/webgraph.cpp.o" "gcc" "src/compress/CMakeFiles/hetsim_compress.dir/webgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

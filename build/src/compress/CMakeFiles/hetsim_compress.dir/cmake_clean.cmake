@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_compress.dir/bitio.cpp.o"
+  "CMakeFiles/hetsim_compress.dir/bitio.cpp.o.d"
+  "CMakeFiles/hetsim_compress.dir/huffman.cpp.o"
+  "CMakeFiles/hetsim_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/hetsim_compress.dir/lz77.cpp.o"
+  "CMakeFiles/hetsim_compress.dir/lz77.cpp.o.d"
+  "CMakeFiles/hetsim_compress.dir/webgraph.cpp.o"
+  "CMakeFiles/hetsim_compress.dir/webgraph.cpp.o.d"
+  "libhetsim_compress.a"
+  "libhetsim_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

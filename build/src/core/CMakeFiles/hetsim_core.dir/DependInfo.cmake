@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compression_workload.cpp" "src/core/CMakeFiles/hetsim_core.dir/compression_workload.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/compression_workload.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/hetsim_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/mining_workload.cpp" "src/core/CMakeFiles/hetsim_core.dir/mining_workload.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/mining_workload.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/hetsim_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/subtree_workload.cpp" "src/core/CMakeFiles/hetsim_core.dir/subtree_workload.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/subtree_workload.cpp.o.d"
+  "/root/repo/src/core/workstealing.cpp" "src/core/CMakeFiles/hetsim_core.dir/workstealing.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/workstealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hetsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hetsim_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hetsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/hetsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/hetsim_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stratify/CMakeFiles/hetsim_stratify.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/hetsim_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/hetsim_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/hetsim_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/hetsim_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/hetsim_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_core.dir/compression_workload.cpp.o"
+  "CMakeFiles/hetsim_core.dir/compression_workload.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/framework.cpp.o"
+  "CMakeFiles/hetsim_core.dir/framework.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/mining_workload.cpp.o"
+  "CMakeFiles/hetsim_core.dir/mining_workload.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/report_io.cpp.o"
+  "CMakeFiles/hetsim_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/subtree_workload.cpp.o"
+  "CMakeFiles/hetsim_core.dir/subtree_workload.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/workstealing.cpp.o"
+  "CMakeFiles/hetsim_core.dir/workstealing.cpp.o.d"
+  "libhetsim_core.a"
+  "libhetsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/hetsim_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/hetsim_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/data/CMakeFiles/hetsim_data.dir/generators.cpp.o" "gcc" "src/data/CMakeFiles/hetsim_data.dir/generators.cpp.o.d"
+  "/root/repo/src/data/graph.cpp" "src/data/CMakeFiles/hetsim_data.dir/graph.cpp.o" "gcc" "src/data/CMakeFiles/hetsim_data.dir/graph.cpp.o.d"
+  "/root/repo/src/data/itemset.cpp" "src/data/CMakeFiles/hetsim_data.dir/itemset.cpp.o" "gcc" "src/data/CMakeFiles/hetsim_data.dir/itemset.cpp.o.d"
+  "/root/repo/src/data/tree.cpp" "src/data/CMakeFiles/hetsim_data.dir/tree.cpp.o" "gcc" "src/data/CMakeFiles/hetsim_data.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

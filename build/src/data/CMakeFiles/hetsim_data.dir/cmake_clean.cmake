@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_data.dir/dataset.cpp.o"
+  "CMakeFiles/hetsim_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hetsim_data.dir/generators.cpp.o"
+  "CMakeFiles/hetsim_data.dir/generators.cpp.o.d"
+  "CMakeFiles/hetsim_data.dir/graph.cpp.o"
+  "CMakeFiles/hetsim_data.dir/graph.cpp.o.d"
+  "CMakeFiles/hetsim_data.dir/itemset.cpp.o"
+  "CMakeFiles/hetsim_data.dir/itemset.cpp.o.d"
+  "CMakeFiles/hetsim_data.dir/tree.cpp.o"
+  "CMakeFiles/hetsim_data.dir/tree.cpp.o.d"
+  "libhetsim_data.a"
+  "libhetsim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/estimator.cpp" "src/energy/CMakeFiles/hetsim_energy.dir/estimator.cpp.o" "gcc" "src/energy/CMakeFiles/hetsim_energy.dir/estimator.cpp.o.d"
+  "/root/repo/src/energy/solar.cpp" "src/energy/CMakeFiles/hetsim_energy.dir/solar.cpp.o" "gcc" "src/energy/CMakeFiles/hetsim_energy.dir/solar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hetsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hetsim_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hetsim_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_energy.dir/estimator.cpp.o"
+  "CMakeFiles/hetsim_energy.dir/estimator.cpp.o.d"
+  "CMakeFiles/hetsim_energy.dir/solar.cpp.o"
+  "CMakeFiles/hetsim_energy.dir/solar.cpp.o.d"
+  "libhetsim_energy.a"
+  "libhetsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_estimator.dir/progressive.cpp.o"
+  "CMakeFiles/hetsim_estimator.dir/progressive.cpp.o.d"
+  "libhetsim_estimator.a"
+  "libhetsim_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

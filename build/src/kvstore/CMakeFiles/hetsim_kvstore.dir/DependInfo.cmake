@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/barrier.cpp" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/barrier.cpp.o" "gcc" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/barrier.cpp.o.d"
+  "/root/repo/src/kvstore/client.cpp" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/client.cpp.o" "gcc" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/client.cpp.o.d"
+  "/root/repo/src/kvstore/codec.cpp" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/codec.cpp.o" "gcc" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/codec.cpp.o.d"
+  "/root/repo/src/kvstore/resp.cpp" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/resp.cpp.o" "gcc" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/resp.cpp.o.d"
+  "/root/repo/src/kvstore/server.cpp" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/server.cpp.o" "gcc" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/server.cpp.o.d"
+  "/root/repo/src/kvstore/store.cpp" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/store.cpp.o" "gcc" "src/kvstore/CMakeFiles/hetsim_kvstore.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hetsim_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_kvstore.dir/barrier.cpp.o"
+  "CMakeFiles/hetsim_kvstore.dir/barrier.cpp.o.d"
+  "CMakeFiles/hetsim_kvstore.dir/client.cpp.o"
+  "CMakeFiles/hetsim_kvstore.dir/client.cpp.o.d"
+  "CMakeFiles/hetsim_kvstore.dir/codec.cpp.o"
+  "CMakeFiles/hetsim_kvstore.dir/codec.cpp.o.d"
+  "CMakeFiles/hetsim_kvstore.dir/resp.cpp.o"
+  "CMakeFiles/hetsim_kvstore.dir/resp.cpp.o.d"
+  "CMakeFiles/hetsim_kvstore.dir/server.cpp.o"
+  "CMakeFiles/hetsim_kvstore.dir/server.cpp.o.d"
+  "CMakeFiles/hetsim_kvstore.dir/store.cpp.o"
+  "CMakeFiles/hetsim_kvstore.dir/store.cpp.o.d"
+  "libhetsim_kvstore.a"
+  "libhetsim_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

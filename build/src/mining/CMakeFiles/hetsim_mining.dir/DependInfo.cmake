@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cpp" "src/mining/CMakeFiles/hetsim_mining.dir/apriori.cpp.o" "gcc" "src/mining/CMakeFiles/hetsim_mining.dir/apriori.cpp.o.d"
+  "/root/repo/src/mining/eclat.cpp" "src/mining/CMakeFiles/hetsim_mining.dir/eclat.cpp.o" "gcc" "src/mining/CMakeFiles/hetsim_mining.dir/eclat.cpp.o.d"
+  "/root/repo/src/mining/fpgrowth.cpp" "src/mining/CMakeFiles/hetsim_mining.dir/fpgrowth.cpp.o" "gcc" "src/mining/CMakeFiles/hetsim_mining.dir/fpgrowth.cpp.o.d"
+  "/root/repo/src/mining/son.cpp" "src/mining/CMakeFiles/hetsim_mining.dir/son.cpp.o" "gcc" "src/mining/CMakeFiles/hetsim_mining.dir/son.cpp.o.d"
+  "/root/repo/src/mining/treeminer.cpp" "src/mining/CMakeFiles/hetsim_mining.dir/treeminer.cpp.o" "gcc" "src/mining/CMakeFiles/hetsim_mining.dir/treeminer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetsim_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_mining.dir/apriori.cpp.o"
+  "CMakeFiles/hetsim_mining.dir/apriori.cpp.o.d"
+  "CMakeFiles/hetsim_mining.dir/eclat.cpp.o"
+  "CMakeFiles/hetsim_mining.dir/eclat.cpp.o.d"
+  "CMakeFiles/hetsim_mining.dir/fpgrowth.cpp.o"
+  "CMakeFiles/hetsim_mining.dir/fpgrowth.cpp.o.d"
+  "CMakeFiles/hetsim_mining.dir/son.cpp.o"
+  "CMakeFiles/hetsim_mining.dir/son.cpp.o.d"
+  "CMakeFiles/hetsim_mining.dir/treeminer.cpp.o"
+  "CMakeFiles/hetsim_mining.dir/treeminer.cpp.o.d"
+  "libhetsim_mining.a"
+  "libhetsim_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_net.dir/fabric.cpp.o"
+  "CMakeFiles/hetsim_net.dir/fabric.cpp.o.d"
+  "libhetsim_net.a"
+  "libhetsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

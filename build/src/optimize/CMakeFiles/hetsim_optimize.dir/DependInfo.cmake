@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimize/pareto.cpp" "src/optimize/CMakeFiles/hetsim_optimize.dir/pareto.cpp.o" "gcc" "src/optimize/CMakeFiles/hetsim_optimize.dir/pareto.cpp.o.d"
+  "/root/repo/src/optimize/simplex.cpp" "src/optimize/CMakeFiles/hetsim_optimize.dir/simplex.cpp.o" "gcc" "src/optimize/CMakeFiles/hetsim_optimize.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_optimize.dir/pareto.cpp.o"
+  "CMakeFiles/hetsim_optimize.dir/pareto.cpp.o.d"
+  "CMakeFiles/hetsim_optimize.dir/simplex.cpp.o"
+  "CMakeFiles/hetsim_optimize.dir/simplex.cpp.o.d"
+  "libhetsim_optimize.a"
+  "libhetsim_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hetsim_optimize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_partition.dir/disk_writer.cpp.o"
+  "CMakeFiles/hetsim_partition.dir/disk_writer.cpp.o.d"
+  "CMakeFiles/hetsim_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/hetsim_partition.dir/partitioner.cpp.o.d"
+  "libhetsim_partition.a"
+  "libhetsim_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

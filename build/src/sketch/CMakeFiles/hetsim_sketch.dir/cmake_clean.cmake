@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_sketch.dir/minhash.cpp.o"
+  "CMakeFiles/hetsim_sketch.dir/minhash.cpp.o.d"
+  "libhetsim_sketch.a"
+  "libhetsim_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stratify/kmodes.cpp" "src/stratify/CMakeFiles/hetsim_stratify.dir/kmodes.cpp.o" "gcc" "src/stratify/CMakeFiles/hetsim_stratify.dir/kmodes.cpp.o.d"
+  "/root/repo/src/stratify/sampler.cpp" "src/stratify/CMakeFiles/hetsim_stratify.dir/sampler.cpp.o" "gcc" "src/stratify/CMakeFiles/hetsim_stratify.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/hetsim_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetsim_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_stratify.dir/kmodes.cpp.o"
+  "CMakeFiles/hetsim_stratify.dir/kmodes.cpp.o.d"
+  "CMakeFiles/hetsim_stratify.dir/sampler.cpp.o"
+  "CMakeFiles/hetsim_stratify.dir/sampler.cpp.o.d"
+  "libhetsim_stratify.a"
+  "libhetsim_stratify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_stratify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_decoders_test.dir/fuzz_decoders_test.cpp.o"
+  "CMakeFiles/fuzz_decoders_test.dir/fuzz_decoders_test.cpp.o.d"
+  "fuzz_decoders_test"
+  "fuzz_decoders_test.pdb"
+  "fuzz_decoders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_decoders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

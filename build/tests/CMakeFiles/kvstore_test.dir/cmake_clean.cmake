@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_test.dir/kvstore_test.cpp.o"
+  "CMakeFiles/kvstore_test.dir/kvstore_test.cpp.o.d"
+  "kvstore_test"
+  "kvstore_test.pdb"
+  "kvstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_test.dir/mining_test.cpp.o"
+  "CMakeFiles/mining_test.dir/mining_test.cpp.o.d"
+  "mining_test"
+  "mining_test.pdb"
+  "mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

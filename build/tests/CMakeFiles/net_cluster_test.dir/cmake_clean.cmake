@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_cluster_test.dir/net_cluster_test.cpp.o"
+  "CMakeFiles/net_cluster_test.dir/net_cluster_test.cpp.o.d"
+  "net_cluster_test"
+  "net_cluster_test.pdb"
+  "net_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resp_test.dir/resp_test.cpp.o"
+  "CMakeFiles/resp_test.dir/resp_test.cpp.o.d"
+  "resp_test"
+  "resp_test.pdb"
+  "resp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_stratify_test.dir/sketch_stratify_test.cpp.o"
+  "CMakeFiles/sketch_stratify_test.dir/sketch_stratify_test.cpp.o.d"
+  "sketch_stratify_test"
+  "sketch_stratify_test.pdb"
+  "sketch_stratify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_stratify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeminer_test.dir/treeminer_test.cpp.o"
+  "CMakeFiles/treeminer_test.dir/treeminer_test.cpp.o.d"
+  "treeminer_test"
+  "treeminer_test.pdb"
+  "treeminer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeminer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

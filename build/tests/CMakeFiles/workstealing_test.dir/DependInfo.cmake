@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workstealing_test.cpp" "tests/CMakeFiles/workstealing_test.dir/workstealing_test.cpp.o" "gcc" "tests/CMakeFiles/workstealing_test.dir/workstealing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hetsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/hetsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/hetsim_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hetsim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/hetsim_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/hetsim_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hetsim_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hetsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stratify/CMakeFiles/hetsim_stratify.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/hetsim_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/hetsim_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetsim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/hetsim_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workstealing_test.dir/workstealing_test.cpp.o"
+  "CMakeFiles/workstealing_test.dir/workstealing_test.cpp.o.d"
+  "workstealing_test"
+  "workstealing_test.pdb"
+  "workstealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workstealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
