@@ -1,0 +1,150 @@
+// bench_runtime_replan — static plan vs. mid-job re-planning under
+// injected estimator error.
+//
+// The estimator fits f_i(x) = m_i·x + c_i from progressive samples;
+// this bench then makes one node's *true* per-record cost a multiple of
+// the fitted slope (the estimator never sees the multiplier — exactly
+// the interference/skew scenario re-planning exists for) and runs the
+// same job twice through hetsim::runtime: once with re-planning
+// disabled (the paper's static Het-Aware plan) and once with
+// straggler-triggered re-planning. Reports makespans, improvement,
+// migration volume, and verifies that two same-seed runs produce
+// byte-identical Chrome-trace JSON.
+//
+// The workload meters a fixed cost per record, so the fitted slope is
+// exact and the injected multiplier *is* the true-vs-estimated slope
+// ratio. (With a nonlinear workload like SON/Apriori the fit carries
+// its own chunk-granularity bias, which would confound the factor this
+// bench sweeps.)
+//
+// Exit status is non-zero if re-planning fails to strictly improve the
+// makespan at an error factor >= 2, or if trace determinism is violated
+// — so the bench doubles as an acceptance check in CI.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/table.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace hetsim;
+
+/// Fixed metered cost per record: estimated m_i match reality exactly
+/// unless the bench injects a slowdown.
+class LinearWorkload final : public core::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "linear-scan"; }
+  [[nodiscard]] partition::Layout preferred_layout() const override {
+    return partition::Layout::kRepresentative;
+  }
+  void reset(std::size_t, std::uint32_t) override {}
+  void run(cluster::NodeContext& ctx, const data::Dataset&,
+           std::span<const std::uint32_t> indices) override {
+    ctx.meter().add(2e4 * static_cast<double>(indices.size()));
+  }
+};
+
+struct RunResult {
+  runtime::JobSummary summary;
+  std::string trace_json;
+};
+
+RunResult run_once(const data::Dataset& dataset, std::uint32_t partitions,
+                   double error_factor, bool enable_replan,
+                   std::uint64_t seed) {
+  cluster::Cluster cluster(cluster::standard_cluster(partitions));
+  const energy::GreenEnergyEstimator energy =
+      energy::GreenEnergyEstimator::standard(72);
+  LinearWorkload workload;
+
+  runtime::JobSpec spec;
+  spec.name = "replan-bench";
+  spec.strategy = core::Strategy::kHetAware;
+  spec.sampling.min_records = 40;
+  spec.enable_replan = enable_replan;
+  spec.seed = seed;
+  // Node 0 (the fastest, so the LP hands it the biggest partition) is
+  // `error_factor` times slower than its fitted slope claims.
+  spec.per_node_slowdown.assign(partitions, 1.0);
+  spec.per_node_slowdown[0] = error_factor;
+
+  runtime::JobRuntime rt(cluster, energy, spec);
+  RunResult result;
+  result.summary = rt.run(dataset, workload);
+  result.trace_json = rt.trace().chrome_trace_json();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t partitions = 8;
+  const std::uint64_t seed = 171;
+  const data::Dataset dataset =
+      data::generate_text_corpus(data::rcv1_like(0.5), "rcv1");
+
+  std::cout << "runtime re-planning vs. static plan — " << dataset.name
+            << " (" << dataset.size() << " records), " << partitions
+            << " nodes, node 0's true slope = factor x fitted m_0\n\n";
+
+  common::Table table({"error factor", "static (s)", "replan (s)",
+                       "improvement", "replans", "migrated records",
+                       "migrated KB"});
+  std::vector<bench::BenchMetric> metrics;
+  bool ok = true;
+
+  for (const double factor : {1.0, 2.0, 3.0}) {
+    const RunResult fixed =
+        run_once(dataset, partitions, factor, false, seed);
+    const RunResult replanned =
+        run_once(dataset, partitions, factor, true, seed);
+    const double improvement_pct =
+        100.0 *
+        (fixed.summary.makespan_s - replanned.summary.makespan_s) /
+        fixed.summary.makespan_s;
+    table.add_row(
+        {common::format_double(factor, 1),
+         common::format_double(fixed.summary.makespan_s, 4),
+         common::format_double(replanned.summary.makespan_s, 4),
+         common::format_double(improvement_pct, 1) + "%",
+         std::to_string(replanned.summary.replans),
+         std::to_string(replanned.summary.migrated_records),
+         common::format_double(replanned.summary.migrated_bytes / 1024.0, 1)});
+
+    const std::string suffix = "_x" + std::to_string(static_cast<int>(factor));
+    metrics.push_back({"makespan_static" + suffix, fixed.summary.makespan_s,
+                       "s"});
+    metrics.push_back({"makespan_replan" + suffix,
+                       replanned.summary.makespan_s, "s"});
+    metrics.push_back({"improvement" + suffix, improvement_pct, "%"});
+    metrics.push_back({"migrated_bytes" + suffix,
+                       replanned.summary.migrated_bytes, "bytes"});
+    metrics.push_back({"replans" + suffix,
+                       static_cast<double>(replanned.summary.replans),
+                       "count"});
+
+    if (factor >= 2.0 &&
+        replanned.summary.makespan_s >= fixed.summary.makespan_s) {
+      std::cout << "FAIL: re-planning did not improve makespan at factor "
+                << factor << "\n";
+      ok = false;
+    }
+  }
+  table.print(std::cout, "makespan under injected estimator error");
+
+  // Determinism: the same seed must reproduce the trace byte for byte.
+  const RunResult a = run_once(dataset, partitions, 2.0, true, seed);
+  const RunResult b = run_once(dataset, partitions, 2.0, true, seed);
+  const bool identical = a.trace_json == b.trace_json;
+  std::cout << "\ntrace determinism (same seed, two runs): "
+            << (identical ? "byte-identical" : "MISMATCH") << " ("
+            << a.trace_json.size() << " bytes)\n";
+  metrics.push_back({"trace_deterministic", identical ? 1.0 : 0.0, "bool"});
+  if (!identical) ok = false;
+
+  bench::write_bench_json("runtime_replan", metrics);
+  return ok ? 0 : 1;
+}

@@ -1,11 +1,18 @@
 #include "bench/harness.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <span>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "common/table.h"
+
+#ifndef HETSIM_GIT_SHA
+#define HETSIM_GIT_SHA "unknown"
+#endif
 
 namespace hetsim::bench {
 
@@ -79,6 +86,38 @@ ExperimentOutcome run_experiment(const data::Dataset& dataset,
     out.strategies.push_back(std::move(o));
   }
   return out;
+}
+
+bool write_bench_json(const std::string& bench_name,
+                      const std::vector<BenchMetric>& metrics) {
+  const char* gate = std::getenv("HETSIM_BENCH_JSON");
+  if (gate == nullptr || *gate == '\0') return false;
+  std::string dir(gate);
+  if (dir == "1") dir = ".";
+  common::JsonWriter w;
+  w.begin_object();
+  w.field("bench", bench_name);
+  w.field("git_sha", std::string(HETSIM_GIT_SHA));
+  w.key("metrics");
+  w.begin_array();
+  for (const BenchMetric& m : metrics) {
+    w.begin_object();
+    w.field("name", m.name);
+    w.field("value", m.value);
+    w.field("unit", m.unit);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const std::string path = dir + "/BENCH_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  out << w.str() << '\n';
+  if (!out) {
+    std::cerr << "bench: failed to write " << path << '\n';
+    return false;
+  }
+  std::cerr << "bench: wrote " << path << '\n';
+  return true;
 }
 
 namespace {

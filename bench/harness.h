@@ -69,6 +69,25 @@ void print_quality_table(const std::string& title,
                          const std::vector<ExperimentOutcome>& by_partitions,
                          const std::string& metric_name);
 
+// ---- machine-readable bench output -----------------------------------------
+
+/// One scalar a bench wants tracked across commits.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;  // "s", "J", "bytes", "count", "%", ...
+};
+
+/// When the HETSIM_BENCH_JSON environment variable is set (non-empty),
+/// write `BENCH_<bench_name>.json` — the metrics plus the git SHA the
+/// binary was built from — into the directory the variable names ("1"
+/// or "." mean the current directory). Returns true when a file was
+/// written, false when the gate is off or the write failed (failure is
+/// also reported on stderr; benches keep their human-readable output
+/// either way).
+bool write_bench_json(const std::string& bench_name,
+                      const std::vector<BenchMetric>& metrics);
+
 /// Frontier sweep (Fig. 5/6): run the framework once, sweep alpha, print
 /// (alpha, predicted time, predicted dirty energy) plus the predicted
 /// Stratified baseline point. `normalized` selects the normalized

@@ -3,13 +3,22 @@
 //   ./build/examples/hetsim_cli --workload text --partitions 8
 //   ./build/examples/hetsim_cli --strategy all --alpha 0.6 --workload tree
 //   ./build/examples/hetsim_cli --workload graph --scale 0.5 --csv
+//   ./build/examples/hetsim_cli run-job --workload text
+//       --slowdown 2.5,1,1,1 --trace_out job.trace.json  (one line)
 //
 // Workloads: text (SON+Apriori on the RCV1 analogue), tree (FREQT
 // subtree mining on the SwissProt analogue), graph (BV webgraph
 // compression on the UK analogue), lz77 / deflate (byte compression of
 // the UK analogue payloads).
+//
+// The run-job subcommand executes ONE job through hetsim::runtime (phase
+// DAG + straggler-triggered re-planning), prints the job summary JSON,
+// and optionally writes a Chrome-trace file viewable in chrome://tracing
+// or https://ui.perfetto.dev.
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "common/args.h"
 #include "common/error.h"
@@ -20,6 +29,7 @@
 #include "core/report_io.h"
 #include "core/subtree_workload.h"
 #include "data/generators.h"
+#include "runtime/runtime.h"
 
 namespace {
 
@@ -74,9 +84,92 @@ std::vector<core::Strategy> parse_strategies(const std::string& name) {
                             " (expected all|random|stratified|het|energy)");
 }
 
+std::vector<double> parse_slowdown(const std::string& csv) {
+  std::vector<double> out;
+  if (csv.empty()) return out;
+  std::istringstream in(csv);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    try {
+      out.push_back(std::stod(part));
+    } catch (const std::exception&) {
+      throw common::ConfigError("bad --slowdown entry: " + part);
+    }
+  }
+  return out;
+}
+
+int run_job_main(int argc, const char* const* argv) {
+  common::ArgParser args(
+      "hetsim_cli run-job",
+      "run one job through the runtime (phase DAG, re-planning, trace)");
+  args.add_string("workload", "text | tree | graph | lz77 | deflate", "text");
+  args.add_string("strategy", "random | stratified | het | energy", "het");
+  args.add_int("partitions", "cluster size / partition count", 8);
+  args.add_double("scale", "dataset scale multiplier", 0.5);
+  args.add_double("support", "mining support fraction", 0.08);
+  args.add_double("alpha", "Het-Energy-Aware tradeoff weight", 0.75);
+  args.add_string("slowdown",
+                  "comma-separated per-node execution-cost multipliers the\n"
+                  "      estimator does not see (injected model error), e.g.\n"
+                  "      2.5,1,1,1", "");
+  args.add_int("checkpoint", "records per chunk/checkpoint (0 = auto)", 0);
+  args.add_int("seed", "scheduler seed (same seed => identical trace)", 171);
+  args.add_flag("no_replan", "disable straggler-triggered re-planning");
+  args.add_string("trace_out", "write Chrome-trace JSON to this path", "");
+  if (!args.parse(argc, argv, std::cerr)) return 2;
+
+  const std::vector<core::Strategy> strategies =
+      parse_strategies(args.get_string("strategy"));
+  common::require<common::ConfigError>(strategies.size() == 1,
+                                       "run-job takes a single strategy");
+
+  Job job = make_job(args.get_string("workload"), args.get_double("scale"),
+                     args.get_double("support"));
+  const auto partitions =
+      static_cast<std::uint32_t>(args.get_int("partitions"));
+  cluster::Cluster cluster(cluster::standard_cluster(partitions));
+  const energy::GreenEnergyEstimator energy =
+      energy::GreenEnergyEstimator::standard(72);
+
+  runtime::JobSpec spec;
+  spec.name = args.get_string("workload") + "-job";
+  spec.strategy = strategies[0];
+  spec.alpha = args.get_double("alpha");
+  spec.sampling.min_records = 40;
+  spec.checkpoint_records = static_cast<std::size_t>(args.get_int("checkpoint"));
+  spec.enable_replan = !args.get_flag("no_replan");
+  spec.per_node_slowdown = parse_slowdown(args.get_string("slowdown"));
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  runtime::JobRuntime job_runtime(cluster, energy, spec);
+  const runtime::JobSummary summary =
+      job_runtime.run(job.dataset, *job.workload);
+  std::cout << runtime::summary_json(summary) << '\n';
+
+  const std::string trace_path = args.get_string("trace_out");
+  if (!trace_path.empty()) {
+    if (!job_runtime.trace().write_chrome_trace(trace_path)) {
+      std::cerr << "hetsim_cli: cannot write trace to " << trace_path << '\n';
+      return 1;
+    }
+    std::cerr << "trace: " << trace_path
+              << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "run-job") == 0) {
+    try {
+      return run_job_main(argc - 1, argv + 1);
+    } catch (const std::exception& e) {
+      std::cerr << "hetsim_cli run-job: " << e.what() << '\n';
+      return 1;
+    }
+  }
   common::ArgParser args("hetsim_cli",
                          "run a Pareto-framework experiment end to end");
   args.add_string("workload", "text | tree | graph | lz77 | deflate", "text");

@@ -69,8 +69,10 @@ void CompressionWorkload::run(cluster::NodeContext& ctx,
   }
   const std::uint32_t node = ctx.node().id;
   if (executing_ && node < raw_bytes_.size()) {
-    raw_bytes_[node] = raw;
-    compressed_bytes_[node] = compressed;
+    // Accumulate: the job runtime executes a partition as several
+    // chunks, each compressed as its own unit.
+    raw_bytes_[node] += raw;
+    compressed_bytes_[node] += compressed;
   }
 }
 

@@ -37,8 +37,16 @@ void PatternMiningWorkload::run(cluster::NodeContext& ctx,
   ctx.meter().add(static_cast<double>(result.work_ops));
   const std::uint32_t node = ctx.node().id;
   if (executing_ && node < local_results_.size()) {
-    local_frequent_counts_[node] = result.frequent.size();
-    local_results_[node] = std::move(result);
+    // Merge rather than overwrite: the job runtime executes a partition
+    // as several chunks, and SON's candidate union must see the locally
+    // frequent sets of every chunk (candidate_union dedupes).
+    local_frequent_counts_[node] += result.frequent.size();
+    mining::MiningResult& local = local_results_[node];
+    local.candidates_generated += result.candidates_generated;
+    local.work_ops += result.work_ops;
+    local.frequent.insert(local.frequent.end(),
+                          std::make_move_iterator(result.frequent.begin()),
+                          std::make_move_iterator(result.frequent.end()));
   }
 }
 

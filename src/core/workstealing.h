@@ -30,12 +30,22 @@ struct ChunkCost {
   double payload_bytes = 0.0;
 };
 
+/// Victim selection when a node runs out of local work.
+enum class StealPolicy : std::uint8_t {
+  /// Take from the victim with the most queued work — deterministic and
+  /// an upper bound on the balance quality of random stealing.
+  kMaxVictim,
+  /// The classic Blumofe–Leiserson policy: steal from a uniformly random
+  /// victim that still has work (seeded, so still reproducible).
+  kRandomVictim,
+};
+
 struct WorkStealingOptions {
   /// Initial chunks dealt to each node (round-robin).
   std::size_t chunks_per_node = 4;
-  /// Steal policy: take from the victim with the most queued work.
-  /// (The classic policy is random-victim; max-victim is deterministic
-  /// and an upper bound on its balance quality.)
+  StealPolicy policy = StealPolicy::kMaxVictim;
+  /// Seed for kRandomVictim's victim draws (ignored by kMaxVictim).
+  std::uint64_t seed = 171;
 };
 
 struct WorkStealingReport {

@@ -1,0 +1,92 @@
+#include "runtime/dag.h"
+
+#include "common/error.h"
+
+namespace hetsim::runtime {
+
+std::string phase_kind_name(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kIngest:
+      return "ingest";
+    case PhaseKind::kStratify:
+      return "stratify";
+    case PhaseKind::kEstimate:
+      return "estimate";
+    case PhaseKind::kForecast:
+      return "forecast";
+    case PhaseKind::kOptimize:
+      return "optimize";
+    case PhaseKind::kPartition:
+      return "partition";
+    case PhaseKind::kExecute:
+      return "execute";
+    case PhaseKind::kGlobal:
+      return "global";
+  }
+  return "?";
+}
+
+void PhaseDag::add(Phase phase) {
+  for (const Phase& existing : phases_) {
+    common::require<common::ConfigError>(
+        existing.name != phase.name,
+        "PhaseDag: duplicate phase name '" + phase.name + "'");
+  }
+  phases_.push_back(std::move(phase));
+}
+
+std::vector<std::size_t> PhaseDag::topological_order() const {
+  const std::size_t n = phases_.size();
+  const auto index_of = [&](const std::string& name) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (phases_[i].name == name) return i;
+    }
+    throw common::ConfigError("PhaseDag: dependency on undeclared phase '" +
+                              name + "'");
+  };
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> out_edges(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::string& dep : phases_[i].deps) {
+      const std::size_t d = index_of(dep);
+      common::require<common::ConfigError>(
+          d != i, "PhaseDag: phase '" + phases_[i].name + "' depends on itself");
+      out_edges[d].push_back(i);
+      ++indegree[i];
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> emitted(n, false);
+  // Kahn with declaration-order priority: scan for the first ready phase
+  // each round. O(n^2) on a handful of phases is irrelevant, and the
+  // order is independent of container internals.
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t pick = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!emitted[i] && indegree[i] == 0) {
+        pick = i;
+        break;
+      }
+    }
+    common::require<common::ConfigError>(pick != n,
+                                         "PhaseDag: dependency cycle");
+    emitted[pick] = true;
+    order.push_back(pick);
+    for (const std::size_t succ : out_edges[pick]) --indegree[succ];
+  }
+  return order;
+}
+
+void PhaseDag::run(TraceRecorder& trace,
+                   const std::function<double()>& clock) const {
+  for (const std::size_t i : topological_order()) {
+    const Phase& p = phases_[i];
+    const double start = clock();
+    if (p.body) p.body();
+    trace.add_span(p.name, "phase." + phase_kind_name(p.kind),
+                   TraceRecorder::kRuntimeLane, start, clock() - start);
+  }
+}
+
+}  // namespace hetsim::runtime

@@ -1,0 +1,226 @@
+#include "runtime/executor.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace hetsim::runtime {
+
+double ExecutorReport::total_work_units() const noexcept {
+  double total = 0.0;
+  for (const auto& p : per_node) total += p.work_units;
+  return total;
+}
+
+struct PhaseExecutor::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::deque<std::uint32_t>> queues;
+  std::vector<double> clock;
+  std::vector<NodeProgress> progress;
+  std::vector<double> slowdown;
+  std::vector<std::uint64_t> priority;  // seeded scheduler tie-break
+  std::vector<std::unique_ptr<cluster::NodeContext>> contexts;
+  std::vector<double> units_seen;    // last settled meter reading
+  std::vector<double> network_seen;  // last settled client time
+  std::uint32_t current = 0;
+  bool done = false;
+};
+
+PhaseExecutor::PhaseExecutor(cluster::Cluster& cluster,
+                             std::vector<std::vector<std::uint32_t>> queues,
+                             ChunkRunner runner, ExecutorOptions options)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      runner_(std::move(runner)),
+      state_(std::make_unique<State>()) {
+  const std::size_t p = cluster_.size();
+  common::require<common::ConfigError>(queues.size() == p,
+                                       "PhaseExecutor: one queue per node");
+  common::require<common::ConfigError>(options_.chunk_records >= 1,
+                                       "PhaseExecutor: chunk_records >= 1");
+  common::require<common::ConfigError>(
+      options_.per_node_slowdown.empty() ||
+          options_.per_node_slowdown.size() == p,
+      "PhaseExecutor: per_node_slowdown size mismatch");
+  common::require<common::ConfigError>(static_cast<bool>(runner_),
+                                       "PhaseExecutor: null chunk runner");
+  state_->queues.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    state_->queues[i].assign(queues[i].begin(), queues[i].end());
+  }
+  state_->clock.assign(p, 0.0);
+  state_->progress.assign(p, NodeProgress{});
+  state_->units_seen.assign(p, 0.0);
+  state_->network_seen.assign(p, 0.0);
+  state_->slowdown = options_.per_node_slowdown;
+  if (state_->slowdown.empty()) state_->slowdown.assign(p, 1.0);
+  for (const double s : state_->slowdown) {
+    common::require<common::ConfigError>(s > 0.0,
+                                         "PhaseExecutor: slowdown must be > 0");
+  }
+  common::Rng rng(options_.seed);
+  state_->priority.resize(p);
+  for (auto& pr : state_->priority) pr = rng();
+  state_->contexts.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    state_->contexts.push_back(std::make_unique<cluster::NodeContext>(
+        cluster_, cluster_.nodes()[i]));
+  }
+}
+
+PhaseExecutor::~PhaseExecutor() = default;
+
+std::uint32_t PhaseExecutor::pick_next_locked() const {
+  const std::size_t p = state_->queues.size();
+  std::uint32_t best = static_cast<std::uint32_t>(p);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    if (state_->queues[i].empty()) continue;
+    if (best == p) {
+      best = i;
+      continue;
+    }
+    const double tb = state_->clock[best];
+    const double ti = state_->clock[i];
+    if (ti < tb ||
+        (ti == tb && state_->priority[i] < state_->priority[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double PhaseExecutor::sync_network(std::uint32_t node) {
+  const double now = state_->contexts[node]->network_time();
+  const double delta = now - state_->network_seen[node];
+  state_->network_seen[node] = now;
+  state_->clock[node] += delta;
+  state_->progress[node].network_s += delta;
+  return delta;
+}
+
+void PhaseExecutor::worker(std::uint32_t node) {
+  State& s = *state_;
+  std::unique_lock<std::mutex> lk(s.mu);
+  for (;;) {
+    s.cv.wait(lk, [&] { return s.done || s.current == node; });
+    if (s.done) return;
+    // This node holds the scheduler token: run one chunk. The lock stays
+    // held — admission is one-at-a-time by construction, and serial
+    // execution is what makes the interleaving reproducible.
+    auto& queue = s.queues[node];
+    // Tail absorption: a sub-chunk remainder would hand the workload a
+    // degenerate unit of work (for SON mining, a tiny transaction set
+    // collapses the local support threshold to ~1 and the candidate
+    // space explodes). If what's left fits in 1.5 chunks, take it all.
+    const std::size_t take =
+        queue.size() <= options_.chunk_records + options_.chunk_records / 2
+            ? queue.size()
+            : options_.chunk_records;
+    std::vector<std::uint32_t> chunk;
+    chunk.reserve(take);
+    while (chunk.size() < take) {
+      chunk.push_back(queue.front());
+      queue.pop_front();
+    }
+    cluster::NodeContext& ctx = *s.contexts[node];
+    runner_(ctx, chunk);
+    const double units = ctx.meter().units() - s.units_seen[node];
+    s.units_seen[node] = ctx.meter().units();
+    const double compute =
+        cluster_.options().work_rate.seconds(units, ctx.node().speed) *
+        s.slowdown[node];
+    s.clock[node] += compute;
+    NodeProgress& prog = s.progress[node];
+    prog.records_done += chunk.size();
+    prog.work_units += units;
+    prog.compute_s += compute;
+    prog.chunks += 1;
+    sync_network(node);
+    if (checkpoint_) checkpoint_(node);
+    const std::uint32_t next = pick_next_locked();
+    if (next == s.queues.size()) {
+      s.done = true;
+      s.cv.notify_all();
+      return;
+    }
+    s.current = next;
+    if (next != node) s.cv.notify_all();
+  }
+}
+
+ExecutorReport PhaseExecutor::run() {
+  State& s = *state_;
+  const std::size_t p = s.queues.size();
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    const std::uint32_t first = pick_next_locked();
+    if (first == p) {
+      s.done = true;  // nothing to do anywhere
+    } else {
+      s.current = first;
+    }
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (std::uint32_t i = 0; i < p; ++i) {
+    threads.emplace_back([this, i] { worker(i); });
+  }
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.cv.notify_all();
+  }
+  for (auto& t : threads) t.join();
+  ExecutorReport report;
+  report.per_node = s.progress;
+  for (const double t : s.clock) {
+    report.makespan_s = std::max(report.makespan_s, t);
+  }
+  return report;
+}
+
+const NodeProgress& PhaseExecutor::progress(std::uint32_t node) const {
+  return state_->progress.at(node);
+}
+
+double PhaseExecutor::node_time(std::uint32_t node) const {
+  return state_->clock.at(node);
+}
+
+std::size_t PhaseExecutor::remaining(std::uint32_t node) const {
+  return state_->queues.at(node).size();
+}
+
+std::size_t PhaseExecutor::total_remaining() const {
+  std::size_t total = 0;
+  for (const auto& q : state_->queues) total += q.size();
+  return total;
+}
+
+std::vector<std::uint32_t> PhaseExecutor::take_from_tail(std::uint32_t node,
+                                                         std::size_t count) {
+  auto& queue = state_->queues.at(node);
+  std::vector<std::uint32_t> taken;
+  taken.reserve(std::min(count, queue.size()));
+  while (!queue.empty() && taken.size() < count) {
+    taken.push_back(queue.back());
+    queue.pop_back();
+  }
+  return taken;
+}
+
+void PhaseExecutor::give(std::uint32_t node,
+                         std::span<const std::uint32_t> records) {
+  auto& queue = state_->queues.at(node);
+  queue.insert(queue.end(), records.begin(), records.end());
+}
+
+cluster::NodeContext& PhaseExecutor::context(std::uint32_t node) {
+  return *state_->contexts.at(node);
+}
+
+}  // namespace hetsim::runtime

@@ -1,0 +1,115 @@
+// Per-node executors on real OS threads under a cooperative
+// virtual-time scheduler.
+//
+// Each node gets a work queue of record indices and its own OS thread.
+// The scheduler admits exactly one thread at a time: the runnable node
+// with the smallest virtual clock (ties broken by a seeded per-node
+// priority), which executes one chunk of its queue through the
+// workload, is charged the chunk's compute + network virtual seconds,
+// and parks again. Because admission depends only on virtual state, the
+// interleaving is reproducible on any machine for a given seed — real
+// concurrency primitives, deterministic schedule.
+//
+// After every chunk the scheduler invokes the checkpoint callback while
+// all threads are quiescent; the callback may inspect progress, move
+// records between queues (re-planning migrations) and charge extra
+// network time, which is how the runtime implements mid-job
+// re-planning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace hetsim::runtime {
+
+struct ExecutorOptions {
+  /// Records per execution chunk (= checkpoint granularity). Must be >= 1.
+  std::size_t chunk_records = 64;
+  /// Multiplier on each node's *observed* chunk time, versus what the
+  /// estimator's model assumed. Empty = all 1.0. This is the injected
+  /// estimator error used by benches/tests: a factor of 2 makes the true
+  /// per-record cost twice the fitted m_i, i.e. a straggler.
+  std::vector<double> per_node_slowdown;
+  /// Seed for the scheduler's tie-break priorities.
+  std::uint64_t seed = 171;
+};
+
+/// Progress of one node, maintained by the executor.
+struct NodeProgress {
+  std::size_t records_done = 0;
+  double work_units = 0.0;
+  double compute_s = 0.0;
+  double network_s = 0.0;
+  std::size_t chunks = 0;
+  [[nodiscard]] double busy_s() const noexcept { return compute_s + network_s; }
+};
+
+struct ExecutorReport {
+  /// Slowest node's finish time (barrier at the end of the phase).
+  double makespan_s = 0.0;
+  std::vector<NodeProgress> per_node;
+  [[nodiscard]] double total_work_units() const noexcept;
+};
+
+class PhaseExecutor {
+ public:
+  /// Processes `indices` of the dataset as node `ctx.node().id`,
+  /// metering via ctx (same contract as estimator::SampleRunner).
+  using ChunkRunner =
+      std::function<void(cluster::NodeContext&, std::span<const std::uint32_t>)>;
+  /// Invoked under the scheduler lock after `node` completes a chunk;
+  /// all other threads are parked, so the callback may freely use the
+  /// mutation API below.
+  using CheckpointFn = std::function<void(std::uint32_t node)>;
+
+  PhaseExecutor(cluster::Cluster& cluster,
+                std::vector<std::vector<std::uint32_t>> queues,
+                ChunkRunner runner, ExecutorOptions options);
+  ~PhaseExecutor();
+  PhaseExecutor(const PhaseExecutor&) = delete;
+  PhaseExecutor& operator=(const PhaseExecutor&) = delete;
+
+  void set_checkpoint(CheckpointFn fn) { checkpoint_ = std::move(fn); }
+
+  /// Spawn one thread per node, run every queue to exhaustion, join.
+  [[nodiscard]] ExecutorReport run();
+
+  // ---- checkpoint-callback API (valid while the scheduler is paused) --
+  [[nodiscard]] const NodeProgress& progress(std::uint32_t node) const;
+  [[nodiscard]] double node_time(std::uint32_t node) const;
+  [[nodiscard]] std::size_t remaining(std::uint32_t node) const;
+  [[nodiscard]] std::size_t total_remaining() const;
+  /// Pop up to `count` records from the tail of `node`'s queue (the
+  /// records it would have processed last).
+  std::vector<std::uint32_t> take_from_tail(std::uint32_t node,
+                                            std::size_t count);
+  /// Append records to `node`'s queue.
+  void give(std::uint32_t node, std::span<const std::uint32_t> records);
+  /// The node's context (for issuing migration traffic from the
+  /// checkpoint callback). Traffic issued here must be settled with
+  /// sync_network() so it lands on the node's clock exactly once.
+  [[nodiscard]] cluster::NodeContext& context(std::uint32_t node);
+  /// Fold any un-accounted client time of `node` into its virtual clock
+  /// and progress; returns the newly charged seconds.
+  double sync_network(std::uint32_t node);
+
+ private:
+  struct State;
+  void worker(std::uint32_t node);
+  /// Node to run next: runnable with min (time, priority, id); size() if
+  /// none.
+  [[nodiscard]] std::uint32_t pick_next_locked() const;
+
+  cluster::Cluster& cluster_;
+  ExecutorOptions options_;
+  ChunkRunner runner_;
+  CheckpointFn checkpoint_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace hetsim::runtime

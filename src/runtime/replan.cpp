@@ -1,0 +1,110 @@
+#include "runtime/replan.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace hetsim::runtime {
+
+std::vector<double> observed_slopes(
+    std::span<const optimize::NodeModel> models,
+    std::span<const NodeObservation> observations,
+    std::size_t min_observed_records) {
+  common::require<common::ConfigError>(
+      models.size() == observations.size(),
+      "observed_slopes: models/observations size mismatch");
+  std::vector<double> slopes(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const NodeObservation& ob = observations[i];
+    if (ob.records_done >= min_observed_records && ob.busy_s > 0.0) {
+      slopes[i] = ob.busy_s / static_cast<double>(ob.records_done);
+    } else {
+      slopes[i] = models[i].slope;
+    }
+  }
+  return slopes;
+}
+
+std::vector<std::uint32_t> detect_stragglers(
+    std::span<const optimize::NodeModel> models,
+    std::span<const NodeObservation> observations,
+    const StragglerPolicy& policy) {
+  const std::vector<double> observed =
+      observed_slopes(models, observations, policy.min_observed_records);
+  std::vector<std::uint32_t> stragglers;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (observations[i].records_done < policy.min_observed_records) continue;
+    if (models[i].slope <= 0.0) continue;
+    if (observed[i] > policy.deviation_factor * models[i].slope) {
+      stragglers.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return stragglers;
+}
+
+std::vector<optimize::NodeModel> refit_models(
+    std::span<const optimize::NodeModel> models,
+    std::span<const NodeObservation> observations,
+    std::size_t min_observed_records) {
+  const std::vector<double> slopes =
+      observed_slopes(models, observations, min_observed_records);
+  std::vector<optimize::NodeModel> refit(models.begin(), models.end());
+  for (std::size_t i = 0; i < refit.size(); ++i) {
+    refit[i].slope = std::max(slopes[i], 1e-12);
+    // The job is mid-flight: startup cost is sunk, so the remaining-work
+    // LP sees pure marginal rates.
+    refit[i].intercept = 0.0;
+  }
+  return refit;
+}
+
+std::vector<std::size_t> replan_remaining(
+    std::span<const optimize::NodeModel> refit,
+    std::span<const NodeObservation> observations, double alpha) {
+  common::require<common::ConfigError>(
+      refit.size() == observations.size(),
+      "replan_remaining: models/observations size mismatch");
+  std::size_t total = 0;
+  for (const NodeObservation& ob : observations) total += ob.remaining;
+  if (total == 0) return std::vector<std::size_t>(refit.size(), 0);
+  return optimize::solve_partition_sizes(refit, total, alpha).sizes;
+}
+
+std::vector<MigrationStep> plan_migrations(
+    std::span<const std::size_t> current, std::span<const std::size_t> target) {
+  common::require<common::ConfigError>(
+      current.size() == target.size(),
+      "plan_migrations: current/target size mismatch");
+  std::vector<MigrationStep> steps;
+  std::size_t donor = 0;
+  std::size_t surplus = 0;
+  const auto advance_donor = [&] {
+    while (donor < current.size()) {
+      if (current[donor] > target[donor]) {
+        surplus = current[donor] - target[donor];
+        return;
+      }
+      ++donor;
+    }
+    surplus = 0;
+  };
+  advance_donor();
+  for (std::size_t to = 0; to < current.size(); ++to) {
+    std::size_t deficit =
+        target[to] > current[to] ? target[to] - current[to] : 0;
+    while (deficit > 0 && donor < current.size()) {
+      const std::size_t moved = std::min(surplus, deficit);
+      steps.push_back({static_cast<std::uint32_t>(donor),
+                       static_cast<std::uint32_t>(to), moved});
+      deficit -= moved;
+      surplus -= moved;
+      if (surplus == 0) {
+        ++donor;
+        advance_donor();
+      }
+    }
+  }
+  return steps;
+}
+
+}  // namespace hetsim::runtime

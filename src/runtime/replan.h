@@ -1,0 +1,84 @@
+// Straggler detection and mid-job re-planning.
+//
+// The estimator fits f_i(x) = m_i·x + c_i before execution; reality can
+// disagree (VM interference, data skew the samples missed). At each
+// checkpoint the runtime compares every node's *observed* per-record
+// rate against its fitted m_i. When a node lags by more than the policy
+// threshold, the runtime re-fits slopes from observed progress, re-runs
+// the Pareto LP over the records still queued, and migrates the delta
+// between nodes — the same idea Khaleghzadeh et al. apply to the
+// bi-objective workload-distribution problem when conditions drift.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "optimize/pareto.h"
+
+namespace hetsim::runtime {
+
+struct StragglerPolicy {
+  /// A node is a straggler when observed seconds/record exceeds
+  /// `deviation_factor` times the model's m_i.
+  double deviation_factor = 1.5;
+  /// Observations on fewer records than this are noise; keep the fitted
+  /// slope for such nodes and never flag them.
+  std::size_t min_observed_records = 16;
+  /// Hard cap on re-plans per job (each one costs an LP solve plus
+  /// migration traffic).
+  std::size_t max_replans = 4;
+  /// Skip re-planning when less than this fraction of the job remains —
+  /// migration can no longer pay for itself.
+  double min_remaining_fraction = 0.05;
+};
+
+/// What the runtime knows about a node at a checkpoint.
+struct NodeObservation {
+  std::size_t records_done = 0;
+  /// Busy virtual seconds so far in the execute phase (compute + network).
+  double busy_s = 0.0;
+  /// Records still queued on the node.
+  std::size_t remaining = 0;
+};
+
+/// Observed seconds/record, falling back to the model slope when the
+/// node has processed fewer than `min_observed_records`.
+[[nodiscard]] std::vector<double> observed_slopes(
+    std::span<const optimize::NodeModel> models,
+    std::span<const NodeObservation> observations,
+    std::size_t min_observed_records);
+
+/// Nodes whose observed rate deviates beyond the policy threshold.
+[[nodiscard]] std::vector<std::uint32_t> detect_stragglers(
+    std::span<const optimize::NodeModel> models,
+    std::span<const NodeObservation> observations,
+    const StragglerPolicy& policy);
+
+/// Models for the re-plan LP: observed slope where trustworthy, fitted
+/// slope otherwise; intercepts dropped (nodes are already spun up) and
+/// dirty rates carried over.
+[[nodiscard]] std::vector<optimize::NodeModel> refit_models(
+    std::span<const optimize::NodeModel> models,
+    std::span<const NodeObservation> observations,
+    std::size_t min_observed_records);
+
+/// Re-solve the scalarized LP over the remaining records. Returns the
+/// new per-node remaining counts; always sums to Σ observations[i].remaining.
+[[nodiscard]] std::vector<std::size_t> replan_remaining(
+    std::span<const optimize::NodeModel> refit,
+    std::span<const NodeObservation> observations, double alpha);
+
+/// One record transfer between nodes.
+struct MigrationStep {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::size_t count = 0;
+};
+
+/// Greedy matching of surpluses to deficits (deterministic: ascending
+/// node id on both sides). Σ moved = Σ max(0, current - target).
+[[nodiscard]] std::vector<MigrationStep> plan_migrations(
+    std::span<const std::size_t> current, std::span<const std::size_t> target);
+
+}  // namespace hetsim::runtime

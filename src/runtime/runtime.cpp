@@ -1,0 +1,450 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/allocation.h"
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "kvstore/client.h"
+#include "partition/partitioner.h"
+#include "runtime/dag.h"
+#include "runtime/executor.h"
+
+namespace hetsim::runtime {
+
+namespace {
+
+std::string encode_sketch(const sketch::Sketch& sig) {
+  std::string out;
+  out.reserve(sig.size() * 8);
+  for (const std::uint64_t v : sig) common::append_u64(out, v);
+  return out;
+}
+
+}  // namespace
+
+std::string summary_json(const JobSummary& s) {
+  common::JsonWriter w;
+  w.begin_object();
+  w.field("job", s.job);
+  w.field("workload", s.workload);
+  w.field("strategy", core::strategy_name(s.strategy));
+  w.field("records", static_cast<std::uint64_t>(s.records));
+  w.field("setup_time_s", s.setup_time_s);
+  w.field("makespan_s", s.makespan_s);
+  w.field("dirty_energy_j", s.dirty_energy_j);
+  w.field("green_energy_j", s.green_energy_j);
+  w.field("migrated_bytes", s.migrated_bytes);
+  w.field("replans", static_cast<std::uint64_t>(s.replans));
+  w.field("stragglers_detected",
+          static_cast<std::uint64_t>(s.stragglers_detected));
+  w.field("migration_steps", static_cast<std::uint64_t>(s.migration_steps));
+  w.field("migrated_records", static_cast<std::uint64_t>(s.migrated_records));
+  w.field("total_work_units", s.total_work_units);
+  w.field("quality", s.quality);
+  w.key("initial_sizes");
+  w.begin_array();
+  for (const std::size_t v : s.initial_sizes) {
+    w.value(static_cast<std::uint64_t>(v));
+  }
+  w.end_array();
+  w.key("processed");
+  w.begin_array();
+  for (const std::size_t v : s.processed) {
+    w.value(static_cast<std::uint64_t>(v));
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+JobRuntime::JobRuntime(cluster::Cluster& cluster,
+                       const energy::GreenEnergyEstimator& energy, JobSpec spec)
+    : cluster_(cluster), energy_(energy), spec_(std::move(spec)) {
+  common::require<common::ConfigError>(
+      spec_.alpha >= 0.0 && spec_.alpha <= 1.0,
+      "JobRuntime: alpha must be in [0, 1]");
+  common::require<common::ConfigError>(
+      spec_.per_node_slowdown.empty() ||
+          spec_.per_node_slowdown.size() == cluster_.size(),
+      "JobRuntime: per_node_slowdown must have one entry per node");
+  const auto masters =
+      cluster::choose_masters(cluster_.nodes(), cluster_.size() >= 2 ? 2 : 1);
+  master_ = masters[0];
+  barrier_master_ = masters.size() > 1 ? masters[1] : masters[0];
+}
+
+std::vector<std::size_t> JobRuntime::plan_sizes(std::size_t total) const {
+  switch (spec_.strategy) {
+    case core::Strategy::kRandom:
+    case core::Strategy::kStratified: {
+      const std::vector<double> ones(cluster_.size(), 1.0);
+      return common::proportional_allocation(ones, total);
+    }
+    case core::Strategy::kHetAware:
+      return optimize::solve_partition_sizes(models_, total, 1.0).sizes;
+    case core::Strategy::kHetEnergyAware:
+      return (spec_.normalized_alpha
+                  ? optimize::solve_partition_sizes_normalized(models_, total,
+                                                               spec_.alpha)
+                  : optimize::solve_partition_sizes(models_, total,
+                                                    spec_.alpha))
+          .sizes;
+  }
+  throw common::ConfigError("JobRuntime: unknown strategy");
+}
+
+JobSummary JobRuntime::run(const data::Dataset& dataset,
+                           core::Workload& workload) {
+  common::require<common::ConfigError>(!dataset.records.empty(),
+                                       "JobRuntime: empty dataset");
+  const std::size_t p = cluster_.size();
+  const std::size_t n = dataset.records.size();
+
+  trace_ = TraceRecorder{};
+  trace_.name_lane(TraceRecorder::kRuntimeLane, "runtime");
+  for (std::size_t i = 0; i < p; ++i) {
+    trace_.name_lane(static_cast<std::int64_t>(i),
+                     "node " + std::to_string(i) + " (speed " +
+                         std::to_string(static_cast<int>(
+                             cluster_.nodes()[i].speed)) +
+                         "x)");
+  }
+
+  JobSummary summary;
+  summary.job = spec_.name;
+  summary.workload = workload.name();
+  summary.strategy = spec_.strategy;
+  summary.records = n;
+
+  // Job-relative virtual clock: cluster phases advance cluster_.now(),
+  // the execute phase advances exec_extra (the executor runs its own
+  // per-node clocks and reports a makespan).
+  const double cluster_t0 = cluster_.now();
+  double exec_extra = 0.0;
+  const auto job_clock = [&] {
+    return (cluster_.now() - cluster_t0) + exec_extra;
+  };
+
+  // State threaded between phases.
+  std::optional<stratify::Stratification> strata;
+  std::vector<estimator::NodeTimeModel> time_models;
+  std::vector<double> dirty_rates(p, 0.0);
+  std::optional<partition::PartitionAssignment> assignment;
+  std::vector<double> busy(p, 0.0);  // execution busy seconds, for energy
+
+  PhaseDag dag;
+
+  dag.add({"ingest", PhaseKind::kIngest, {}, [&] {
+             cluster_.run_on("ingest", master_, [&](cluster::NodeContext& ctx) {
+               kvstore::Client& local = ctx.local();
+               for (const data::Record& r : dataset.records) {
+                 local.enqueue({.type = kvstore::CommandType::kRPush,
+                                .key = "data",
+                                .value = r.payload});
+               }
+               (void)local.drain();
+             });
+           }});
+
+  dag.add({"stratify", PhaseKind::kStratify, {}, [&] {
+             const sketch::MinHasher hasher(spec_.sketch);
+             std::vector<sketch::Sketch> sketches(n);
+             std::vector<cluster::NodeTask> tasks;
+             tasks.reserve(p);
+             for (std::size_t node = 0; node < p; ++node) {
+               tasks.push_back([&, node](cluster::NodeContext& ctx) {
+                 kvstore::Client& to_master = ctx.client(master_);
+                 const std::string key = "sketches:" + std::to_string(node);
+                 for (std::size_t i = node; i < n; i += p) {
+                   sketches[i] = hasher.sketch(dataset.records[i].items);
+                   ctx.meter().add(
+                       static_cast<double>(dataset.records[i].items.size()) *
+                       hasher.num_hashes());
+                   to_master.enqueue({.type = kvstore::CommandType::kRPush,
+                                      .key = key,
+                                      .value = encode_sketch(sketches[i])});
+                 }
+                 (void)to_master.drain();
+               });
+             }
+             cluster_.run_phase("sketch", tasks);
+             cluster_.run_on(
+                 "cluster-sketches", master_, [&](cluster::NodeContext& ctx) {
+                   for (std::size_t node = 0; node < p; ++node) {
+                     (void)ctx.local().lrange(
+                         "sketches:" + std::to_string(node), 0, -1);
+                   }
+                   strata = stratify::composite_kmodes(sketches, spec_.kmodes);
+                   ctx.meter().add(static_cast<double>(strata->work_ops));
+                 });
+           }});
+
+  dag.add({"estimate", PhaseKind::kEstimate, {"stratify"}, [&] {
+             const estimator::SampleRunner runner =
+                 [&workload, &dataset](cluster::NodeContext& ctx,
+                                       std::span<const std::uint32_t> indices) {
+                   workload.run(ctx, dataset, indices);
+                 };
+             time_models = estimator::estimate_time_models(
+                 cluster_, *strata, runner, spec_.sampling);
+           }});
+
+  dag.add({"forecast", PhaseKind::kForecast, {}, [&] {
+             for (std::size_t i = 0; i < p; ++i) {
+               dirty_rates[i] = energy_.dirty_rate(
+                   cluster_.node(static_cast<std::uint32_t>(i)),
+                   spec_.job_start_s, spec_.energy_window_s);
+             }
+           }});
+
+  dag.add({"optimize", PhaseKind::kOptimize, {"estimate", "forecast"}, [&] {
+             models_.clear();
+             models_.reserve(p);
+             for (const auto& tm : time_models) {
+               models_.push_back({.slope = tm.fit.slope,
+                                  .intercept = tm.fit.intercept,
+                                  .dirty_rate = dirty_rates[tm.node_id]});
+             }
+             summary.initial_sizes = plan_sizes(n);
+           }});
+
+  dag.add({"partition", PhaseKind::kPartition,
+           {"ingest", "stratify", "optimize"}, [&] {
+             assignment =
+                 spec_.strategy == core::Strategy::kRandom
+                     ? partition::random_partitions(n, summary.initial_sizes)
+                     : partition::make_partitions(*strata,
+                                                  summary.initial_sizes,
+                                                  workload.preferred_layout());
+             std::vector<cluster::NodeTask> tasks;
+             tasks.reserve(p);
+             for (std::size_t node = 0; node < p; ++node) {
+               tasks.push_back([&, node](cluster::NodeContext& ctx) {
+                 kvstore::Client& from_master = ctx.client(master_);
+                 for (const std::uint32_t idx : assignment->partitions[node]) {
+                   from_master.enqueue({.type = kvstore::CommandType::kLIndex,
+                                        .key = "data",
+                                        .arg0 = static_cast<std::int64_t>(idx)});
+                 }
+                 const std::vector<kvstore::Reply> replies = from_master.drain();
+                 kvstore::Client& local = ctx.local();
+                 (void)local.execute({.type = kvstore::CommandType::kDel,
+                                      .key = spec_.partition_key});
+                 for (const kvstore::Reply& r : replies) {
+                   local.enqueue({.type = kvstore::CommandType::kRPush,
+                                  .key = spec_.partition_key,
+                                  .value = r.blob});
+                 }
+                 (void)local.drain();
+               });
+             }
+             cluster_.run_phase("load", tasks);
+           }});
+
+  dag.add({"execute", PhaseKind::kExecute, {"partition"}, [&] {
+             summary.setup_time_s = job_clock();
+             const double exec_base = job_clock();
+             workload.reset(p, barrier_master_);
+
+             std::size_t largest = 0;
+             for (const auto& part : assignment->partitions) {
+               largest = std::max(largest, part.size());
+             }
+             ExecutorOptions opts;
+             opts.chunk_records =
+                 spec_.checkpoint_records > 0
+                     ? spec_.checkpoint_records
+                     : std::max<std::size_t>(1, (largest + 7) / 8);
+             opts.per_node_slowdown = spec_.per_node_slowdown;
+             opts.seed = spec_.seed;
+
+             // Per-node read cursor into the local partition list, so
+             // each chunk's payload fetch is network-costed like the
+             // monolithic execution's single lrange.
+             std::vector<std::size_t> cursor(p, 0);
+             PhaseExecutor executor(
+                 cluster_, assignment->partitions,
+                 [&](cluster::NodeContext& ctx,
+                     std::span<const std::uint32_t> indices) {
+                   const std::uint32_t id = ctx.node().id;
+                   if (!indices.empty()) {
+                     (void)ctx.local().lrange(
+                         spec_.partition_key,
+                         static_cast<std::int64_t>(cursor[id]),
+                         static_cast<std::int64_t>(cursor[id] + indices.size() -
+                                                   1));
+                     cursor[id] += indices.size();
+                   }
+                   workload.run(ctx, dataset, indices);
+                 },
+                 opts);
+
+             // Chunk spans need each node's previous clock value.
+             std::vector<double> last_time(p, 0.0);
+             std::vector<std::size_t> last_done(p, 0);
+
+             executor.set_checkpoint([&](std::uint32_t node) {
+               const double now = executor.node_time(node);
+               const NodeProgress& prog = executor.progress(node);
+               trace_.add_span(
+                   "chunk", "exec", node, exec_base + last_time[node],
+                   now - last_time[node],
+                   {{"records",
+                     static_cast<double>(prog.records_done - last_done[node])},
+                    {"done", static_cast<double>(prog.records_done)}});
+               last_time[node] = now;
+               last_done[node] = prog.records_done;
+               trace_.add_counter("records_remaining",
+                                  TraceRecorder::kRuntimeLane, exec_base + now,
+                                  static_cast<double>(executor.total_remaining()));
+
+               if (!spec_.enable_replan || p < 2) return;
+               if (summary.replans >= spec_.straggler.max_replans) return;
+               const std::size_t total_rem = executor.total_remaining();
+               if (total_rem == 0) return;
+               if (static_cast<double>(total_rem) <
+                   spec_.straggler.min_remaining_fraction *
+                       static_cast<double>(n)) {
+                 return;
+               }
+               std::vector<NodeObservation> obs(p);
+               for (std::size_t i = 0; i < p; ++i) {
+                 const auto id32 = static_cast<std::uint32_t>(i);
+                 obs[i] = NodeObservation{executor.progress(id32).records_done,
+                                          executor.progress(id32).busy_s(),
+                                          executor.remaining(id32)};
+               }
+               const std::vector<std::uint32_t> stragglers =
+                   detect_stragglers(models_, obs, spec_.straggler);
+               if (stragglers.empty()) return;
+
+               ++summary.replans;
+               summary.stragglers_detected += stragglers.size();
+               const std::vector<double> observed = observed_slopes(
+                   models_, obs, spec_.straggler.min_observed_records);
+               for (const std::uint32_t s : stragglers) {
+                 trace_.add_instant("straggler", "replan", s,
+                                    exec_base + executor.node_time(s),
+                                    {{"observed_slope", observed[s]},
+                                     {"model_slope", models_[s].slope}});
+               }
+
+               const std::vector<optimize::NodeModel> refit = refit_models(
+                   models_, obs, spec_.straggler.min_observed_records);
+               const double replan_alpha =
+                   spec_.strategy == core::Strategy::kHetEnergyAware
+                       ? spec_.alpha
+                       : 1.0;
+               const std::vector<std::size_t> target =
+                   replan_remaining(refit, obs, replan_alpha);
+               std::vector<std::size_t> current(p);
+               for (std::size_t i = 0; i < p; ++i) {
+                 current[i] = executor.remaining(static_cast<std::uint32_t>(i));
+               }
+               const std::vector<MigrationStep> steps =
+                   plan_migrations(current, target);
+
+               std::size_t moved_records = 0;
+               // Steps smaller than half a chunk can't shorten the
+               // straggler's tail by more than half a chunk's compute,
+               // but they would land as degenerate sub-chunk work on
+               // the receiver. Not worth the fabric round trip.
+               const std::size_t min_step =
+                   std::max<std::size_t>(1, opts.chunk_records / 2);
+               for (const MigrationStep& step : steps) {
+                 if (step.count < min_step) continue;
+                 std::vector<std::uint32_t> taken =
+                     executor.take_from_tail(step.from, step.count);
+                 if (taken.empty()) continue;
+                 std::sort(taken.begin(), taken.end());
+                 // The receiving node pulls the canonical payloads from
+                 // the data master and appends them to its local
+                 // partition list — the same path as the initial load,
+                 // costed through the client over the Fabric.
+                 cluster::NodeContext& ctx_to = executor.context(step.to);
+                 kvstore::Client& from_master = ctx_to.client(master_);
+                 for (const std::uint32_t idx : taken) {
+                   from_master.enqueue({.type = kvstore::CommandType::kLIndex,
+                                        .key = "data",
+                                        .arg0 =
+                                            static_cast<std::int64_t>(idx)});
+                 }
+                 const std::vector<kvstore::Reply> replies =
+                     from_master.drain();
+                 kvstore::Client& local = ctx_to.local();
+                 double bytes = 0.0;
+                 for (const kvstore::Reply& r : replies) {
+                   bytes += static_cast<double>(r.blob.size());
+                   local.enqueue({.type = kvstore::CommandType::kRPush,
+                                  .key = spec_.partition_key,
+                                  .value = r.blob});
+                 }
+                 (void)local.drain();
+                 const double start = executor.node_time(step.to);
+                 const double charged = executor.sync_network(step.to);
+                 executor.give(step.to, taken);
+                 summary.migrated_bytes += bytes;
+                 summary.migrated_records += taken.size();
+                 ++summary.migration_steps;
+                 moved_records += taken.size();
+                 trace_.add_span("migrate", "replan", step.to,
+                                 exec_base + start, charged,
+                                 {{"records", static_cast<double>(taken.size())},
+                                  {"from", static_cast<double>(step.from)},
+                                  {"bytes", bytes}});
+               }
+               // Adopt the refit models so detection re-baselines and a
+               // node is only re-flagged if it deviates *again*.
+               models_ = refit;
+               trace_.add_instant(
+                   "replan", "replan", TraceRecorder::kRuntimeLane,
+                   exec_base + now,
+                   {{"stragglers", static_cast<double>(stragglers.size())},
+                    {"moved_records", static_cast<double>(moved_records)}});
+             });
+
+             const ExecutorReport report = executor.run();
+             exec_extra += report.makespan_s;
+             summary.makespan_s += report.makespan_s;
+             summary.total_work_units += report.total_work_units();
+             summary.processed.resize(p);
+             for (std::size_t i = 0; i < p; ++i) {
+               busy[i] += report.per_node[i].busy_s();
+               summary.processed[i] = report.per_node[i].records_done;
+             }
+           }});
+
+  dag.add({"global", PhaseKind::kGlobal, {"execute"}, [&] {
+             const std::vector<cluster::NodeTask> tasks =
+                 workload.make_global_tasks(dataset, *assignment);
+             if (tasks.empty()) return;
+             common::require<common::ConfigError>(
+                 tasks.size() == p, "JobRuntime: global phase arity mismatch");
+             const cluster::PhaseReport report =
+                 cluster_.run_phase("global", tasks);
+             summary.makespan_s += report.makespan_s();
+             for (const auto& r : report.per_node) {
+               busy[r.node_id] += r.total_time_s();
+               summary.total_work_units += r.work_units;
+             }
+           }});
+
+  dag.run(trace_, job_clock);
+
+  for (std::size_t node = 0; node < p; ++node) {
+    if (busy[node] <= 0.0) continue;
+    const cluster::NodeSpec& node_spec =
+        cluster_.node(static_cast<std::uint32_t>(node));
+    const double dirty = energy_.dirty_energy_joules(
+        node_spec, spec_.job_start_s, busy[node]);
+    summary.dirty_energy_j += dirty;
+    summary.green_energy_j += node_spec.power_watts * busy[node] - dirty;
+  }
+  summary.quality = workload.quality();
+  return summary;
+}
+
+}  // namespace hetsim::runtime

@@ -1,0 +1,125 @@
+// hetsim::runtime — a job runtime over the simulated cluster.
+//
+// JobRuntime owns an analytics job end to end as a typed phase DAG
+// (ingest → stratify → estimate → forecast → optimize → partition →
+// execute → global), executes the data-parallel phase with per-node OS
+// threads under a deterministic virtual-time scheduler, watches
+// per-node progress at checkpoints, re-plans mid-job when a node's
+// observed rate deviates from its fitted m_i (re-fit, re-solve the LP
+// over remaining records, migrate the delta through kvstore clients
+// over the Fabric), and records everything as spans exportable as
+// Chrome-trace JSON. This is the subsystem the hand-wired benches and
+// examples lacked: one owner per job, reactive to estimator error, and
+// observable after the fact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/framework.h"
+#include "core/workload.h"
+#include "data/dataset.h"
+#include "energy/estimator.h"
+#include "estimator/progressive.h"
+#include "optimize/pareto.h"
+#include "runtime/replan.h"
+#include "runtime/trace.h"
+#include "sketch/minhash.h"
+#include "stratify/kmodes.h"
+
+namespace hetsim::runtime {
+
+/// Everything that defines a job besides the dataset and workload.
+struct JobSpec {
+  std::string name = "job";
+  /// Planning strategy for the initial partition sizes.
+  core::Strategy strategy = core::Strategy::kHetAware;
+  /// Het-Energy-Aware tradeoff weight (also used for re-plan solves).
+  double alpha = 0.75;
+  bool normalized_alpha = true;
+
+  // Pipeline configuration (same knobs as core::FrameworkConfig).
+  sketch::SketchConfig sketch{};
+  stratify::KModesConfig kmodes{};
+  estimator::SampleSpec sampling{};
+  double job_start_s = 10.0 * 3600.0;
+  double energy_window_s = 4.0 * 3600.0;
+  std::string partition_key = "partition";
+
+  // Runtime behaviour.
+  /// Records per execution chunk / checkpoint. 0 = auto: largest initial
+  /// partition divided into ~8 checkpoints.
+  std::size_t checkpoint_records = 0;
+  bool enable_replan = true;
+  StragglerPolicy straggler{};
+  /// Injected truth-vs-estimate error: multiplier on each node's actual
+  /// per-record execution cost (empty = none). The estimator never sees
+  /// this, which is exactly the situation re-planning exists for.
+  std::vector<double> per_node_slowdown{};
+  std::uint64_t seed = 171;
+};
+
+/// Per-job summary, exported alongside the trace.
+struct JobSummary {
+  std::string job;
+  std::string workload;
+  core::Strategy strategy = core::Strategy::kHetAware;
+  std::size_t records = 0;
+  /// Pipeline time before the execute phase (virtual seconds).
+  double setup_time_s = 0.0;
+  /// Execute + global phase duration (the paper's "execution time").
+  double makespan_s = 0.0;
+  double dirty_energy_j = 0.0;
+  double green_energy_j = 0.0;
+  /// Payload bytes moved by re-plan migrations.
+  double migrated_bytes = 0.0;
+  std::size_t replans = 0;
+  std::size_t stragglers_detected = 0;
+  std::size_t migration_steps = 0;
+  std::size_t migrated_records = 0;
+  double total_work_units = 0.0;
+  double quality = 0.0;
+  std::vector<std::size_t> initial_sizes;
+  /// Records each node actually processed (ΣN even after migrations).
+  std::vector<std::size_t> processed;
+  [[nodiscard]] double total_energy_j() const noexcept {
+    return dirty_energy_j + green_energy_j;
+  }
+};
+
+/// JSON object for one summary (dashboards, bench trajectories).
+[[nodiscard]] std::string summary_json(const JobSummary& summary);
+
+class JobRuntime {
+ public:
+  JobRuntime(cluster::Cluster& cluster,
+             const energy::GreenEnergyEstimator& energy, JobSpec spec);
+
+  /// Run the full phase DAG for one (dataset, workload) job. The trace
+  /// of the run is available from trace() afterwards.
+  [[nodiscard]] JobSummary run(const data::Dataset& dataset,
+                               core::Workload& workload);
+
+  [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
+  [[nodiscard]] const JobSpec& spec() const noexcept { return spec_; }
+  /// Node models after the run (refit slopes if re-planning happened).
+  [[nodiscard]] const std::vector<optimize::NodeModel>& node_models()
+      const noexcept {
+    return models_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> plan_sizes(std::size_t total) const;
+
+  cluster::Cluster& cluster_;
+  const energy::GreenEnergyEstimator& energy_;
+  JobSpec spec_;
+  TraceRecorder trace_;
+  std::vector<optimize::NodeModel> models_;
+  std::uint32_t master_ = 0;
+  std::uint32_t barrier_master_ = 0;
+};
+
+}  // namespace hetsim::runtime

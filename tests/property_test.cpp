@@ -22,6 +22,8 @@
 #include "mining/son.h"
 #include "optimize/pareto.h"
 #include "optimize/simplex.h"
+#include "runtime/replan.h"
+#include "runtime/runtime.h"
 #include "sketch/minhash.h"
 #include "stratify/sampler.h"
 
@@ -399,6 +401,100 @@ TEST_P(PruferShapes, EncodeDecodeIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PruferShapes,
                          ::testing::Range<std::uint64_t>(100, 112));
+
+// ---- re-planning conserves Σ x_i = N across random instances ---------------
+
+class ReplanConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplanConservation, TargetsAndMigrationsConserveRemaining) {
+  common::Rng rng(GetParam());
+  const std::size_t p = 2 + rng.bounded(7);
+  std::vector<optimize::NodeModel> models(p);
+  std::vector<runtime::NodeObservation> obs(p);
+  std::size_t total_remaining = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    models[i].slope = rng.uniform(1e-5, 1e-2);
+    models[i].intercept = rng.uniform(0.0, 0.5);
+    models[i].dirty_rate = rng.uniform(-20.0, 120.0);
+    obs[i].records_done = rng.bounded(400);
+    obs[i].busy_s =
+        models[i].slope * static_cast<double>(obs[i].records_done) *
+        rng.uniform(0.5, 3.0);
+    obs[i].remaining = rng.bounded(1000);
+    total_remaining += obs[i].remaining;
+  }
+  const auto refit = runtime::refit_models(models, obs, 16);
+  for (const double alpha : {0.0, 0.3, 1.0}) {
+    const std::vector<std::size_t> target =
+        runtime::replan_remaining(refit, obs, alpha);
+    ASSERT_EQ(target.size(), p);
+    EXPECT_EQ(std::accumulate(target.begin(), target.end(), std::size_t{0}),
+              total_remaining)
+        << "alpha=" << alpha;
+    // Applying the migration plan transforms current into target exactly
+    // — no records created or destroyed in flight.
+    std::vector<std::size_t> current(p);
+    for (std::size_t i = 0; i < p; ++i) current[i] = obs[i].remaining;
+    std::vector<std::size_t> applied = current;
+    for (const runtime::MigrationStep& s :
+         runtime::plan_migrations(current, target)) {
+      ASSERT_GE(applied[s.from], s.count);
+      applied[s.from] -= s.count;
+      applied[s.to] += s.count;
+    }
+    EXPECT_EQ(applied, target);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplanConservation,
+                         ::testing::Range<std::uint64_t>(500, 516));
+
+// ---- end-to-end: a re-planned job still processes exactly N ----------------
+
+class RuntimeJobSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+class FlatCostWorkload final : public core::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "flat"; }
+  [[nodiscard]] partition::Layout preferred_layout() const override {
+    return partition::Layout::kRepresentative;
+  }
+  void reset(std::size_t, std::uint32_t) override {}
+  void run(cluster::NodeContext& ctx, const data::Dataset&,
+           std::span<const std::uint32_t> indices) override {
+    ctx.meter().add(400.0 * static_cast<double>(indices.size()));
+  }
+};
+}  // namespace
+
+TEST_P(RuntimeJobSeeds, ReplannedJobProcessesExactlyN) {
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = 350;
+  cfg.seed = GetParam();
+  const data::Dataset dataset = data::generate_text_corpus(cfg, "corpus");
+  cluster::Cluster cluster(cluster::standard_cluster(4));
+  const auto energy = energy::GreenEnergyEstimator::standard(72);
+  FlatCostWorkload workload;
+  runtime::JobSpec spec;
+  spec.sampling.min_records = 20;
+  spec.sampling.steps = 3;
+  spec.kmodes.num_strata = 8;
+  spec.per_node_slowdown = {2.2, 1.0, 1.0, 1.0};
+  spec.seed = GetParam();
+  runtime::JobRuntime rt(cluster, energy, spec);
+  const runtime::JobSummary summary = rt.run(dataset, workload);
+  EXPECT_GE(summary.replans, 1u);
+  EXPECT_EQ(std::accumulate(summary.processed.begin(),
+                            summary.processed.end(), std::size_t{0}),
+            dataset.size());
+  EXPECT_EQ(std::accumulate(summary.initial_sizes.begin(),
+                            summary.initial_sizes.end(), std::size_t{0}),
+            dataset.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeJobSeeds,
+                         ::testing::Range<std::uint64_t>(900, 905));
 
 }  // namespace
 }  // namespace hetsim

@@ -1,0 +1,444 @@
+// Tests for the hetsim::runtime subsystem: phase DAG validation, the
+// threaded virtual-time executor, straggler detection / re-planning
+// math, end-to-end jobs, and trace determinism.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "common/error.h"
+#include "core/mining_workload.h"
+#include "data/generators.h"
+#include "energy/estimator.h"
+#include "runtime/dag.h"
+#include "runtime/executor.h"
+#include "runtime/replan.h"
+#include "runtime/runtime.h"
+#include "runtime/trace.h"
+
+namespace hetsim::runtime {
+namespace {
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Workload with exactly linear cost: `units_per_record` metered work per
+/// record, no kvstore traffic. The estimator's fit is exact, so any
+/// straggler the runtime sees is the one a test injected.
+class LinearWorkload final : public core::Workload {
+ public:
+  explicit LinearWorkload(double units_per_record = 500.0)
+      : units_per_record_(units_per_record) {}
+
+  [[nodiscard]] std::string name() const override { return "linear"; }
+  [[nodiscard]] partition::Layout preferred_layout() const override {
+    return partition::Layout::kRepresentative;
+  }
+  void reset(std::size_t, std::uint32_t) override {}
+  void run(cluster::NodeContext& ctx, const data::Dataset&,
+           std::span<const std::uint32_t> indices) override {
+    ctx.meter().add(units_per_record_ * static_cast<double>(indices.size()));
+  }
+
+ private:
+  double units_per_record_;
+};
+
+data::Dataset small_corpus(std::size_t docs = 400, std::uint64_t seed = 7) {
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = docs;
+  cfg.seed = seed;
+  return data::generate_text_corpus(cfg, "corpus");
+}
+
+JobSpec fast_spec() {
+  JobSpec spec;
+  spec.sampling.min_records = 20;
+  spec.sampling.steps = 3;
+  spec.kmodes.num_strata = 8;
+  spec.kmodes.max_iterations = 4;
+  spec.sketch.num_hashes = 16;
+  return spec;
+}
+
+// ---- PhaseDag --------------------------------------------------------------
+
+TEST(PhaseDag, TopologicalOrderRespectsDependencies) {
+  PhaseDag dag;
+  int ran = 0;
+  int a_at = -1, b_at = -1, c_at = -1;
+  dag.add({"c", PhaseKind::kExecute, {"b"}, [&] { c_at = ran++; }});
+  dag.add({"a", PhaseKind::kIngest, {}, [&] { a_at = ran++; }});
+  dag.add({"b", PhaseKind::kStratify, {"a"}, [&] { b_at = ran++; }});
+  TraceRecorder trace;
+  dag.run(trace, [] { return 0.0; });
+  EXPECT_LT(a_at, b_at);
+  EXPECT_LT(b_at, c_at);
+  EXPECT_EQ(ran, 3);
+  // One span per phase, categorized by kind.
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].category, "phase.ingest");
+}
+
+TEST(PhaseDag, DeclarationOrderBreaksTies) {
+  PhaseDag dag;
+  std::vector<std::string> order;
+  dag.add({"y", PhaseKind::kExecute, {}, [&] { order.push_back("y"); }});
+  dag.add({"x", PhaseKind::kExecute, {}, [&] { order.push_back("x"); }});
+  TraceRecorder trace;
+  dag.run(trace, [] { return 0.0; });
+  EXPECT_EQ(order, (std::vector<std::string>{"y", "x"}));
+}
+
+TEST(PhaseDag, RejectsCycle) {
+  PhaseDag dag;
+  dag.add({"a", PhaseKind::kExecute, {"b"}, nullptr});
+  dag.add({"b", PhaseKind::kExecute, {"a"}, nullptr});
+  EXPECT_THROW((void)dag.topological_order(), common::ConfigError);
+}
+
+TEST(PhaseDag, RejectsMissingDependency) {
+  PhaseDag dag;
+  dag.add({"a", PhaseKind::kExecute, {"ghost"}, nullptr});
+  EXPECT_THROW((void)dag.topological_order(), common::ConfigError);
+}
+
+TEST(PhaseDag, RejectsDuplicateName) {
+  PhaseDag dag;
+  dag.add({"a", PhaseKind::kExecute, {}, nullptr});
+  EXPECT_THROW(dag.add({"a", PhaseKind::kExecute, {}, nullptr}),
+               common::ConfigError);
+}
+
+TEST(PhaseDag, RejectsSelfDependency) {
+  PhaseDag dag;
+  dag.add({"a", PhaseKind::kExecute, {"a"}, nullptr});
+  EXPECT_THROW((void)dag.topological_order(), common::ConfigError);
+}
+
+// ---- TraceRecorder ---------------------------------------------------------
+
+TEST(TraceRecorder, ChromeTraceShapeAndCounts) {
+  TraceRecorder trace;
+  trace.name_lane(0, "node 0");
+  trace.add_span("work", "exec", 0, 1.0, 0.5, {{"records", 10.0}});
+  trace.add_instant("straggler", "replan", 0, 1.5);
+  trace.add_counter("remaining", TraceRecorder::kRuntimeLane, 1.5, 42.0);
+  EXPECT_EQ(trace.count("work"), 1u);
+  EXPECT_EQ(trace.count("straggler"), 1u);
+  const std::string doc = trace.chrome_trace_json();
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  // Span timestamps are microseconds (1.0 s -> 1000000 us).
+  EXPECT_NE(doc.find("\"ts\":1000000"), std::string::npos);
+}
+
+// ---- PhaseExecutor ---------------------------------------------------------
+
+TEST(PhaseExecutor, ZeroSizeQueueNodeFinishesIdle) {
+  cluster::Cluster cluster(cluster::standard_cluster(2));
+  std::vector<std::uint32_t> work(100);
+  std::iota(work.begin(), work.end(), 0u);
+  PhaseExecutor executor(
+      cluster, {work, {}},
+      [](cluster::NodeContext& ctx, std::span<const std::uint32_t> indices) {
+        ctx.meter().add(1e4 * static_cast<double>(indices.size()));
+      },
+      {.chunk_records = 16});
+  const ExecutorReport report = executor.run();
+  EXPECT_EQ(report.per_node[0].records_done, 100u);
+  EXPECT_EQ(report.per_node[1].records_done, 0u);
+  EXPECT_EQ(report.per_node[1].busy_s(), 0.0);
+  // 100 * 1e4 units at speed 4, base rate 1e6 -> 0.25 s.
+  EXPECT_NEAR(report.makespan_s, 0.25, 1e-9);
+}
+
+TEST(PhaseExecutor, EmptyEverythingCompletes) {
+  cluster::Cluster cluster(cluster::standard_cluster(3));
+  PhaseExecutor executor(
+      cluster, {{}, {}, {}},
+      [](cluster::NodeContext&, std::span<const std::uint32_t>) {},
+      {.chunk_records = 8});
+  const ExecutorReport report = executor.run();
+  EXPECT_EQ(report.makespan_s, 0.0);
+}
+
+TEST(PhaseExecutor, DeterministicAcrossRunsAndProcessesEverything) {
+  const auto run_once = [] {
+    cluster::Cluster cluster(cluster::standard_cluster(4));
+    std::vector<std::vector<std::uint32_t>> queues(4);
+    for (std::uint32_t i = 0; i < 200; ++i) queues[i % 4].push_back(i);
+    PhaseExecutor executor(
+        cluster, queues,
+        [](cluster::NodeContext& ctx, std::span<const std::uint32_t> indices) {
+          ctx.meter().add(5e3 * static_cast<double>(indices.size()));
+        },
+        {.chunk_records = 10, .seed = 33});
+    return executor.run();
+  };
+  const ExecutorReport a = run_once();
+  const ExecutorReport b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.per_node[i].records_done, b.per_node[i].records_done);
+    EXPECT_DOUBLE_EQ(a.per_node[i].compute_s, b.per_node[i].compute_s);
+    total += a.per_node[i].records_done;
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(PhaseExecutor, SlowdownInflatesOnlyThatNode) {
+  cluster::Cluster cluster(cluster::standard_cluster(2));
+  std::vector<std::uint32_t> work(64);
+  std::iota(work.begin(), work.end(), 0u);
+  const auto runner = [](cluster::NodeContext& ctx,
+                         std::span<const std::uint32_t> indices) {
+    ctx.meter().add(1e4 * static_cast<double>(indices.size()));
+  };
+  PhaseExecutor plain(cluster, {work, work}, runner, {.chunk_records = 16});
+  const ExecutorReport base = plain.run();
+  cluster::Cluster cluster2(cluster::standard_cluster(2));
+  PhaseExecutor slowed(cluster2, {work, work}, runner,
+                       {.chunk_records = 16, .per_node_slowdown = {3.0, 1.0}});
+  const ExecutorReport slow = slowed.run();
+  EXPECT_NEAR(slow.per_node[0].compute_s, 3.0 * base.per_node[0].compute_s,
+              1e-12);
+  EXPECT_NEAR(slow.per_node[1].compute_s, base.per_node[1].compute_s, 1e-12);
+}
+
+TEST(PhaseExecutor, CheckpointMigrationIsHonored) {
+  cluster::Cluster cluster(cluster::standard_cluster(2));
+  std::vector<std::uint32_t> work(90);
+  std::iota(work.begin(), work.end(), 0u);
+  bool moved = false;
+  PhaseExecutor executor(
+      cluster, {work, {}},
+      [](cluster::NodeContext& ctx, std::span<const std::uint32_t> indices) {
+        ctx.meter().add(1e4 * static_cast<double>(indices.size()));
+      },
+      {.chunk_records = 10});
+  executor.set_checkpoint([&](std::uint32_t) {
+    if (moved) return;
+    moved = true;
+    const std::vector<std::uint32_t> taken = executor.take_from_tail(0, 40);
+    EXPECT_EQ(taken.size(), 40u);
+    executor.give(1, taken);
+  });
+  const ExecutorReport report = executor.run();
+  EXPECT_EQ(report.per_node[0].records_done, 50u);
+  EXPECT_EQ(report.per_node[1].records_done, 40u);
+}
+
+// ---- straggler / re-plan math ----------------------------------------------
+
+TEST(Replan, DetectsOnlyDeviatingNodes) {
+  std::vector<optimize::NodeModel> models{{.slope = 1e-3, .intercept = 0.0},
+                                          {.slope = 1e-3, .intercept = 0.0}};
+  std::vector<NodeObservation> obs{{100, 0.25, 100},   // 2.5e-3 s/rec
+                                   {100, 0.11, 100}};  // 1.1e-3 s/rec
+  StragglerPolicy policy;
+  policy.deviation_factor = 1.5;
+  policy.min_observed_records = 16;
+  const auto stragglers = detect_stragglers(models, obs, policy);
+  ASSERT_EQ(stragglers.size(), 1u);
+  EXPECT_EQ(stragglers[0], 0u);
+}
+
+TEST(Replan, TooFewObservedRecordsIsNotFlagged) {
+  std::vector<optimize::NodeModel> models{{.slope = 1e-3}};
+  std::vector<NodeObservation> obs{{4, 4.0, 100}};  // wildly slow but 4 recs
+  StragglerPolicy policy;
+  policy.min_observed_records = 16;
+  EXPECT_TRUE(detect_stragglers(models, obs, policy).empty());
+}
+
+TEST(Replan, RefitUsesObservedSlopeAndDropsIntercept) {
+  std::vector<optimize::NodeModel> models{
+      {.slope = 1e-3, .intercept = 0.5, .dirty_rate = 80.0},
+      {.slope = 2e-3, .intercept = 0.1, .dirty_rate = -5.0}};
+  std::vector<NodeObservation> obs{{200, 0.5, 100},  // observed 2.5e-3
+                                   {2, 1.0, 100}};   // too few: keep 2e-3
+  const auto refit = refit_models(models, obs, 16);
+  EXPECT_NEAR(refit[0].slope, 2.5e-3, 1e-12);
+  EXPECT_EQ(refit[0].intercept, 0.0);
+  EXPECT_EQ(refit[0].dirty_rate, 80.0);
+  EXPECT_NEAR(refit[1].slope, 2e-3, 1e-12);
+}
+
+TEST(Replan, RemainingConservedAndShiftedOffStraggler) {
+  std::vector<optimize::NodeModel> refit{{.slope = 4e-3},  // straggler
+                                         {.slope = 1e-3},
+                                         {.slope = 1e-3}};
+  std::vector<NodeObservation> obs{{50, 0.2, 300}, {50, 0.05, 300},
+                                   {50, 0.05, 300}};
+  const auto target = replan_remaining(refit, obs, 1.0);
+  EXPECT_EQ(std::accumulate(target.begin(), target.end(), std::size_t{0}),
+            900u);
+  // The slow node should end up with well under an equal share.
+  EXPECT_LT(target[0], 200u);
+}
+
+TEST(Replan, MigrationPlanMatchesDeltasExactly) {
+  const std::vector<std::size_t> current{300, 300, 300};
+  const std::vector<std::size_t> target{100, 450, 350};
+  const auto steps = plan_migrations(current, target);
+  std::vector<std::size_t> after = current;
+  for (const auto& s : steps) {
+    ASSERT_GE(after[s.from], s.count);
+    after[s.from] -= s.count;
+    after[s.to] += s.count;
+  }
+  EXPECT_EQ(after, target);
+}
+
+TEST(Replan, NoOpWhenTargetsMatch) {
+  const std::vector<std::size_t> sizes{10, 20, 30};
+  EXPECT_TRUE(plan_migrations(sizes, sizes).empty());
+}
+
+// ---- JobRuntime end to end -------------------------------------------------
+
+TEST(JobRuntime, ProcessesEveryRecordWithoutReplanWhenModelsHold) {
+  cluster::Cluster cluster(cluster::standard_cluster(4));
+  const auto energy = energy::GreenEnergyEstimator::standard(72);
+  LinearWorkload workload;
+  const data::Dataset dataset = small_corpus();
+  JobRuntime runtime(cluster, energy, fast_spec());
+  const JobSummary summary = runtime.run(dataset, workload);
+  EXPECT_EQ(summary.records, dataset.size());
+  EXPECT_EQ(std::accumulate(summary.processed.begin(),
+                            summary.processed.end(), std::size_t{0}),
+            dataset.size());
+  EXPECT_EQ(summary.replans, 0u);
+  EXPECT_EQ(summary.migrated_records, 0u);
+  EXPECT_GT(summary.makespan_s, 0.0);
+  EXPECT_GT(summary.setup_time_s, 0.0);
+  EXPECT_GT(summary.total_energy_j(), 0.0);
+  // Phase spans present in the trace, in pipeline order.
+  for (const char* phase :
+       {"ingest", "stratify", "estimate", "optimize", "partition", "execute"}) {
+    EXPECT_EQ(runtime.trace().count(phase), 1u) << phase;
+  }
+}
+
+TEST(JobRuntime, SingleNodeClusterCannotReplan) {
+  cluster::Cluster cluster(cluster::standard_cluster(1));
+  const auto energy = energy::GreenEnergyEstimator::standard(72);
+  LinearWorkload workload;
+  const data::Dataset dataset = small_corpus(200);
+  JobSpec spec = fast_spec();
+  spec.per_node_slowdown = {3.0};  // badly wrong model, nowhere to shed load
+  JobRuntime runtime(cluster, energy, spec);
+  const JobSummary summary = runtime.run(dataset, workload);
+  EXPECT_EQ(summary.replans, 0u);
+  EXPECT_EQ(summary.migrated_records, 0u);
+  EXPECT_EQ(summary.processed[0], dataset.size());
+}
+
+TEST(JobRuntime, InjectedStragglerTriggersReplanAndConservesRecords) {
+  cluster::Cluster cluster(cluster::standard_cluster(4));
+  const auto energy = energy::GreenEnergyEstimator::standard(72);
+  LinearWorkload workload;
+  const data::Dataset dataset = small_corpus();
+  JobSpec spec = fast_spec();
+  spec.per_node_slowdown = {2.5, 1.0, 1.0, 1.0};
+  JobRuntime runtime(cluster, energy, spec);
+  const JobSummary summary = runtime.run(dataset, workload);
+  EXPECT_GE(summary.replans, 1u);
+  EXPECT_GE(summary.stragglers_detected, 1u);
+  EXPECT_GT(summary.migrated_records, 0u);
+  EXPECT_GT(summary.migrated_bytes, 0.0);
+  EXPECT_EQ(std::accumulate(summary.processed.begin(),
+                            summary.processed.end(), std::size_t{0}),
+            dataset.size());
+  EXPECT_GE(runtime.trace().count("straggler"), 1u);
+  EXPECT_GE(runtime.trace().count("replan"), 1u);
+  EXPECT_GE(runtime.trace().count("migrate"), 1u);
+}
+
+TEST(JobRuntime, ReplanningBeatsStaticPlanUnderTwoXSlopeError) {
+  const data::Dataset dataset = small_corpus();
+  const auto run_with = [&](bool enable_replan) {
+    cluster::Cluster cluster(cluster::standard_cluster(4));
+    const auto energy = energy::GreenEnergyEstimator::standard(72);
+    LinearWorkload workload;
+    JobSpec spec = fast_spec();
+    spec.enable_replan = enable_replan;
+    spec.per_node_slowdown = {2.5, 1.0, 1.0, 1.0};
+    JobRuntime runtime(cluster, energy, spec);
+    return runtime.run(dataset, workload);
+  };
+  const JobSummary fixed = run_with(false);
+  const JobSummary replanned = run_with(true);
+  EXPECT_EQ(fixed.replans, 0u);
+  EXPECT_GE(replanned.replans, 1u);
+  EXPECT_LT(replanned.makespan_s, fixed.makespan_s);
+}
+
+TEST(JobRuntime, TraceIsByteIdenticalAcrossSameSeedRuns) {
+  const data::Dataset dataset = small_corpus(300);
+  const auto trace_once = [&] {
+    cluster::Cluster cluster(cluster::standard_cluster(4));
+    const auto energy = energy::GreenEnergyEstimator::standard(72);
+    LinearWorkload workload;
+    JobSpec spec = fast_spec();
+    spec.per_node_slowdown = {2.0, 1.0, 1.0, 1.0};
+    spec.seed = 99;
+    JobRuntime runtime(cluster, energy, spec);
+    const JobSummary summary = runtime.run(dataset, workload);
+    return runtime.trace().chrome_trace_json() + "\n" + summary_json(summary);
+  };
+  const std::string a = trace_once();
+  const std::string b = trace_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(JobRuntime, MiningJobKeepsSonQualityUnderChunkedExecution) {
+  // SON completeness holds for any partitioning, including the runtime's
+  // chunked execution: the candidate union over chunks is a superset of
+  // the globally frequent patterns, and the global count phase is exact.
+  const data::Dataset dataset = small_corpus(300, 21);
+  const mining::AprioriConfig cfg{.min_support = 0.1, .max_pattern_length = 2};
+
+  cluster::Cluster cluster(cluster::standard_cluster(4));
+  const auto energy = energy::GreenEnergyEstimator::standard(72);
+  core::PatternMiningWorkload workload(cfg);
+  JobRuntime runtime(cluster, energy, fast_spec());
+  const JobSummary summary = runtime.run(dataset, workload);
+
+  std::vector<data::ItemSet> txns;
+  for (const auto& r : dataset.records) txns.push_back(r.items);
+  const mining::MiningResult direct = mining::apriori(txns, cfg);
+  EXPECT_EQ(static_cast<std::size_t>(summary.quality),
+            direct.frequent.size());
+  EXPECT_EQ(runtime.trace().count("global"), 1u);
+}
+
+TEST(JobRuntime, SummaryJsonIsWellFormedEnough) {
+  JobSummary s;
+  s.job = "j";
+  s.workload = "w";
+  s.initial_sizes = {1, 2};
+  s.processed = {2, 1};
+  const std::string doc = summary_json(s);
+  EXPECT_NE(doc.find("\"job\":\"j\""), std::string::npos);
+  EXPECT_NE(doc.find("\"initial_sizes\":[1,2]"), std::string::npos);
+  EXPECT_NE(doc.find("\"processed\":[2,1]"), std::string::npos);
+}
+
+TEST(JobRuntime, RejectsBadSpecs) {
+  cluster::Cluster cluster(cluster::standard_cluster(2));
+  const auto energy = energy::GreenEnergyEstimator::standard(72);
+  JobSpec bad_alpha;
+  bad_alpha.alpha = 1.5;
+  EXPECT_THROW(JobRuntime(cluster, energy, bad_alpha), common::ConfigError);
+  JobSpec bad_slowdown;
+  bad_slowdown.per_node_slowdown = {1.0};  // 1 entry, 2 nodes
+  EXPECT_THROW(JobRuntime(cluster, energy, bad_slowdown), common::ConfigError);
+}
+
+}  // namespace
+}  // namespace hetsim::runtime

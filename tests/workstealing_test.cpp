@@ -95,6 +95,73 @@ TEST(WorkStealing, MoreChunksImproveBalance) {
   EXPECT_LE(fine.makespan_s, coarse.makespan_s + 1e-9);
 }
 
+TEST(WorkStealing, RandomVictimIsSeededAndReproducible) {
+  const auto chunks = uniform_chunks(40, 1e6, 1000.0);
+  const WorkStealingOptions opts{.policy = StealPolicy::kRandomVictim,
+                                 .seed = 42};
+  auto c1 = make_cluster(4);
+  auto c2 = make_cluster(4);
+  const auto a = simulate_work_stealing(c1, chunks, opts);
+  const auto b = simulate_work_stealing(c2, chunks, opts);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_DOUBLE_EQ(a.migrated_bytes, b.migrated_bytes);
+}
+
+TEST(WorkStealing, RandomVictimStillDrainsAllWork) {
+  auto c = make_cluster(4);
+  std::vector<ChunkCost> chunks;
+  for (std::size_t i = 0; i < 30; ++i) {
+    chunks.push_back({static_cast<double>((i % 7 + 1)) * 1e5, 128.0});
+  }
+  const auto report = simulate_work_stealing(
+      c, chunks, {.policy = StealPolicy::kRandomVictim, .seed = 7});
+  const double total_work =
+      std::accumulate(chunks.begin(), chunks.end(), 0.0,
+                      [](double acc, const ChunkCost& ch) {
+                        return acc + ch.work_units;
+                      });
+  double total_busy = 0;
+  for (const double t : report.node_busy_s) total_busy += t;
+  // All chunks got processed somewhere (busy time covers the work even
+  // at the fastest speed) and stealing balanced the heterogeneity.
+  EXPECT_GE(total_busy, total_work / (1e6 * 4.0) - 1e-9);
+  EXPECT_GT(report.steals, 0u);
+  EXPECT_LT(report.makespan_s, 2.0 * total_work / (1e6 * 10.0));
+}
+
+TEST(WorkStealing, MaxVictimNoWorseThanRandomOnUniformChunks) {
+  // Max-victim is the deterministic upper bound the header advertises:
+  // on uniform chunks it should not lose to a random victim pick.
+  const auto chunks = uniform_chunks(48, 1e6, 512.0);
+  auto c1 = make_cluster(4);
+  auto c2 = make_cluster(4);
+  const auto max_victim = simulate_work_stealing(
+      c1, chunks, {.policy = StealPolicy::kMaxVictim});
+  const auto random_victim = simulate_work_stealing(
+      c2, chunks, {.policy = StealPolicy::kRandomVictim, .seed = 11});
+  EXPECT_LE(max_victim.makespan_s, random_victim.makespan_s + 1e-9);
+}
+
+TEST(WorkStealing, DifferentSeedsMayDiverge) {
+  // Not a strict requirement for any single pair of seeds, but across a
+  // handful at least one random-victim schedule should differ from the
+  // max-victim one — otherwise the policy knob does nothing.
+  const auto chunks = uniform_chunks(40, 1e6, 1000.0);
+  auto base_cluster = make_cluster(4);
+  const auto base = simulate_work_stealing(
+      base_cluster, chunks, {.policy = StealPolicy::kMaxVictim});
+  bool diverged = false;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    auto c = make_cluster(4);
+    const auto r = simulate_work_stealing(
+        c, chunks, {.policy = StealPolicy::kRandomVictim, .seed = seed});
+    diverged |= r.makespan_s != base.makespan_s ||
+                r.migrated_bytes != base.migrated_bytes;
+  }
+  EXPECT_TRUE(diverged);
+}
+
 TEST(WorkStealing, RejectsBadOptions) {
   auto c = make_cluster(2);
   EXPECT_THROW((void)simulate_work_stealing(c, uniform_chunks(4, 1, 1),
