@@ -1,0 +1,23 @@
+#include "check/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hetsim::check {
+
+FailureStream::FailureStream(const char* kind, const char* file, int line,
+                             const char* expr) {
+  os_ << kind << " failed: " << expr << " at " << file << ":" << line;
+}
+
+FailureStream::~FailureStream() {
+  const std::string message = os_.str();
+  std::fputs("HETSIM ", stderr);
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hetsim::check

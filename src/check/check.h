@@ -1,0 +1,123 @@
+// Fail-fast contract macros — a lightweight CHECK-stream in the style
+// of Abseil/glog.
+//
+//   HETSIM_CHECK(cond)            always on; aborts on failure
+//   HETSIM_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+//                                 comparison forms printing both values
+//   HETSIM_DCHECK(cond)           compiled out unless HETSIM_DCHECK_ENABLED
+//   HETSIM_DCHECK_EQ/.../GE(a, b)
+//   HETSIM_INVARIANT(cond)        always on; tags the failure as a broken
+//                                 *internal* invariant (a bug in hetsim,
+//                                 never bad user input)
+//
+// All forms accept streamed context:
+//
+//   HETSIM_INVARIANT(sum == total) << " sum=" << sum << " total=" << total;
+//
+// A failure prints `HETSIM <KIND> failed: <expr> at <file>:<line><context>`
+// to stderr and calls std::abort(). Contracts guard against logic errors
+// inside hetsim itself; invalid *user* configuration keeps throwing
+// common::ConfigError (common/error.h) so callers can catch it. Contract
+// failures are deliberately not catchable — a scheduler that has already
+// produced an infeasible plan must not keep running.
+//
+// HETSIM_DCHECK_ENABLED defaults to on in debug builds (!NDEBUG) and is
+// forced on repo-wide by the HETSIM_DCHECKS CMake option (default ON).
+#pragma once
+
+#include <sstream>
+
+namespace hetsim::check {
+
+/// Accumulates the failure message; its destructor prints and aborts.
+/// Only ever constructed on the failure path, so the cost of the
+/// stringstream is irrelevant.
+class FailureStream {
+ public:
+  FailureStream(const char* kind, const char* file, int line,
+                const char* expr);
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+  ~FailureStream();  // prints to stderr and std::abort()s
+
+  template <typename T>
+  FailureStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Lower-precedence-than-<< sink that turns the stream into void, so the
+/// macro's ternary has void in both arms while user code can still
+/// append context with <<.
+struct Voidify {
+  void operator&(const FailureStream&) const {}
+};
+
+}  // namespace hetsim::check
+
+#if !defined(HETSIM_DCHECK_ENABLED)
+#if defined(NDEBUG)
+#define HETSIM_DCHECK_ENABLED 0
+#else
+#define HETSIM_DCHECK_ENABLED 1
+#endif
+#endif
+
+#define HETSIM_CHECK_IMPL_(kind, cond)                                   \
+  (cond) ? (void)0                                                       \
+         : ::hetsim::check::Voidify() &                                  \
+               ::hetsim::check::FailureStream(kind, __FILE__, __LINE__,  \
+                                              #cond)
+
+#define HETSIM_CHECK_OP_IMPL_(kind, op, a, b)                            \
+  do {                                                                   \
+    const auto& hetsim_check_lhs_ = (a);                                 \
+    const auto& hetsim_check_rhs_ = (b);                                 \
+    if (!(hetsim_check_lhs_ op hetsim_check_rhs_)) {                     \
+      ::hetsim::check::FailureStream(kind, __FILE__, __LINE__,           \
+                                     #a " " #op " " #b)                  \
+          << " (with " << hetsim_check_lhs_ << " vs "                    \
+          << hetsim_check_rhs_ << ")";                                   \
+    }                                                                    \
+  } while (false)
+
+#define HETSIM_CHECK(cond) HETSIM_CHECK_IMPL_("CHECK", cond)
+#define HETSIM_INVARIANT(cond) HETSIM_CHECK_IMPL_("INVARIANT", cond)
+
+#define HETSIM_CHECK_EQ(a, b) HETSIM_CHECK_OP_IMPL_("CHECK", ==, a, b)
+#define HETSIM_CHECK_NE(a, b) HETSIM_CHECK_OP_IMPL_("CHECK", !=, a, b)
+#define HETSIM_CHECK_LT(a, b) HETSIM_CHECK_OP_IMPL_("CHECK", <, a, b)
+#define HETSIM_CHECK_LE(a, b) HETSIM_CHECK_OP_IMPL_("CHECK", <=, a, b)
+#define HETSIM_CHECK_GT(a, b) HETSIM_CHECK_OP_IMPL_("CHECK", >, a, b)
+#define HETSIM_CHECK_GE(a, b) HETSIM_CHECK_OP_IMPL_("CHECK", >=, a, b)
+
+#if HETSIM_DCHECK_ENABLED
+#define HETSIM_DCHECK(cond) HETSIM_CHECK_IMPL_("DCHECK", cond)
+#define HETSIM_DCHECK_EQ(a, b) HETSIM_CHECK_OP_IMPL_("DCHECK", ==, a, b)
+#define HETSIM_DCHECK_NE(a, b) HETSIM_CHECK_OP_IMPL_("DCHECK", !=, a, b)
+#define HETSIM_DCHECK_LT(a, b) HETSIM_CHECK_OP_IMPL_("DCHECK", <, a, b)
+#define HETSIM_DCHECK_LE(a, b) HETSIM_CHECK_OP_IMPL_("DCHECK", <=, a, b)
+#define HETSIM_DCHECK_GT(a, b) HETSIM_CHECK_OP_IMPL_("DCHECK", >, a, b)
+#define HETSIM_DCHECK_GE(a, b) HETSIM_CHECK_OP_IMPL_("DCHECK", >=, a, b)
+#else
+// Dead but still compiled, so disabled DCHECKs cannot bit-rot and their
+// operands never trigger unused-variable warnings.
+#define HETSIM_DCHECK(cond) \
+  while (false) HETSIM_CHECK_IMPL_("DCHECK", cond)
+#define HETSIM_DCHECK_EQ(a, b) \
+  while (false) HETSIM_CHECK_OP_IMPL_("DCHECK", ==, a, b)
+#define HETSIM_DCHECK_NE(a, b) \
+  while (false) HETSIM_CHECK_OP_IMPL_("DCHECK", !=, a, b)
+#define HETSIM_DCHECK_LT(a, b) \
+  while (false) HETSIM_CHECK_OP_IMPL_("DCHECK", <, a, b)
+#define HETSIM_DCHECK_LE(a, b) \
+  while (false) HETSIM_CHECK_OP_IMPL_("DCHECK", <=, a, b)
+#define HETSIM_DCHECK_GT(a, b) \
+  while (false) HETSIM_CHECK_OP_IMPL_("DCHECK", >, a, b)
+#define HETSIM_DCHECK_GE(a, b) \
+  while (false) HETSIM_CHECK_OP_IMPL_("DCHECK", >=, a, b)
+#endif

@@ -1,0 +1,83 @@
+#include "check/ranked_mutex.h"
+
+#include <iterator>
+#include <vector>
+
+namespace hetsim::check {
+
+namespace {
+
+#if HETSIM_DCHECK_ENABLED
+// Acquisition stack of the calling thread, outermost first. A plain
+// vector: lock nesting depth is tiny (≤ 3 in the current hierarchy) and
+// thread_local keeps it contention-free.
+thread_local std::vector<const RankedMutex*> t_held;
+#endif
+
+}  // namespace
+
+void RankedMutex::check_order_before_acquire() const {
+#if HETSIM_DCHECK_ENABLED
+  for (const RankedMutex* held : t_held) {
+    if (held->rank_ >= rank_) {
+      FailureStream("LOCK-ORDER", __FILE__, __LINE__,
+                    "acquired rank must exceed every held rank")
+          << ": acquiring \"" << name_ << "\" (rank "
+          << static_cast<std::uint32_t>(rank_) << ") while holding \""
+          << held->name_ << "\" (rank "
+          << static_cast<std::uint32_t>(held->rank_)
+          << ") — see the hierarchy table in check/ranked_mutex.h";
+    }
+  }
+#endif
+}
+
+void RankedMutex::register_acquired() const {
+#if HETSIM_DCHECK_ENABLED
+  t_held.push_back(this);
+#endif
+}
+
+void RankedMutex::register_released() const {
+#if HETSIM_DCHECK_ENABLED
+  // Unlocks are almost always LIFO, but std::unique_lock allows early or
+  // out-of-order release; erase the newest matching entry.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == this) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  FailureStream("LOCK-ORDER", __FILE__, __LINE__,
+                "unlock of a mutex this thread does not hold")
+      << ": \"" << name_ << "\"";
+#endif
+}
+
+void RankedMutex::lock() {
+  check_order_before_acquire();
+  mu_.lock();
+  register_acquired();
+}
+
+bool RankedMutex::try_lock() {
+  check_order_before_acquire();
+  if (!mu_.try_lock()) return false;
+  register_acquired();
+  return true;
+}
+
+void RankedMutex::unlock() {
+  register_released();
+  mu_.unlock();
+}
+
+std::size_t RankedMutex::held_by_this_thread() {
+#if HETSIM_DCHECK_ENABLED
+  return t_held.size();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace hetsim::check

@@ -1,0 +1,82 @@
+// Deadlock-free-by-construction locking: every mutex in hetsim carries a
+// rank from the global lock hierarchy below, and (in checking builds) a
+// per-thread acquisition-stack registry aborts the process the moment any
+// thread tries to acquire a mutex whose rank is not strictly greater than
+// every rank it already holds. Rank inversion — the raw material of every
+// lock-cycle deadlock — therefore dies deterministically on the first
+// occurrence in any test run, instead of deadlocking one CI job in a
+// thousand.
+//
+// Global lock hierarchy (acquire strictly downward in this table; a row
+// may be taken while holding any row above it, never one below):
+//
+//   rank | LockRank    | instance                      | protects
+//   -----+-------------+-------------------------------+------------------
+//    100 | kScheduler  | PhaseExecutor::State::mu      | queues, virtual
+//        |             |                               | clocks, progress
+//    200 | kTrace      | TraceRecorder::mu_            | trace event and
+//        |             |                               | lane-name buffers
+//    300 | kStore      | kvstore::Store::mu_           | keyspace map and
+//        |             |                               | op counter (leaf)
+//
+// The executor's checkpoint callback holds kScheduler while it records
+// trace events (kTrace) and issues migration traffic through the kvstore
+// (kStore); neither the recorder nor the store ever calls back out while
+// locked, so both are safe to rank below the scheduler. Equal ranks never
+// nest: acquiring a second mutex of the rank you already hold (including
+// re-acquiring the same mutex) also aborts, which catches self-deadlock.
+//
+// RankedMutex satisfies Lockable, so std::lock_guard / std::unique_lock
+// work unchanged; pair it with std::condition_variable_any for waiting.
+// Naked std::mutex is banned outside src/check/ (enforced by
+// tools/hetsim_lint).
+//
+// Checking is gated on HETSIM_DCHECK_ENABLED (forced on by the
+// HETSIM_DCHECKS CMake option, default ON); with it off, RankedMutex is a
+// zero-overhead shim over std::mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "check/check.h"
+
+namespace hetsim::check {
+
+/// The global lock hierarchy. Gaps are deliberate: future subsystems
+/// slot in without renumbering.
+enum class LockRank : std::uint32_t {
+  kScheduler = 100,  // runtime::PhaseExecutor scheduler state (outermost)
+  kTrace = 200,      // runtime::TraceRecorder buffers
+  kStore = 300,      // kvstore::Store keyspace (leaf)
+};
+
+class RankedMutex {
+ public:
+  RankedMutex(LockRank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  [[nodiscard]] LockRank rank() const noexcept { return rank_; }
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+  /// Number of ranked mutexes the calling thread currently holds
+  /// (0 when checking is compiled out). Test/debug helper.
+  [[nodiscard]] static std::size_t held_by_this_thread();
+
+ private:
+  void check_order_before_acquire() const;
+  void register_acquired() const;
+  void register_released() const;
+
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+}  // namespace hetsim::check

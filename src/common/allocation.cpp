@@ -2,20 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "check/check.h"
 #include "common/error.h"
 
 namespace hetsim::common {
+
+namespace {
+
+/// Conservation contract: an allocation must hand out exactly `total`,
+/// no matter which rounding path produced it.
+void check_conserves(const std::vector<std::size_t>& shares,
+                     std::size_t total) {
+  const std::size_t sum =
+      std::accumulate(shares.begin(), shares.end(), std::size_t{0});
+  HETSIM_INVARIANT(sum == total)
+      << ": proportional_allocation handed out " << sum << " of " << total;
+}
+
+}  // namespace
 
 std::vector<std::size_t> proportional_allocation(
     const std::vector<double>& weights, std::size_t total) {
   require<ConfigError>(!weights.empty(), "proportional_allocation: no weights");
   double sum = 0.0;
   for (const double w : weights) sum += std::max(0.0, w);
+  HETSIM_INVARIANT(std::isfinite(sum))
+      << ": non-finite weight sum from " << weights.size() << " weights";
   std::vector<std::size_t> shares(weights.size(), 0);
   if (sum <= 0.0) {
     for (auto& s : shares) s = total / weights.size();
     for (std::size_t i = 0; i < total % weights.size(); ++i) ++shares[i];
+    check_conserves(shares, total);
     return shares;
   }
   std::vector<std::pair<double, std::size_t>> remainders;
@@ -33,10 +52,15 @@ std::vector<std::size_t> proportional_allocation(
               if (a.first != b.first) return a.first > b.first;
               return a.second < b.second;
             });
+  // Floors never overshoot; the largest-remainder top-up below closes the
+  // gap exactly.
+  HETSIM_INVARIANT(assigned <= total)
+      << ": floor pass over-assigned " << assigned << " of " << total;
   for (std::size_t k = 0; assigned < total; ++k) {
     ++shares[remainders[k % remainders.size()].second];
     ++assigned;
   }
+  check_conserves(shares, total);
   return shares;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.h"
 #include "common/error.h"
 
 namespace hetsim::energy {
@@ -40,6 +41,9 @@ double GreenEnergyEstimator::dirty_rate(const cluster::NodeSpec& node, double t0
 double GreenEnergyEstimator::dirty_energy_joules(const cluster::NodeSpec& node,
                                                  double t0,
                                                  double duration) const {
+  HETSIM_CHECK(std::isfinite(t0) && std::isfinite(duration))
+      << ": dirty_energy_joules given t0=" << t0
+      << " duration=" << duration;
   const EnergyTrace& tr = trace(node.location);
   double joules = 0.0;
   double t = t0;
@@ -47,11 +51,19 @@ double GreenEnergyEstimator::dirty_energy_joules(const cluster::NodeSpec& node,
   while (remaining > 0.0) {
     const double hour_start = std::floor(t / 3600.0) * 3600.0;
     const double dt = std::min(remaining, hour_start + 3600.0 - t);
+    // Each hour-aligned slice must make forward progress, or the walk
+    // would spin forever once t grows past double's integer precision.
+    HETSIM_INVARIANT(dt > 0.0) << ": stalled integrating at t=" << t
+                               << " with " << remaining << "s remaining";
     const double deficit = std::max(0.0, node.power_watts - tr.green_watts(t));
     joules += deficit * dt;
     t += dt;
     remaining -= dt;
   }
+  // Deficits are clamped at zero: green surplus is wasted, never banked
+  // (paper §V) — so accumulated dirty energy can never be negative.
+  HETSIM_INVARIANT(joules >= 0.0 && std::isfinite(joules))
+      << ": dirty energy accounting produced " << joules << " J";
   return joules;
 }
 

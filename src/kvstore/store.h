@@ -9,12 +9,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
+
+#include "check/ranked_mutex.h"
 
 namespace hetsim::kvstore {
 
@@ -65,7 +66,9 @@ class Store {
  private:
   using Value = std::variant<std::string, std::vector<std::string>, std::int64_t>;
 
-  mutable std::mutex mu_;
+  // Leaf of the lock hierarchy (check/ranked_mutex.h): store operations
+  // never call back out of the kvstore while holding it.
+  mutable check::RankedMutex mu_{check::LockRank::kStore, "kvstore::Store"};
   std::map<std::string, Value, std::less<>> data_;
   mutable std::uint64_t ops_ = 0;
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "check/check.h"
 #include "common/allocation.h"
 #include "common/error.h"
 
@@ -11,6 +13,33 @@ namespace hetsim::optimize {
 namespace {
 
 constexpr double kTinyWork = 1e-9;
+
+/// Feasibility contract on a solved partitioning LP (paper §III): the
+/// continuous solution must satisfy Σ x_i = N, x_i >= 0 and
+/// v >= m_i·x_i + c_i for every node, to solver tolerance. A simplex
+/// result that violates its own constraints means the modeler is about
+/// to ship an impossible plan — fail fast instead.
+void check_lp_feasible(std::span<const NodeModel> models, std::size_t total,
+                       const LpSolution& sol) {
+  const std::size_t p = models.size();
+  const double n = static_cast<double>(total);
+  const double tol = 1e-6 * std::max(1.0, n);
+  double sum_x = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    HETSIM_INVARIANT(sol.x[i] >= -tol)
+        << ": LP gave node " << i << " negative work x=" << sol.x[i];
+    sum_x += sol.x[i];
+  }
+  HETSIM_INVARIANT(std::abs(sum_x - n) <= tol)
+      << ": LP conservation broken, sum x_i=" << sum_x << " vs N=" << n;
+  const double v = sol.x[p];
+  for (std::size_t i = 0; i < p; ++i) {
+    const double finish = models[i].slope * sol.x[i] + models[i].intercept;
+    HETSIM_INVARIANT(v >= finish - 1e-6 * std::max(1.0, std::abs(finish)))
+        << ": makespan var v=" << v << " below node " << i
+        << " finish time " << finish;
+  }
+}
 
 void validate_models(std::span<const NodeModel> models) {
   common::require<common::ConfigError>(!models.empty(),
@@ -34,7 +63,15 @@ PartitionPlan finalize(std::span<const NodeModel> models, std::size_t total,
       plan.predicted_dirty_joules += models[i].dirty_rate * t;
     }
   }
+  // predicted_dirty_joules may be negative (nodes with a green surplus
+  // carry a negative dirty rate) but never non-finite.
+  HETSIM_INVARIANT(std::isfinite(plan.predicted_dirty_joules))
+      << ": non-finite predicted dirty energy "
+      << plan.predicted_dirty_joules;
   plan.sizes = common::proportional_allocation(continuous, total);
+  HETSIM_DCHECK_EQ(
+      std::accumulate(plan.sizes.begin(), plan.sizes.end(), std::size_t{0}),
+      total);
   plan.continuous = std::move(continuous);
   return plan;
 }
@@ -74,6 +111,7 @@ PartitionPlan solve_scalarized(std::span<const NodeModel> models,
   common::require<common::OptimizeError>(sol.status == LpStatus::kOptimal,
                                          "pareto: LP not optimal (infeasible "
                                          "or unbounded partitioning problem)");
+  check_lp_feasible(models, total, sol);
   std::vector<double> x(sol.x.begin(), sol.x.begin() + static_cast<long>(p));
   return finalize(models, total, std::move(x), sol.iterations);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "check/check.h"
 #include "common/allocation.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -74,6 +75,14 @@ PartitionAssignment representative(const stratify::Stratification& strat,
         --remaining[p];
       }
     }
+  }
+  // Every partition must land on its exact prescribed size: proportional
+  // quotas, capacity clamps and the tail drain conspire to guarantee it,
+  // and the LP's makespan prediction is meaningless if they don't.
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    HETSIM_INVARIANT(out.partitions[p].size() == sizes[p])
+        << ": representative layout gave partition " << p << " "
+        << out.partitions[p].size() << " records, prescribed " << sizes[p];
   }
   for (auto& part : out.partitions) std::sort(part.begin(), part.end());
   return out;

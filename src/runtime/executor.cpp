@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "check/ranked_mutex.h"
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -17,8 +18,11 @@ double ExecutorReport::total_work_units() const noexcept {
 }
 
 struct PhaseExecutor::State {
-  std::mutex mu;
-  std::condition_variable cv;
+  // Outermost rank: held across chunk execution and the checkpoint
+  // callback, which may take the trace and store locks below it.
+  check::RankedMutex mu{check::LockRank::kScheduler,
+                        "runtime::PhaseExecutor"};
+  std::condition_variable_any cv;
   std::vector<std::deque<std::uint32_t>> queues;
   std::vector<double> clock;
   std::vector<NodeProgress> progress;
@@ -105,7 +109,7 @@ double PhaseExecutor::sync_network(std::uint32_t node) {
 
 void PhaseExecutor::worker(std::uint32_t node) {
   State& s = *state_;
-  std::unique_lock<std::mutex> lk(s.mu);
+  std::unique_lock<check::RankedMutex> lk(s.mu);
   for (;;) {
     s.cv.wait(lk, [&] { return s.done || s.current == node; });
     if (s.done) return;
@@ -157,7 +161,7 @@ ExecutorReport PhaseExecutor::run() {
   State& s = *state_;
   const std::size_t p = s.queues.size();
   {
-    std::lock_guard<std::mutex> lk(s.mu);
+    std::lock_guard<check::RankedMutex> lk(s.mu);
     const std::uint32_t first = pick_next_locked();
     if (first == p) {
       s.done = true;  // nothing to do anywhere
@@ -171,7 +175,7 @@ ExecutorReport PhaseExecutor::run() {
     threads.emplace_back([this, i] { worker(i); });
   }
   {
-    std::lock_guard<std::mutex> lk(s.mu);
+    std::lock_guard<check::RankedMutex> lk(s.mu);
     s.cv.notify_all();
   }
   for (auto& t : threads) t.join();

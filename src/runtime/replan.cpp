@@ -1,7 +1,9 @@
 #include "runtime/replan.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "check/check.h"
 #include "common/error.h"
 
 namespace hetsim::runtime {
@@ -67,7 +69,15 @@ std::vector<std::size_t> replan_remaining(
   std::size_t total = 0;
   for (const NodeObservation& ob : observations) total += ob.remaining;
   if (total == 0) return std::vector<std::size_t>(refit.size(), 0);
-  return optimize::solve_partition_sizes(refit, total, alpha).sizes;
+  std::vector<std::size_t> sizes =
+      optimize::solve_partition_sizes(refit, total, alpha).sizes;
+  // Record conservation: a re-plan must redistribute exactly the records
+  // still in flight — anything else silently loses or invents work.
+  HETSIM_INVARIANT(std::accumulate(sizes.begin(), sizes.end(),
+                                   std::size_t{0}) == total)
+      << ": re-plan target does not conserve the " << total
+      << " remaining records";
+  return sizes;
 }
 
 std::vector<MigrationStep> plan_migrations(
@@ -75,6 +85,11 @@ std::vector<MigrationStep> plan_migrations(
   common::require<common::ConfigError>(
       current.size() == target.size(),
       "plan_migrations: current/target size mismatch");
+  HETSIM_CHECK(std::accumulate(current.begin(), current.end(),
+                               std::size_t{0}) ==
+               std::accumulate(target.begin(), target.end(), std::size_t{0}))
+      << ": migration planning needs matching totals (surpluses must equal "
+         "deficits)";
   std::vector<MigrationStep> steps;
   std::size_t donor = 0;
   std::size_t surplus = 0;
@@ -104,6 +119,21 @@ std::vector<MigrationStep> plan_migrations(
       }
     }
   }
+  // Post-condition: applying the plan transforms `current` into `target`
+  // exactly — every surplus record lands in a deficit, none in flight.
+#if HETSIM_DCHECK_ENABLED
+  std::vector<std::size_t> applied(current.begin(), current.end());
+  for (const MigrationStep& s : steps) {
+    HETSIM_DCHECK_GE(applied[s.from], s.count);
+    applied[s.from] -= s.count;
+    applied[s.to] += s.count;
+  }
+  for (std::size_t i = 0; i < applied.size(); ++i) {
+    HETSIM_DCHECK(applied[i] == target[i])
+        << ": migration plan leaves node " << i << " at " << applied[i]
+        << " records, target " << target[i];
+  }
+#endif
   return steps;
 }
 

@@ -103,7 +103,7 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
   const std::size_t p = cluster_.size();
   const std::size_t n = dataset.records.size();
 
-  trace_ = TraceRecorder{};
+  trace_.clear();
   trace_.name_lane(TraceRecorder::kRuntimeLane, "runtime");
   for (std::size_t i = 0; i < p; ++i) {
     trace_.name_lane(static_cast<std::int64_t>(i),

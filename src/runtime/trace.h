@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "check/ranked_mutex.h"
+
 namespace hetsim::runtime {
 
 /// Chrome trace event phases used by the recorder.
@@ -43,6 +45,9 @@ class TraceRecorder {
   /// Human-readable lane names, exported as thread_name metadata.
   void name_lane(std::int64_t lane, std::string name);
 
+  /// Drop all events and lane names (reused across jobs).
+  void clear();
+
   void add_span(std::string name, std::string category, std::int64_t lane,
                 double start_s, double duration_s,
                 std::vector<std::pair<std::string, double>> args = {});
@@ -52,9 +57,10 @@ class TraceRecorder {
   void add_counter(std::string name, std::int64_t lane, double at_s,
                    double value);
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
-    return events_;
-  }
+  /// Stable snapshot of all recorded events. Recording is internally
+  /// synchronized (kTrace rank), so this is safe to call concurrently
+  /// with writers; it copies, so prefer calling it after the run.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
   /// Number of events of a given name (test/bench helper).
   [[nodiscard]] std::size_t count(std::string_view name) const;
 
@@ -66,6 +72,11 @@ class TraceRecorder {
   bool write_chrome_trace(const std::string& path) const;
 
  private:
+  /// Ranked between the scheduler lock (recording happens at
+  /// checkpoints, under kScheduler) and the store lock (the recorder
+  /// never calls into the kvstore).
+  mutable check::RankedMutex mu_{check::LockRank::kTrace,
+                                 "runtime::TraceRecorder"};
   std::vector<TraceEvent> events_;
   std::vector<std::pair<std::int64_t, std::string>> lane_names_;
 };

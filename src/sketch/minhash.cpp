@@ -1,5 +1,6 @@
 #include "sketch/minhash.h"
 
+#include "check/check.h"
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -31,14 +32,25 @@ MinHasher::MinHasher(SketchConfig config) {
   for (std::uint32_t j = 0; j < config.num_hashes; ++j) {
     a_[j] = 1 + rng.bounded(kPrime - 1);
     b_[j] = rng.bounded(kPrime);
+    // Permutation validity over GF(2^61-1): a=0 (or a,b >= p) would
+    // collapse h_j to a constant and silently wreck every Jaccard
+    // estimate downstream.
+    HETSIM_INVARIANT(a_[j] >= 1 && a_[j] < kPrime)
+        << ": hash " << j << " drew degenerate multiplier a=" << a_[j];
+    HETSIM_INVARIANT(b_[j] < kPrime)
+        << ": hash " << j << " drew out-of-field offset b=" << b_[j];
   }
 }
 
 std::uint64_t MinHasher::permute(std::uint32_t j, data::Item x) const {
   common::require<common::ConfigError>(j < a_.size(),
                                        "MinHasher: hash index out of range");
-  return mod_p(static_cast<__uint128_t>(a_[j]) * (static_cast<std::uint64_t>(x) + 1) +
-               b_[j]);
+  const std::uint64_t h =
+      mod_p(static_cast<__uint128_t>(a_[j]) *
+                (static_cast<std::uint64_t>(x) + 1) +
+            b_[j]);
+  HETSIM_DCHECK_LT(h, kPrime);
+  return h;
 }
 
 Sketch MinHasher::sketch(std::span<const data::Item> items) const {

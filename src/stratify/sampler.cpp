@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "check/check.h"
 #include "common/allocation.h"
 #include "common/error.h"
 
@@ -55,6 +56,10 @@ std::vector<std::uint32_t> stratified_sample(const Stratification& strat,
       sample.push_back(pool[i]);
     }
   }
+  // The per-stratum quotas plus the top-up must deliver the full sample:
+  // a short sample would bias every progressive estimate fit on it.
+  HETSIM_INVARIANT(sample.size() == count)
+      << ": stratified sample drew " << sample.size() << " of " << count;
   std::sort(sample.begin(), sample.end());
   return sample;
 }

@@ -82,9 +82,9 @@ TEST(Tree, LcaOnStar) {
 
 TEST(Tree, LcaOnDeepTree) {
   //      0
-  //     / \
+  //     / \.
   //    1   2
-  //   / \   \
+  //   / \   \.
   //  3   4   5
   LabeledTree t;
   t.parent = {0, 0, 0, 1, 1, 2};

@@ -1,0 +1,288 @@
+// hetsim_lint — repo-specific static lint, registered as a CTest test so
+// plain `ctest` catches rule violations even without CI.
+//
+// Rules (rationale in DESIGN.md §7):
+//
+//   naked-mutex       std::mutex / std::recursive_mutex / std::timed_mutex /
+//                     std::shared_mutex / std::condition_variable (the
+//                     plain one; _any is fine) outside src/check/. All
+//                     locking goes through check::RankedMutex so the
+//                     global lock hierarchy is enforced at runtime.
+//   nondeterminism    std::random_device, rand()/srand(), wall-clock reads
+//                     (std::chrono::{system,steady,high_resolution}_clock,
+//                     gettimeofday, clock_gettime, time APIs) anywhere in
+//                     src/. The runtime guarantees byte-identical traces
+//                     for a given seed; one wall-clock read breaks that
+//                     silently.
+//   float-accounting  `float` in the energy/time accounting directories
+//                     (common, cluster, core, energy, estimator, optimize,
+//                     runtime). Accounting is double end to end; float
+//                     truncation skews joule and makespan sums.
+//   pragma-once       every header carries #pragma once.
+//
+// Matching is token-boundary-aware and ignores comments and string
+// literals. Suppress a deliberate use with a trailing comment:
+//     std::mutex mu;  // hetsim-lint: allow(naked-mutex)
+//
+// Usage:
+//   hetsim_lint <dir>...            lint the trees; exit 1 on violations
+//   hetsim_lint --self-test <dir>   scan the seeded-violation fixtures and
+//                                   require every rule to fire (so a rule
+//                                   that rots into a no-op fails CI)
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `needle` occurs in `line` delimited by non-identifier
+/// characters on both sides (':' also rejected on the left, so qualified
+/// names don't match their own unqualified tails).
+bool has_token(const std::string& line, std::string_view needle) {
+  std::size_t at = 0;
+  while ((at = line.find(needle, at)) != std::string::npos) {
+    const bool left_ok =
+        at == 0 || (!ident_char(line[at - 1]) && line[at - 1] != ':');
+    const std::size_t end = at + needle.size();
+    const bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    at += 1;
+  }
+  return false;
+}
+
+/// Blanks out string/char literals and comments, tracking /* */ state
+/// across lines. Good enough for lint: no raw strings or trigraphs in
+/// this codebase.
+std::string strip_noise(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      out.push_back(' ');
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(' ');
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          ++i;
+        } else if (line[i] == quote) {
+          break;
+        }
+        out.push_back(' ');
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool in_dir(const std::string& rel_path, std::string_view dir) {
+  const std::string needle = std::string(dir) + "/";
+  return rel_path.rfind(needle, 0) == 0 ||
+         rel_path.find("/" + needle) != std::string::npos;
+}
+
+constexpr std::string_view kMutexTokens[] = {
+    "std::mutex", "std::recursive_mutex", "std::timed_mutex",
+    "std::recursive_timed_mutex", "std::shared_mutex",
+    "std::shared_timed_mutex", "std::condition_variable"};
+
+constexpr std::string_view kNondetTokens[] = {
+    "std::random_device", "rand", "srand", "drand48",
+    "std::chrono::system_clock", "std::chrono::steady_clock",
+    "std::chrono::high_resolution_clock", "gettimeofday", "clock_gettime",
+    "timespec_get"};
+
+constexpr std::string_view kAccountingDirs[] = {
+    "common", "cluster", "core", "energy", "estimator", "optimize",
+    "runtime"};
+
+class Linter {
+ public:
+  void lint_tree(const fs::path& root) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cpp") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) lint_file(root, file);
+  }
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t files_scanned() const { return files_scanned_; }
+
+ private:
+  void add(const fs::path& file, std::size_t line, std::string rule,
+           std::string message) {
+    violations_.push_back(
+        {file.string(), line, std::move(rule), std::move(message)});
+  }
+
+  void lint_file(const fs::path& root, const fs::path& file) {
+    ++files_scanned_;
+    const std::string rel = fs::relative(file, root).generic_string();
+    std::ifstream in(file);
+    std::string raw;
+    std::vector<std::string> lines;
+    while (std::getline(in, raw)) lines.push_back(raw);
+
+    const bool is_header = file.extension() == ".h";
+    const bool mutex_rule_applies = !in_dir(rel, "check");
+    const bool float_rule_applies =
+        std::any_of(std::begin(kAccountingDirs), std::end(kAccountingDirs),
+                    [&](std::string_view d) { return in_dir(rel, d); });
+
+    bool saw_pragma_once = false;
+    bool in_block_comment = false;
+    for (std::size_t n = 0; n < lines.size(); ++n) {
+      const std::string& original = lines[n];
+      if (original.find("#pragma once") != std::string::npos) {
+        saw_pragma_once = true;
+      }
+      const auto allowed = [&](std::string_view rule) {
+        return original.find("hetsim-lint: allow(" + std::string(rule) +
+                             ")") != std::string::npos;
+      };
+      const std::string code = strip_noise(original, in_block_comment);
+      if (mutex_rule_applies && !allowed("naked-mutex")) {
+        for (const std::string_view tok : kMutexTokens) {
+          if (has_token(code, tok)) {
+            add(file, n + 1, "naked-mutex",
+                std::string(tok) +
+                    " outside src/check/ — use check::RankedMutex (+ "
+                    "std::condition_variable_any) so the lock hierarchy "
+                    "is enforced");
+          }
+        }
+      }
+      if (!allowed("nondeterminism")) {
+        for (const std::string_view tok : kNondetTokens) {
+          if (has_token(code, tok)) {
+            add(file, n + 1, "nondeterminism",
+                std::string(tok) +
+                    " breaks the byte-identical-trace guarantee — take "
+                    "seeds from common::Rng and time from the virtual "
+                    "clock");
+          }
+        }
+      }
+      if (float_rule_applies && !allowed("float-accounting") &&
+          has_token(code, "float")) {
+        add(file, n + 1, "float-accounting",
+            "float in energy/time accounting — use double end to end");
+      }
+    }
+    if (is_header && !saw_pragma_once) {
+      add(file, 1, "pragma-once", "header must carry #pragma once");
+    }
+  }
+
+  std::vector<Violation> violations_;
+  std::size_t files_scanned_ = 0;
+};
+
+int report(const Linter& linter) {
+  for (const Violation& v : linter.violations()) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (!linter.violations().empty()) {
+    std::cerr << "hetsim_lint: " << linter.violations().size()
+              << " violation(s) in " << linter.files_scanned()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "hetsim_lint: OK (" << linter.files_scanned()
+            << " files clean)\n";
+  return 0;
+}
+
+int self_test(const fs::path& fixtures) {
+  Linter linter;
+  linter.lint_tree(fixtures);
+  std::set<std::string> fired;
+  for (const Violation& v : linter.violations()) fired.insert(v.rule);
+  const std::vector<std::string> expected{"naked-mutex", "nondeterminism",
+                                          "float-accounting", "pragma-once"};
+  int missing = 0;
+  for (const std::string& rule : expected) {
+    if (fired.count(rule) == 0) {
+      std::cerr << "hetsim_lint self-test: rule '" << rule
+                << "' failed to fire on its seeded fixture\n";
+      ++missing;
+    }
+  }
+  if (missing != 0) return 1;
+  std::cout << "hetsim_lint self-test: all " << expected.size()
+            << " rules fired across " << linter.violations().size()
+            << " seeded violations\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: hetsim_lint [--self-test] <dir>...\n";
+    return 2;
+  }
+  if (args[0] == "--self-test") {
+    if (args.size() != 2) {
+      std::cerr << "usage: hetsim_lint --self-test <fixture-dir>\n";
+      return 2;
+    }
+    return self_test(args[1]);
+  }
+  Linter linter;
+  for (const std::string& dir : args) {
+    if (!fs::is_directory(dir)) {
+      std::cerr << "hetsim_lint: not a directory: " << dir << "\n";
+      return 2;
+    }
+    linter.lint_tree(dir);
+  }
+  return report(linter);
+}

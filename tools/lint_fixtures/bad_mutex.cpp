@@ -1,0 +1,6 @@
+// Seeded violation: naked-mutex. Locking outside src/check/ must go
+// through check::RankedMutex.
+#include <mutex>
+
+std::mutex g_seeded_naked_mutex;
+std::condition_variable* g_seeded_naked_cv = nullptr;

@@ -1,0 +1,14 @@
+// Seeded violation: nondeterminism. Ambient entropy and wall clocks are
+// banned from deterministic paths.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int seeded_entropy() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+long seeded_wall_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

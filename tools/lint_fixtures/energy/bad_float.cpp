@@ -1,0 +1,3 @@
+// Seeded violation: float-accounting. Energy/time accounting is double
+// end to end.
+float g_seeded_float_joules = 0.0F;

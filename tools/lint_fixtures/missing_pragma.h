@@ -1,0 +1,4 @@
+// Seeded violation: this header deliberately lacks the include guard
+// pragma every hetsim header must carry.
+
+inline int seeded_unguarded_header() { return 42; }

@@ -1,0 +1,14 @@
+// Seeded clang-tidy violation (bugprone-use-after-move): CI asserts that
+// clang-tidy exits non-zero on this file, proving the tidy gate works.
+#include <string>
+#include <utility>
+
+namespace {
+std::string consume(std::string s) { return s; }
+}  // namespace
+
+int main() {
+  std::string a = "seeded";
+  const std::string b = consume(std::move(a));
+  return static_cast<int>(a.size() + b.size());  // use-after-move of `a`
+}
