@@ -12,6 +12,7 @@
 #include "kvstore/store.h"
 #include "mining/apriori.h"
 #include "optimize/pareto.h"
+#include "par/pool.h"
 #include "sketch/minhash.h"
 #include "stratify/kmodes.h"
 
@@ -31,6 +32,20 @@ void BM_MinHashSketch(benchmark::State& state) {
 }
 BENCHMARK(BM_MinHashSketch)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_SketchAll(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = n;
+  cfg.seed = 3;
+  const data::Dataset ds = data::generate_text_corpus(cfg);
+  const sketch::MinHasher h({.num_hashes = 32, .seed = 7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.sketch_all(ds.records));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SketchAll)->Arg(1000)->Arg(100000)->UseRealTime();
+
 void BM_CompositeKModes(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   data::TextCorpusConfig cfg;
@@ -41,13 +56,15 @@ void BM_CompositeKModes(benchmark::State& state) {
   const auto sketches = h.sketch_all(ds.records);
   stratify::KModesConfig kcfg;
   kcfg.num_strata = 16;
-  kcfg.max_iterations = 8;
+  // Few, fixed iterations: the bench tracks assignment-step throughput,
+  // not convergence.
+  kcfg.max_iterations = 4;
   for (auto _ : state) {
     benchmark::DoNotOptimize(stratify::composite_kmodes(sketches, kcfg));
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_CompositeKModes)->Arg(500)->Arg(2000);
+BENCHMARK(BM_CompositeKModes)->Arg(1000)->Arg(100000)->UseRealTime();
 
 void BM_Apriori(benchmark::State& state) {
   data::TextCorpusConfig cfg;

@@ -17,14 +17,19 @@
 //    200 | kTrace      | TraceRecorder::mu_            | trace event and
 //        |             |                               | lane-name buffers
 //    300 | kStore      | kvstore::Store::mu_           | keyspace map and
-//        |             |                               | op counter (leaf)
+//        |             |                               | op counter
+//    400 | kParPool    | par::ThreadPool::mu_          | fan-out job slot,
+//        |             |                               | lane tally (leaf)
 //
 // The executor's checkpoint callback holds kScheduler while it records
 // trace events (kTrace) and issues migration traffic through the kvstore
 // (kStore); neither the recorder nor the store ever calls back out while
-// locked, so both are safe to rank below the scheduler. Equal ranks never
-// nest: acquiring a second mutex of the rank you already hold (including
-// re-acquiring the same mutex) also aborts, which catches self-deadlock.
+// locked, so both are safe to rank below the scheduler. The parallel-for
+// pool is leaf-most: a caller may fan out while holding anything above,
+// and chunk bodies run with no pool lock held, so they can themselves
+// take kStore or kTrace. Equal ranks never nest: acquiring a second
+// mutex of the rank you already hold (including re-acquiring the same
+// mutex) also aborts, which catches self-deadlock.
 //
 // RankedMutex satisfies Lockable, so std::lock_guard / std::unique_lock
 // work unchanged; pair it with std::condition_variable_any for waiting.
@@ -48,7 +53,8 @@ namespace hetsim::check {
 enum class LockRank : std::uint32_t {
   kScheduler = 100,  // runtime::PhaseExecutor scheduler state (outermost)
   kTrace = 200,      // runtime::TraceRecorder buffers
-  kStore = 300,      // kvstore::Store keyspace (leaf)
+  kStore = 300,      // kvstore::Store keyspace
+  kParPool = 400,    // par::ThreadPool fan-out state (leaf)
 };
 
 class RankedMutex {

@@ -1,0 +1,153 @@
+#include "par/pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+namespace hetsim::par {
+
+namespace {
+
+/// Re-entrancy marker: a chunk body that calls parallel_for again (on
+/// any pool) must not deadlock waiting for lanes that are busy running
+/// it — and must not behave differently at num_threads() == 1, where the
+/// nested call would have run inline anyway. Nested fan-outs therefore
+/// always run serially on the calling lane.
+thread_local bool t_inside_parallel_region = false;
+
+}  // namespace
+
+std::uint32_t default_threads() {
+  if (const char* env = std::getenv("HETSIM_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      // Cap well above any sane host so a typo'd huge value cannot spawn
+      // an unbounded worker army.
+      return static_cast<std::uint32_t>(std::min(parsed, 1024UL));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1U : hw;
+}
+
+ThreadPool::ThreadPool(std::uint32_t num_threads)
+    : lanes_(std::max(1U, num_threads)) {
+  workers_.reserve(lanes_ - 1);
+  for (std::uint32_t lane = 1; lane < lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<check::RankedMutex> lk(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::record_error(std::size_t chunk_index) {
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  // Keep the exception of the lowest-indexed failing chunk so the
+  // rethrown error does not depend on lane timing.
+  if (first_error_ == nullptr || chunk_index < first_error_chunk_) {
+    first_error_ = std::current_exception();
+    first_error_chunk_ = chunk_index;
+  }
+}
+
+void ThreadPool::run_lane(
+    std::uint32_t lane,
+    const std::function<void(std::size_t, std::size_t)>& body, std::size_t n,
+    std::size_t chunk, std::size_t num_chunks) {
+  t_inside_parallel_region = true;
+  for (std::size_t c = lane; c < num_chunks; c += lanes_) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    try {
+      body(begin, end);
+    } catch (...) {
+      record_error(c);
+    }
+  }
+  t_inside_parallel_region = false;
+}
+
+void ThreadPool::worker_main(std::uint32_t lane) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+    std::size_t num_chunks = 0;
+    {
+      std::unique_lock<check::RankedMutex> lk(mu_);
+      job_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      body = body_;
+      n = n_;
+      chunk = chunk_;
+      num_chunks = num_chunks_;
+    }
+    run_lane(lane, *body, n, chunk, num_chunks);
+    bool last = false;
+    {
+      std::lock_guard<check::RankedMutex> lk(mu_);
+      last = ++lanes_done_ == lanes_ - 1;
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  HETSIM_CHECK(static_cast<bool>(body)) << ": parallel_for without a body";
+  HETSIM_CHECK(chunk >= 1) << ": parallel_for needs a positive chunk size";
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  if (lanes_ == 1 || num_chunks == 1 || t_inside_parallel_region) {
+    // Inline path. Chunk boundaries must match the parallel path exactly
+    // — bodies (e.g. parallel_reduce's) key off begin/chunk.
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * chunk;
+      body(begin, std::min(n, begin + chunk));
+    }
+    return;
+  }
+  {
+    std::lock_guard<check::RankedMutex> lk(mu_);
+    // One fan-out at a time: this pool has no job queue, and two
+    // interleaved jobs would tear the published chunk geometry.
+    HETSIM_CHECK(body_ == nullptr)
+        << ": concurrent parallel_for on the same ThreadPool";
+    body_ = &body;
+    n_ = n;
+    chunk_ = chunk;
+    num_chunks_ = num_chunks;
+    lanes_done_ = 0;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  job_cv_.notify_all();
+  run_lane(0, body, n, chunk, num_chunks);
+  std::exception_ptr error;
+  {
+    std::unique_lock<check::RankedMutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return lanes_done_ == lanes_ - 1; });
+    body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+}  // namespace hetsim::par

@@ -39,23 +39,51 @@ void check_sizes(std::size_t num_records, std::span<const std::size_t> sizes) {
       "make_partitions: sizes must sum to the record count");
 }
 
+/// Sort every partition's record list, fanned out one partition per
+/// chunk unit (partitions are disjoint, so the fan-out is free of
+/// thread-count effects).
+void sort_partitions(PartitionAssignment& out, const par::Options& par) {
+  par::resolve(par).parallel_for(
+      out.partitions.size(), par::chunk_or(par, 1),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          std::sort(out.partitions[p].begin(), out.partitions[p].end());
+        }
+      });
+}
+
 /// Representative layout: walk strata; split each stratum across
 /// partitions proportionally to each partition's REMAINING capacity, so
 /// every partition ends with (a) its exact prescribed size and (b) a
 /// stratum mix tracking the global mix.
 PartitionAssignment representative(const stratify::Stratification& strat,
                                    std::span<const std::size_t> sizes,
-                                   common::Rng& rng) {
+                                   common::Rng& rng, const par::Options& par) {
   PartitionAssignment out;
   out.partitions.resize(sizes.size());
   std::vector<std::size_t> remaining(sizes.begin(), sizes.end());
   auto members = stratify::strata_members(strat);
+  // Shuffle within each stratum so consecutive partitions get i.i.d.
+  // subsets rather than index-correlated ones. Per-stratum child
+  // generators (forked in stratum order) keep the shuffles independent
+  // of how the parallel_for chunks land on threads.
+  std::vector<common::Rng> stratum_rng;
+  stratum_rng.reserve(members.size());
+  for (std::size_t s = 0; s < members.size(); ++s) {
+    stratum_rng.push_back(rng.fork());
+  }
+  par::resolve(par).parallel_for(
+      members.size(), par::chunk_or(par, 1),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          auto& pool = members[s];
+          for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
+            std::swap(pool[i],
+                      pool[i + stratum_rng[s].bounded(pool.size() - i)]);
+          }
+        }
+      });
   for (auto& pool : members) {
-    // Shuffle within the stratum so consecutive partitions get i.i.d.
-    // subsets rather than index-correlated ones.
-    for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
-      std::swap(pool[i], pool[i + rng.bounded(pool.size() - i)]);
-    }
     std::vector<double> weights(remaining.begin(), remaining.end());
     const std::vector<std::size_t> quota =
         common::proportional_allocation(weights, pool.size());
@@ -84,61 +112,74 @@ PartitionAssignment representative(const stratify::Stratification& strat,
         << ": representative layout gave partition " << p << " "
         << out.partitions[p].size() << " records, prescribed " << sizes[p];
   }
-  for (auto& part : out.partitions) std::sort(part.begin(), part.end());
+  sort_partitions(out, par);
+  return out;
+}
+
+/// Cut a precomputed record order into consecutive partitions of the
+/// prescribed sizes; each partition assembles and sorts independently.
+PartitionAssignment cut_order(const std::vector<std::uint32_t>& order,
+                              std::span<const std::size_t> sizes,
+                              const par::Options& par) {
+  PartitionAssignment out;
+  out.partitions.resize(sizes.size());
+  std::vector<std::size_t> start(sizes.size());
+  std::size_t at = 0;
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    start[p] = at;
+    at += sizes[p];
+  }
+  par::resolve(par).parallel_for(
+      sizes.size(), par::chunk_or(par, 1),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          out.partitions[p].assign(
+              order.begin() + static_cast<long>(start[p]),
+              order.begin() + static_cast<long>(start[p] + sizes[p]));
+          std::sort(out.partitions[p].begin(), out.partitions[p].end());
+        }
+      });
   return out;
 }
 
 PartitionAssignment similar_together(const stratify::Stratification& strat,
-                                     std::span<const std::size_t> sizes) {
-  const std::vector<std::uint32_t> order = stratify::strata_order(strat);
-  PartitionAssignment out;
-  out.partitions.resize(sizes.size());
-  std::size_t at = 0;
-  for (std::size_t p = 0; p < sizes.size(); ++p) {
-    out.partitions[p].assign(order.begin() + static_cast<long>(at),
-                             order.begin() + static_cast<long>(at + sizes[p]));
-    std::sort(out.partitions[p].begin(), out.partitions[p].end());
-    at += sizes[p];
-  }
-  return out;
+                                     std::span<const std::size_t> sizes,
+                                     const par::Options& par) {
+  return cut_order(stratify::strata_order(strat), sizes, par);
 }
 
 }  // namespace
 
 PartitionAssignment make_partitions(const stratify::Stratification& strat,
                                     std::span<const std::size_t> sizes,
-                                    Layout layout, std::uint64_t seed) {
+                                    Layout layout, std::uint64_t seed,
+                                    const par::Options& par) {
   check_sizes(strat.assignment.size(), sizes);
   common::Rng rng(seed);
   switch (layout) {
     case Layout::kRepresentative:
-      return representative(strat, sizes, rng);
+      return representative(strat, sizes, rng, par);
     case Layout::kSimilarTogether:
-      return similar_together(strat, sizes);
+      return similar_together(strat, sizes, par);
   }
   throw common::ConfigError("make_partitions: unknown layout");
 }
 
 PartitionAssignment random_partitions(std::size_t num_records,
                                       std::span<const std::size_t> sizes,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      const par::Options& par) {
   check_sizes(num_records, sizes);
   std::vector<std::uint32_t> order(num_records);
   std::iota(order.begin(), order.end(), 0u);
   common::Rng rng(seed);
+  // The global shuffle is one sequential pass over a single stream —
+  // kept serial; the per-partition cut + sort below is the parallel
+  // part.
   for (std::size_t i = 0; i + 1 < order.size(); ++i) {
     std::swap(order[i], order[i + rng.bounded(order.size() - i)]);
   }
-  PartitionAssignment out;
-  out.partitions.resize(sizes.size());
-  std::size_t at = 0;
-  for (std::size_t p = 0; p < sizes.size(); ++p) {
-    out.partitions[p].assign(order.begin() + static_cast<long>(at),
-                             order.begin() + static_cast<long>(at + sizes[p]));
-    std::sort(out.partitions[p].begin(), out.partitions[p].end());
-    at += sizes[p];
-  }
-  return out;
+  return cut_order(order, sizes, par);
 }
 
 double representativeness_l1(const PartitionAssignment& assignment,

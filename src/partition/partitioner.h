@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "par/pool.h"
 #include "stratify/kmodes.h"
 
 namespace hetsim::partition {
@@ -38,15 +39,18 @@ struct PartitionAssignment {
 };
 
 /// Materialize partitions of the given sizes (must sum to the record
-/// count) from the strata. Deterministic given `seed`.
+/// count) from the strata. Deterministic given `seed` for every pool
+/// size and chunk: stratum shuffles draw from per-stratum children
+/// forked from the seeded generator in stratum order, and the parallel
+/// per-partition assembly writes disjoint partitions.
 [[nodiscard]] PartitionAssignment make_partitions(
     const stratify::Stratification& strat, std::span<const std::size_t> sizes,
-    Layout layout, std::uint64_t seed = 37);
+    Layout layout, std::uint64_t seed = 37, const par::Options& par = {});
 
 /// Random baseline: shuffle and cut.
 [[nodiscard]] PartitionAssignment random_partitions(
     std::size_t num_records, std::span<const std::size_t> sizes,
-    std::uint64_t seed = 41);
+    std::uint64_t seed = 41, const par::Options& par = {});
 
 /// L1 distance between a partition's stratum mix and the global mix,
 /// both as probability vectors (0 = perfectly representative). Test and

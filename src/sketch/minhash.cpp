@@ -1,5 +1,7 @@
 #include "sketch/minhash.h"
 
+#include <algorithm>
+
 #include "check/check.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -8,18 +10,15 @@ namespace hetsim::sketch {
 
 namespace {
 
-// Mersenne prime 2^61 - 1: (a*x + b) mod p reduces with shifts only and
-// a*x fits in __uint128_t for a, x < p.
-constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+constexpr std::uint64_t kPrime = detail::kSketchPrime;
 
-std::uint64_t mod_p(__uint128_t v) {
-  // Fold twice: any value < p^2 reduces below 2p after one fold.
-  std::uint64_t lo = static_cast<std::uint64_t>(v & kPrime);
-  std::uint64_t hi = static_cast<std::uint64_t>(v >> 61);
-  std::uint64_t r = lo + hi;
-  if (r >= kPrime) r -= kPrime;
-  return r;
-}
+/// Items per tile of the sketch kernel: one tile of the input stays in
+/// L1 while every permutation sweeps it, so a huge record costs one
+/// cache pass per batch instead of one per (item, hash) pair.
+constexpr std::size_t kItemBatch = 1024;
+
+/// Default records per chunk for sketch_all's fan-out.
+constexpr std::size_t kRecordChunk = 256;
 
 }  // namespace
 
@@ -45,34 +44,48 @@ MinHasher::MinHasher(SketchConfig config) {
 std::uint64_t MinHasher::permute(std::uint32_t j, data::Item x) const {
   common::require<common::ConfigError>(j < a_.size(),
                                        "MinHasher: hash index out of range");
-  const std::uint64_t h =
-      mod_p(static_cast<__uint128_t>(a_[j]) *
-                (static_cast<std::uint64_t>(x) + 1) +
-            b_[j]);
+  const std::uint64_t h = detail::linear_permute(a_[j], b_[j], x);
   HETSIM_DCHECK_LT(h, kPrime);
   return h;
 }
 
 Sketch MinHasher::sketch(std::span<const data::Item> items) const {
-  Sketch sig(a_.size(), kEmptySentinel);
-  for (const data::Item x : items) {
-    for (std::size_t j = 0; j < a_.size(); ++j) {
-      const std::uint64_t h =
-          mod_p(static_cast<__uint128_t>(a_[j]) *
-                    (static_cast<std::uint64_t>(x) + 1) +
-                b_[j]);
-      if (h < sig[j]) sig[j] = h;
+  const std::size_t k = a_.size();
+  Sketch sig(k, kEmptySentinel);
+  // Hash-major over item batches: for each batch the inner loop is one
+  // permutation over consecutive items, 4-wide unrolled into independent
+  // min accumulators so the serial min-dependency chain is broken and
+  // the compiler can keep the (a·x+b) mod 2^61−1 pipeline full.
+  for (std::size_t base = 0; base < items.size(); base += kItemBatch) {
+    const std::size_t limit = std::min(items.size(), base + kItemBatch);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint64_t a = a_[j];
+      const std::uint64_t b = b_[j];
+      std::uint64_t m0 = sig[j];
+      std::uint64_t m1 = kEmptySentinel;
+      std::uint64_t m2 = kEmptySentinel;
+      std::uint64_t m3 = kEmptySentinel;
+      std::size_t i = base;
+      for (; i + 4 <= limit; i += 4) {
+        m0 = std::min(m0, detail::linear_permute(a, b, items[i]));
+        m1 = std::min(m1, detail::linear_permute(a, b, items[i + 1]));
+        m2 = std::min(m2, detail::linear_permute(a, b, items[i + 2]));
+        m3 = std::min(m3, detail::linear_permute(a, b, items[i + 3]));
+      }
+      for (; i < limit; ++i) {
+        m0 = std::min(m0, detail::linear_permute(a, b, items[i]));
+      }
+      sig[j] = std::min(std::min(m0, m1), std::min(m2, m3));
     }
   }
   return sig;
 }
 
 std::vector<Sketch> MinHasher::sketch_all(
-    const std::vector<data::Record>& records) const {
-  std::vector<Sketch> out;
-  out.reserve(records.size());
-  for (const data::Record& r : records) out.push_back(sketch(r.items));
-  return out;
+    const std::vector<data::Record>& records, const par::Options& par) const {
+  return par::resolve(par).parallel_map<Sketch>(
+      records.size(), par::chunk_or(par, kRecordChunk),
+      [&](std::size_t i) { return sketch(records[i].items); });
 }
 
 double MinHasher::estimate_jaccard(const Sketch& a, const Sketch& b) {

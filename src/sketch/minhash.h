@@ -17,8 +17,33 @@
 
 #include "data/dataset.h"
 #include "data/itemset.h"
+#include "par/pool.h"
 
 namespace hetsim::sketch {
+
+namespace detail {
+
+/// Mersenne prime 2^61 - 1: (a*x + b) mod p reduces with shifts only and
+/// a*x fits in __uint128_t for a, x < p.
+inline constexpr std::uint64_t kSketchPrime = (1ULL << 61) - 1;
+
+/// h_{a,b}(x) = (a·(x+1) + b) mod 2^61−1 — the single definition of the
+/// permutation arithmetic; MinHasher::permute and the sketch kernels
+/// both call it, so the two can never drift. The +1 keeps item 0 out of
+/// the multiplier's kernel. Folds twice: any value < p² reduces below
+/// 2p after one fold.
+inline constexpr std::uint64_t linear_permute(std::uint64_t a,
+                                              std::uint64_t b,
+                                              std::uint64_t x) noexcept {
+  const __uint128_t v = static_cast<__uint128_t>(a) * (x + 1) + b;
+  const auto lo = static_cast<std::uint64_t>(v) & kSketchPrime;
+  const auto hi = static_cast<std::uint64_t>(v >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kSketchPrime) r -= kSketchPrime;
+  return r;
+}
+
+}  // namespace detail
 
 /// One minhash signature; component j is the minimum of permutation j.
 using Sketch = std::vector<std::uint64_t>;
@@ -39,12 +64,16 @@ class MinHasher {
   }
 
   /// Sketch a normalized item set. Empty sets sketch to all-sentinel
-  /// (they compare equal to each other, Jaccard 1).
+  /// (they compare equal to each other, Jaccard 1). Hash-major over item
+  /// batches with a 4-wide unrolled permutation kernel.
   [[nodiscard]] Sketch sketch(std::span<const data::Item> items) const;
 
-  /// Sketch every record of a dataset (row i = record i).
+  /// Sketch every record of a dataset (row i = record i), fanned out
+  /// over `par` in record chunks. Results are identical for every
+  /// thread count and chunk size.
   [[nodiscard]] std::vector<Sketch> sketch_all(
-      const std::vector<data::Record>& records) const;
+      const std::vector<data::Record>& records,
+      const par::Options& par = {}) const;
 
   /// Estimated Jaccard similarity: fraction of matching components.
   [[nodiscard]] static double estimate_jaccard(const Sketch& a, const Sketch& b);

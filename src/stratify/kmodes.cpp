@@ -1,7 +1,7 @@
 #include "stratify/kmodes.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "common/error.h"
 #include "common/hash.h"
@@ -11,51 +11,166 @@ namespace hetsim::stratify {
 
 namespace {
 
-/// Matched-attribute count of point `sig` against one center.
-std::uint32_t match_score(const sketch::Sketch& sig,
-                          const std::vector<std::vector<std::uint64_t>>& center,
-                          std::uint64_t& ops) {
-  std::uint32_t score = 0;
-  for (std::size_t j = 0; j < sig.size(); ++j) {
-    for (const std::uint64_t v : center[j]) {
-      ++ops;
-      if (v == sig[j]) {
-        ++score;
-        break;
-      }
+/// Assignment-step view of ALL centers at once, flattened and inverted:
+/// attribute j's slot [offsets[j], offsets[j+1]) holds the sorted union
+/// of every center's composite values for that attribute, and the
+/// centers owning the value at position p are listed in
+/// center_ids[center_offsets[p], center_offsets[p+1]) (CSR). Scoring a
+/// point then costs ONE binary search per attribute — not one
+/// membership probe per (attribute, center) — and the index is two
+/// contiguous allocations instead of strata × k_attr heap-hopping inner
+/// vectors.
+struct CenterIndex {
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint32_t> offsets;         // size k_attr + 1
+  std::vector<std::uint32_t> center_offsets;  // size values.size() + 1
+  std::vector<std::uint32_t> center_ids;
+};
+
+CenterIndex build_index(
+    const std::vector<std::vector<std::vector<std::uint64_t>>>& centers,
+    std::size_t k_attr) {
+  CenterIndex idx;
+  idx.offsets.reserve(k_attr + 1);
+  idx.offsets.push_back(0);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> pairs;
+  for (std::size_t j = 0; j < k_attr; ++j) {
+    pairs.clear();
+    for (std::uint32_t c = 0; c < centers.size(); ++c) {
+      for (const std::uint64_t v : centers[c][j]) pairs.emplace_back(v, c);
     }
+    std::sort(pairs.begin(), pairs.end());
+    for (std::size_t t = 0; t < pairs.size(); ++t) {
+      if (t == 0 || pairs[t].first != pairs[t - 1].first) {
+        idx.values.push_back(pairs[t].first);
+        idx.center_offsets.push_back(
+            static_cast<std::uint32_t>(idx.center_ids.size()));
+      }
+      idx.center_ids.push_back(pairs[t].second);
+    }
+    idx.offsets.push_back(static_cast<std::uint32_t>(idx.values.size()));
   }
-  return score;
+  idx.center_offsets.push_back(
+      static_cast<std::uint32_t>(idx.center_ids.size()));
+  return idx;
 }
 
+/// Per-center matched-attribute counts of point `sig`, accumulated into
+/// `score` (caller-provided, one slot per center, zeroed here). The
+/// inner search is a branchless lower-bound (conditional moves, no
+/// data-dependent branches), so attribute lookups pipeline. Work
+/// metering lives with the caller — one scoring pass abstractly
+/// considers index.values.size() candidates.
+void match_scores(const sketch::Sketch& sig, const CenterIndex& index,
+                  std::vector<std::uint32_t>& score) {
+  std::fill(score.begin(), score.end(), 0u);
+  const std::uint64_t* const vals = index.values.data();
+  const std::uint32_t* const off = index.offsets.data();
+  const std::uint32_t* const coff = index.center_offsets.data();
+  const std::uint32_t* const cids = index.center_ids.data();
+  for (std::size_t j = 0; j < sig.size(); ++j) {
+    const std::uint64_t want = sig[j];
+    std::uint32_t len = off[j + 1] - off[j];
+    if (len == 0) continue;
+    const std::uint64_t* base = vals + off[j];
+    while (len > 1) {
+      const std::uint32_t half = len / 2;
+      base += (base[half - 1] < want) ? half : 0;
+      len -= half;
+    }
+    if (*base == want) {
+      const auto p = static_cast<std::uint32_t>(base - vals);
+      for (std::uint32_t t = coff[p]; t < coff[p + 1]; ++t) ++score[cids[t]];
+    }
+  }
+}
+
+/// Reusable scratch for update_center: an epoch-tagged open-addressing
+/// frequency table (power-of-two capacity, linear probing). Bumping the
+/// epoch invalidates every entry in O(1), so no per-attribute clearing;
+/// `used` remembers which slots this attribute touched so collection
+/// never scans the whole table.
+struct UpdateScratch {
+  struct Slot {
+    std::uint64_t value = 0;
+    std::uint32_t count = 0;
+    std::uint32_t epoch = 0;
+  };
+  std::vector<Slot> table;
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> used;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> runs;
+};
+
 /// Rebuild a center as the top-L values per attribute over its members.
+/// Frequency counting uses the scratch hash table (minhash values are
+/// already well-mixed, one multiply spreads them over the table);
+/// ranking stays (frequency desc, value asc) — a total order, so the
+/// selected composite values are deterministic regardless of probe
+/// order.
 void update_center(const std::vector<sketch::Sketch>& sketches,
                    const std::vector<std::uint32_t>& members,
                    std::uint32_t composite_l,
                    std::vector<std::vector<std::uint64_t>>& center,
-                   std::uint64_t& ops) {
+                   UpdateScratch& scratch, std::uint64_t& ops) {
+  std::size_t cap = 16;
+  while (cap < members.size() * 2) cap <<= 1;
+  if (scratch.table.size() < cap) scratch.table.resize(cap);
+  const std::size_t mask = scratch.table.size() - 1;
+  const auto ranked_before = [](const std::pair<std::uint64_t, std::uint32_t>& a,
+                                const std::pair<std::uint64_t, std::uint32_t>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
   const std::size_t k = center.size();
   for (std::size_t j = 0; j < k; ++j) {
-    std::unordered_map<std::uint64_t, std::uint32_t> freq;
-    freq.reserve(members.size() * 2);
+    ops += members.size();
+    ++scratch.epoch;
+    scratch.used.clear();
     for (const std::uint32_t i : members) {
-      ++freq[sketches[i][j]];
-      ++ops;
+      const std::uint64_t v = sketches[i][j];
+      std::size_t h =
+          static_cast<std::size_t>((v * 0x9E3779B97F4A7C15ULL) >> 32) & mask;
+      while (true) {
+        UpdateScratch::Slot& s = scratch.table[h];
+        if (s.epoch != scratch.epoch) {
+          s = {v, 1, scratch.epoch};
+          scratch.used.push_back(static_cast<std::uint32_t>(h));
+          break;
+        }
+        if (s.value == v) {
+          ++s.count;
+          break;
+        }
+        h = (h + 1) & mask;
+      }
     }
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> ranked(freq.begin(),
-                                                                freq.end());
-    // Sort by descending frequency, ascending value for determinism.
-    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-      if (a.second != b.second) return a.second > b.second;
-      return a.first < b.first;
-    });
+    scratch.runs.clear();
+    for (const std::uint32_t h : scratch.used) {
+      scratch.runs.emplace_back(scratch.table[h].value, scratch.table[h].count);
+    }
+    if (scratch.runs.size() > composite_l) {
+      std::partial_sort(scratch.runs.begin(),
+                        scratch.runs.begin() + composite_l, scratch.runs.end(),
+                        ranked_before);
+      scratch.runs.resize(composite_l);
+    } else {
+      std::sort(scratch.runs.begin(), scratch.runs.end(), ranked_before);
+    }
     auto& slot = center[j];
     slot.clear();
-    for (std::size_t r = 0; r < ranked.size() && r < composite_l; ++r) {
-      slot.push_back(ranked[r].first);
-    }
+    for (const auto& run : scratch.runs) slot.push_back(run.first);
   }
 }
+
+/// Per-chunk tallies of the assignment step, reduced in chunk order so
+/// the totals are identical for every thread count.
+struct AssignStats {
+  std::uint64_t objective = 0;
+  std::uint64_t zero_match = 0;
+  std::uint64_t ops = 0;
+  bool changed = false;
+};
 
 }  // namespace
 
@@ -95,44 +210,77 @@ Stratification composite_kmodes(const std::vector<sketch::Sketch>& sketches,
     for (std::size_t j = 0; j < k_attr; ++j) centers[c][j] = {seed_point[j]};
   }
 
+  par::ThreadPool& pool = par::resolve(config.par);
+  const std::size_t chunk = par::chunk_or(config.par, 1024);
+
   std::vector<std::uint32_t> assignment(n, UINT32_MAX);
   for (std::uint32_t iter = 0; iter < config.max_iterations; ++iter) {
     out.iterations = iter + 1;
-    bool changed = false;
-    out.zero_match_assignments = 0;
-    out.objective = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::uint32_t best_c = 0;
-      std::uint32_t best_score = 0;
-      for (std::uint32_t c = 0; c < num_strata; ++c) {
-        const std::uint32_t score = match_score(sketches[i], centers[c], out.work_ops);
-        if (score > best_score) {
-          best_score = score;
-          best_c = c;
-        }
-      }
-      if (best_score == 0) {
-        // No center shares any attribute: hash fallback keeps the point
-        // placed deterministically (tracked for the L ablation).
-        best_c = static_cast<std::uint32_t>(common::hash_u64(i) % num_strata);
-        ++out.zero_match_assignments;
-      }
-      out.objective += best_score;
-      if (assignment[i] != best_c) {
-        assignment[i] = best_c;
-        changed = true;
-      }
-    }
-    if (!changed) break;
-    // Update step.
+    const CenterIndex index = build_index(centers, k_attr);
+    // Scoring work per point: every candidate value in the index is
+    // (abstractly) considered once, so the meter is a single multiply
+    // per chunk instead of an increment inside the hot loop.
+    const std::uint64_t values_per_point = index.values.size();
+    // Assignment step: per-point work is independent (each point writes
+    // only assignment[i]), so chunks fan out; the scalar tallies reduce
+    // in ascending chunk order. Tie-break contract (kmodes.h): strict
+    // `score > best` over ascending center ids keeps the LOWEST center
+    // on ties, exactly as the serial code always did.
+    const AssignStats stats = pool.parallel_reduce<AssignStats>(
+        n, chunk, AssignStats{},
+        [&](std::size_t begin, std::size_t end) {
+          AssignStats local;
+          local.ops = (end - begin) * values_per_point;
+          std::vector<std::uint32_t> score(num_strata);
+          for (std::size_t i = begin; i < end; ++i) {
+            match_scores(sketches[i], index, score);
+            std::uint32_t best_c = 0;
+            std::uint32_t best_score = 0;
+            for (std::uint32_t c = 0; c < num_strata; ++c) {
+              if (score[c] > best_score) {
+                best_score = score[c];
+                best_c = c;
+              }
+            }
+            if (best_score == 0) {
+              // No center shares any attribute: hash fallback keeps the
+              // point placed deterministically (tracked for the L
+              // ablation).
+              best_c =
+                  static_cast<std::uint32_t>(common::hash_u64(i) % num_strata);
+              ++local.zero_match;
+            }
+            local.objective += best_score;
+            if (assignment[i] != best_c) {
+              assignment[i] = best_c;
+              local.changed = true;
+            }
+          }
+          return local;
+        },
+        [](AssignStats acc, AssignStats part) {
+          acc.objective += part.objective;
+          acc.zero_match += part.zero_match;
+          acc.ops += part.ops;
+          acc.changed = acc.changed || part.changed;
+          return acc;
+        });
+    out.objective = stats.objective;
+    out.zero_match_assignments = stats.zero_match;
+    out.work_ops += stats.ops;
+    if (!stats.changed) break;
+    // Update step: stays serial — it is O(n·k_attr) against the
+    // assignment step's O(n·k_attr·strata·log L), and the per-stratum
+    // frequency maps would need a merge tree to parallelize safely.
     std::vector<std::vector<std::uint32_t>> members(num_strata);
     for (std::size_t i = 0; i < n; ++i) {
       members[assignment[i]].push_back(static_cast<std::uint32_t>(i));
     }
+    UpdateScratch scratch;
     for (std::uint32_t c = 0; c < num_strata; ++c) {
       if (members[c].empty()) continue;  // keep the old center
       update_center(sketches, members[c], config.composite_l, centers[c],
-                    out.work_ops);
+                    scratch, out.work_ops);
     }
   }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "par/pool.h"
 #include "sketch/minhash.h"
 
 namespace hetsim::stratify {
@@ -24,6 +25,9 @@ struct KModesConfig {
   std::uint32_t composite_l = 3;
   std::uint32_t max_iterations = 20;
   std::uint64_t seed = 23;
+  /// Fan-out for the assignment step (speed only; the result is
+  /// identical for every pool size and chunk).
+  par::Options par{};
 };
 
 /// Cluster centers: center c, attribute j holds up to L values, most
@@ -44,7 +48,10 @@ struct Stratification {
   /// assignment pass (assigned by hash fallback). Key ablation metric.
   std::uint64_t zero_match_assignments = 0;
   std::uint32_t iterations = 0;
-  /// Attribute comparisons performed — the abstract work of clustering.
+  /// Abstract work of clustering: candidate center values considered by
+  /// the assignment step plus update-step scans. Deterministic for a
+  /// given input/config (thread-count independent); comparable across
+  /// runs, not across library versions.
   std::uint64_t work_ops = 0;
   /// Final per-point matched-attribute objective (sum over points).
   std::uint64_t objective = 0;
@@ -53,6 +60,12 @@ struct Stratification {
 /// Run compositeKModes over sketches. `sketches` must be non-empty and
 /// rectangular. If there are fewer points than strata, the stratum count
 /// is reduced to the point count.
+///
+/// Tie-break contract: a point scoring equally against several centers
+/// is assigned to the LOWEST center index (the assignment scan uses a
+/// strict `score > best` over ascending center ids). Tests lock this in;
+/// the parallel assignment step must preserve it because downstream
+/// layouts, samples and migration plans all key off the assignment.
 [[nodiscard]] Stratification composite_kmodes(
     const std::vector<sketch::Sketch>& sketches, const KModesConfig& config);
 

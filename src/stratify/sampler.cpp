@@ -29,23 +29,44 @@ std::vector<std::size_t> proportional_allocation(
 
 std::vector<std::uint32_t> stratified_sample(const Stratification& strat,
                                              std::size_t count,
-                                             common::Rng& rng) {
+                                             common::Rng& rng,
+                                             const par::Options& par) {
   const std::size_t n = strat.assignment.size();
   count = std::min(count, n);
   std::vector<double> weights(strat.stratum_sizes.begin(),
                               strat.stratum_sizes.end());
   std::vector<std::size_t> take = proportional_allocation(weights, count);
   auto members = strata_members(strat);
+  // Fork one child generator per stratum up front (fixed stratum order,
+  // fixed draw count from `rng`), then run every stratum's partial
+  // Fisher-Yates independently — chunks only touch their own strata, so
+  // the fan-out cannot change the sample.
+  std::vector<common::Rng> stratum_rng;
+  stratum_rng.reserve(strat.num_strata);
+  for (std::uint32_t c = 0; c < strat.num_strata; ++c) {
+    stratum_rng.push_back(rng.fork());
+  }
+  par::resolve(par).parallel_for(
+      strat.num_strata, par::chunk_or(par, 1),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c = begin; c < end; ++c) {
+          auto& pool = members[c];
+          const std::size_t want = std::min(take[c], pool.size());
+          // Partial Fisher-Yates: the first `want` entries become the
+          // sample.
+          for (std::size_t i = 0; i < want; ++i) {
+            std::swap(pool[i],
+                      pool[i + stratum_rng[c].bounded(pool.size() - i)]);
+          }
+        }
+      });
   std::vector<std::uint32_t> sample;
   sample.reserve(count);
   for (std::uint32_t c = 0; c < strat.num_strata; ++c) {
-    auto& pool = members[c];
+    const auto& pool = members[c];
     const std::size_t want = std::min(take[c], pool.size());
-    // Partial Fisher-Yates: the first `want` entries become the sample.
-    for (std::size_t i = 0; i < want; ++i) {
-      std::swap(pool[i], pool[i + rng.bounded(pool.size() - i)]);
-      sample.push_back(pool[i]);
-    }
+    sample.insert(sample.end(), pool.begin(),
+                  pool.begin() + static_cast<long>(want));
   }
   // Rounding against small strata may leave a shortfall; top up from the
   // largest strata's unsampled tails.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "par/pool.h"
 #include "stratify/kmodes.h"
 
 namespace hetsim::stratify {
@@ -23,9 +24,13 @@ namespace hetsim::stratify {
 /// Draw `count` record indices as a proportionally allocated stratified
 /// sample without replacement. Largest-remainder rounding makes the
 /// result exactly `count` (capped at the population size). Deterministic
-/// given `rng`.
+/// given `rng`: each stratum draws from its own child generator forked
+/// from `rng` in stratum order (exactly num_strata forks), so the
+/// per-stratum Fisher-Yates passes can fan out over `par` without the
+/// thread count touching the sample.
 [[nodiscard]] std::vector<std::uint32_t> stratified_sample(
-    const Stratification& strat, std::size_t count, common::Rng& rng);
+    const Stratification& strat, std::size_t count, common::Rng& rng,
+    const par::Options& par = {});
 
 /// All record indices ordered by stratum id (records of stratum 0 first,
 /// then 1, ...; ascending index within a stratum) — the ordering the

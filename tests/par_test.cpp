@@ -1,0 +1,242 @@
+// Tests for hetsim::par — the deterministic parallel-for pool — and the
+// determinism contract of every pipeline kernel plumbed onto it: for a
+// fixed seed, sketches, stratification, samples and partition contents
+// must be byte-identical for every thread count and chunk size.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "par/pool.h"
+#include "partition/partitioner.h"
+#include "sketch/minhash.h"
+#include "stratify/kmodes.h"
+#include "stratify/sampler.h"
+
+namespace hetsim {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::uint32_t threads : {1U, 2U, 7U}) {
+    par::ThreadPool pool(threads);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{64}, std::size_t{1000}}) {
+      std::vector<int> hits(257, 0);
+      pool.parallel_for(hits.size(), chunk,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                        });
+      for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i], 1) << "index " << i << " threads " << threads
+                              << " chunk " << chunk;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkGeometryIndependentOfThreadCount) {
+  constexpr std::size_t kN = 101;
+  constexpr std::size_t kChunk = 8;
+  const auto bounds_for = [&](std::uint32_t threads) {
+    par::ThreadPool pool(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> bounds((kN + kChunk - 1) /
+                                                            kChunk);
+    pool.parallel_for(kN, kChunk, [&](std::size_t begin, std::size_t end) {
+      bounds[begin / kChunk] = {begin, end};
+    });
+    return bounds;
+  };
+  const auto reference = bounds_for(1);
+  for (std::size_t c = 0; c < reference.size(); ++c) {
+    EXPECT_EQ(reference[c].first, c * kChunk);
+    EXPECT_EQ(reference[c].second, std::min(kN, c * kChunk + kChunk));
+  }
+  EXPECT_EQ(bounds_for(2), reference);
+  EXPECT_EQ(bounds_for(7), reference);
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoOp) {
+  par::ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, 16, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelMapMatchesSerial) {
+  par::ThreadPool pool(5);
+  const std::vector<std::uint64_t> out = pool.parallel_map<std::uint64_t>(
+      1000, 17, [](std::size_t i) { return i * i + 1; });
+  ASSERT_EQ(out.size(), 1000U);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i + 1);
+}
+
+TEST(ThreadPool, OrderedReduceIsThreadCountInvariant) {
+  // String concatenation is non-commutative: only an ascending-chunk
+  // combine order can make every thread count agree.
+  const auto concat = [](std::uint32_t threads) {
+    par::ThreadPool pool(threads);
+    return pool.parallel_reduce<std::string>(
+        100, 9, std::string{},
+        [](std::size_t begin, std::size_t end) {
+          return "[" + std::to_string(begin) + "," + std::to_string(end) + ")";
+        },
+        [](std::string acc, std::string part) { return acc + part; });
+  };
+  const std::string reference = concat(1);
+  EXPECT_FALSE(reference.empty());
+  EXPECT_EQ(concat(2), reference);
+  EXPECT_EQ(concat(7), reference);
+}
+
+TEST(ThreadPool, RethrowsLowestChunkException) {
+  for (const std::uint32_t threads : {1U, 4U}) {
+    par::ThreadPool pool(threads);
+    try {
+      pool.parallel_for(80, 10, [](std::size_t begin, std::size_t) {
+        const std::size_t chunk_index = begin / 10;
+        if (chunk_index == 3 || chunk_index == 5) {
+          throw common::ConfigError("boom chunk " +
+                                    std::to_string(chunk_index));
+        }
+      });
+      FAIL() << "expected ConfigError (threads=" << threads << ")";
+    } catch (const common::ConfigError& e) {
+      EXPECT_EQ(std::string(e.what()), "boom chunk 3") << "threads " << threads;
+    }
+    // The pool must stay usable after a failed fan-out.
+    int sum = 0;
+    pool.parallel_for(4, 4, [&](std::size_t begin, std::size_t end) {
+      sum += static_cast<int>(end - begin);
+    });
+    EXPECT_EQ(sum, 4);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  par::ThreadPool pool(4);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(8, 1, [&](std::size_t begin, std::size_t) {
+    // Re-entering the same pool from a chunk body must neither deadlock
+    // nor fan out; it runs serially on this lane.
+    pool.parallel_for(8, 2, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) ++hits[begin * 8 + i];
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
+  ::setenv("HETSIM_THREADS", "3", 1);
+  EXPECT_EQ(par::default_threads(), 3U);
+  ::setenv("HETSIM_THREADS", "not-a-number", 1);
+  const std::uint32_t fallback = par::default_threads();
+  ::unsetenv("HETSIM_THREADS");
+  EXPECT_EQ(fallback, par::default_threads());
+  EXPECT_GE(fallback, 1U);
+}
+
+// ---- pipeline determinism ---------------------------------------------------
+
+struct PipelineOutputs {
+  std::vector<sketch::Sketch> sketches;
+  stratify::Stratification strat;
+  std::vector<std::uint32_t> sample;
+  partition::PartitionAssignment representative;
+  partition::PartitionAssignment similar;
+  partition::PartitionAssignment random;
+};
+
+PipelineOutputs run_pipeline(const data::Dataset& ds, const par::Options& par) {
+  PipelineOutputs out;
+  const sketch::MinHasher hasher({.num_hashes = 48, .seed = 31});
+  out.sketches = hasher.sketch_all(ds.records, par);
+
+  stratify::KModesConfig cfg;
+  cfg.num_strata = 8;
+  cfg.composite_l = 3;
+  cfg.max_iterations = 10;
+  cfg.par = par;
+  out.strat = stratify::composite_kmodes(out.sketches, cfg);
+
+  common::Rng rng(91);
+  out.sample = stratify::stratified_sample(out.strat, 400, rng, par);
+
+  const std::vector<std::size_t> sizes{600, 500, 250, 150};
+  out.representative = partition::make_partitions(
+      out.strat, sizes, partition::Layout::kRepresentative, 37, par);
+  out.similar = partition::make_partitions(
+      out.strat, sizes, partition::Layout::kSimilarTogether, 37, par);
+  out.random = partition::random_partitions(ds.records.size(), sizes, 41, par);
+  return out;
+}
+
+void expect_identical(const PipelineOutputs& got, const PipelineOutputs& want,
+                      const std::string& label) {
+  EXPECT_EQ(got.sketches, want.sketches) << label;
+  EXPECT_EQ(got.strat.assignment, want.strat.assignment) << label;
+  EXPECT_EQ(got.strat.num_strata, want.strat.num_strata) << label;
+  EXPECT_EQ(got.strat.stratum_sizes, want.strat.stratum_sizes) << label;
+  EXPECT_EQ(got.strat.zero_match_assignments, want.strat.zero_match_assignments)
+      << label;
+  EXPECT_EQ(got.strat.iterations, want.strat.iterations) << label;
+  EXPECT_EQ(got.strat.work_ops, want.strat.work_ops) << label;
+  EXPECT_EQ(got.strat.objective, want.strat.objective) << label;
+  EXPECT_EQ(got.sample, want.sample) << label;
+  EXPECT_EQ(got.representative.partitions, want.representative.partitions)
+      << label;
+  EXPECT_EQ(got.similar.partitions, want.similar.partitions) << label;
+  EXPECT_EQ(got.random.partitions, want.random.partitions) << label;
+}
+
+TEST(ParDeterminism, PipelineIdenticalForAllThreadCountsAndChunks) {
+  data::TextCorpusConfig corpus;
+  corpus.num_docs = 1500;
+  corpus.num_topics = 6;
+  corpus.seed = 21;
+  const data::Dataset ds = data::generate_text_corpus(corpus);
+  const std::size_t n = ds.records.size();
+
+  par::ThreadPool serial(1);
+  const PipelineOutputs reference =
+      run_pipeline(ds, par::Options{.pool = &serial});
+
+  std::vector<std::uint32_t> thread_counts{1, 2, 7};
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+  if (hw >= 1) thread_counts.push_back(hw);
+  for (const std::uint32_t threads : thread_counts) {
+    par::ThreadPool pool(threads);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{64}, n}) {
+      const PipelineOutputs got =
+          run_pipeline(ds, par::Options{.pool = &pool, .chunk = chunk});
+      expect_identical(got, reference,
+                       "threads=" + std::to_string(threads) +
+                           " chunk=" + std::to_string(chunk));
+    }
+  }
+}
+
+TEST(ParDeterminism, SketchAllMatchesPerRecordSketch) {
+  data::TextCorpusConfig corpus;
+  corpus.num_docs = 200;
+  corpus.seed = 5;
+  const data::Dataset ds = data::generate_text_corpus(corpus);
+  const sketch::MinHasher hasher({.num_hashes = 32, .seed = 7});
+  par::ThreadPool pool(4);
+  const auto all =
+      hasher.sketch_all(ds.records, par::Options{.pool = &pool, .chunk = 13});
+  ASSERT_EQ(all.size(), ds.records.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], hasher.sketch(ds.records[i].items)) << "record " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hetsim

@@ -3,6 +3,7 @@
 // sketch match fraction estimates Jaccard similarity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
@@ -107,6 +108,36 @@ TEST(MinHash, PermuteStaysBelowPrime) {
   for (std::uint32_t j = 0; j < 4; ++j) {
     for (std::uint32_t x = 0; x < 1000; x += 13) {
       EXPECT_LT(h.permute(j, x), kPrime);
+    }
+  }
+}
+
+TEST(MinHash, SingletonSketchEqualsPermute) {
+  // sketch({x})[j] is the min over one element, i.e. exactly permute(j, x)
+  // — pins the sketch kernel to the shared permutation helper, so the
+  // unrolled batch path can never drift from the reference arithmetic.
+  const MinHasher h(SketchConfig{.num_hashes = 24, .seed = 13});
+  for (const data::Item x : {0U, 1U, 97U, 50021U}) {
+    const Sketch s = h.sketch(std::vector<data::Item>{x});
+    ASSERT_EQ(s.size(), 24U);
+    for (std::uint32_t j = 0; j < 24; ++j) {
+      EXPECT_EQ(s[j], h.permute(j, x)) << "item " << x << " hash " << j;
+    }
+  }
+}
+
+TEST(MinHash, UnrolledTailMatchesAllLengths) {
+  // Exercise every remainder of the 4-wide unroll (lengths 1..9): each
+  // sketch component must equal the plain min over permute().
+  const MinHasher h(SketchConfig{.num_hashes = 8, .seed = 29});
+  ItemSet items;
+  for (std::uint32_t len = 1; len <= 9; ++len) {
+    items.push_back(len * 131);
+    const Sketch s = h.sketch(items);
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      std::uint64_t want = MinHasher::kEmptySentinel;
+      for (const data::Item x : items) want = std::min(want, h.permute(j, x));
+      EXPECT_EQ(s[j], want) << "len " << len << " hash " << j;
     }
   }
 }
@@ -219,6 +250,39 @@ TEST(KModes, FewerPointsThanStrataShrinksK) {
   cfg.num_strata = 10;
   const auto strat = stratify::composite_kmodes(sketches, cfg);
   EXPECT_EQ(strat.num_strata, 3u);
+}
+
+TEST(KModes, TieBreakKeepsLowestCenterIndex) {
+  // With all-identical sketches every center is seeded from the same
+  // point, so every point ties on every center with a full score. The
+  // documented tie-break contract (kmodes.h) — strict `score > best`
+  // over ascending center ids — must collapse the assignment to center
+  // 0. A parallel assignment step that scanned centers in any other
+  // order (or used >=) would silently scatter the points.
+  const std::vector<Sketch> sketches(6, Sketch{11, 22, 33});
+  stratify::KModesConfig cfg;
+  cfg.num_strata = 3;
+  const auto strat = stratify::composite_kmodes(sketches, cfg);
+  ASSERT_EQ(strat.num_strata, 3u);
+  for (const auto a : strat.assignment) EXPECT_EQ(a, 0u);
+  EXPECT_EQ(strat.stratum_sizes[0], 6u);
+  // Full score: every attribute of every point matched center 0.
+  EXPECT_EQ(strat.objective, 6u * 3u);
+  EXPECT_EQ(strat.zero_match_assignments, 0u);
+}
+
+TEST(KModes, TieBreakStableAcrossThreadCounts) {
+  const std::vector<Sketch> sketches(64, Sketch{7, 7, 7, 7});
+  for (const std::uint32_t threads : {1u, 4u}) {
+    par::ThreadPool pool(threads);
+    stratify::KModesConfig cfg;
+    cfg.num_strata = 4;
+    cfg.par = {.pool = &pool, .chunk = 5};
+    const auto strat = stratify::composite_kmodes(sketches, cfg);
+    for (const auto a : strat.assignment) {
+      EXPECT_EQ(a, 0u) << "threads " << threads;
+    }
+  }
 }
 
 TEST(KModes, RejectsRaggedInput) {

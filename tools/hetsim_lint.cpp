@@ -7,7 +7,13 @@
 //                     std::shared_mutex / std::condition_variable (the
 //                     plain one; _any is fine) outside src/check/. All
 //                     locking goes through check::RankedMutex so the
-//                     global lock hierarchy is enforced at runtime.
+//                     global lock hierarchy is enforced at runtime
+//                     (src/par's pool holds its fan-out state under a
+//                     RankedMutex too — rank kParPool).
+//   raw-thread        std::thread / std::jthread outside src/par/ and
+//                     src/runtime/. Ad-hoc threads bypass both the
+//                     deterministic chunking of par::ThreadPool and the
+//                     runtime's scheduler; spawn through those layers.
 //   nondeterminism    std::random_device, rand()/srand(), wall-clock reads
 //                     (std::chrono::{system,steady,high_resolution}_clock,
 //                     gettimeofday, clock_gettime, time APIs) anywhere in
@@ -125,6 +131,8 @@ constexpr std::string_view kMutexTokens[] = {
     "std::recursive_timed_mutex", "std::shared_mutex",
     "std::shared_timed_mutex", "std::condition_variable"};
 
+constexpr std::string_view kThreadTokens[] = {"std::thread", "std::jthread"};
+
 constexpr std::string_view kNondetTokens[] = {
     "std::random_device", "rand", "srand", "drand48",
     "std::chrono::system_clock", "std::chrono::steady_clock",
@@ -170,6 +178,8 @@ class Linter {
 
     const bool is_header = file.extension() == ".h";
     const bool mutex_rule_applies = !in_dir(rel, "check");
+    const bool thread_rule_applies =
+        !in_dir(rel, "par") && !in_dir(rel, "runtime");
     const bool float_rule_applies =
         std::any_of(std::begin(kAccountingDirs), std::end(kAccountingDirs),
                     [&](std::string_view d) { return in_dir(rel, d); });
@@ -193,7 +203,18 @@ class Linter {
                 std::string(tok) +
                     " outside src/check/ — use check::RankedMutex (+ "
                     "std::condition_variable_any) so the lock hierarchy "
-                    "is enforced");
+                    "is enforced; par::ThreadPool shows the pattern");
+          }
+        }
+      }
+      if (thread_rule_applies && !allowed("raw-thread")) {
+        for (const std::string_view tok : kThreadTokens) {
+          if (has_token(code, tok)) {
+            add(file, n + 1, "raw-thread",
+                std::string(tok) +
+                    " outside src/par/ and src/runtime/ — fan work out "
+                    "through par::ThreadPool (deterministic chunking) or "
+                    "the job runtime instead of spawning raw threads");
           }
         }
       }
@@ -244,7 +265,8 @@ int self_test(const fs::path& fixtures) {
   linter.lint_tree(fixtures);
   std::set<std::string> fired;
   for (const Violation& v : linter.violations()) fired.insert(v.rule);
-  const std::vector<std::string> expected{"naked-mutex", "nondeterminism",
+  const std::vector<std::string> expected{"naked-mutex", "raw-thread",
+                                          "nondeterminism",
                                           "float-accounting", "pragma-once"};
   int missing = 0;
   for (const std::string& rule : expected) {

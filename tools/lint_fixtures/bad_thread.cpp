@@ -1,0 +1,6 @@
+// Seeded violation: raw-thread. Threads outside src/par/ and
+// src/runtime/ must go through par::ThreadPool or the job runtime.
+#include <thread>
+
+std::thread g_seeded_raw_thread;
+std::jthread* g_seeded_raw_jthread = nullptr;
