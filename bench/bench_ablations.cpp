@@ -140,7 +140,7 @@ void pipelining_ablation() {
                       .key = "part",
                       .value = payload});
     }
-    (void)client.drain();
+    kvstore::expect_ok(client.drain());
     t.add_row({std::to_string(width),
                common::format_double(client.consumed_time(), 4),
                std::to_string(fabric.stats(0, 1).round_trips)});

@@ -1,0 +1,190 @@
+// bench_fault_overhead — cost of compiling fault injection in but not
+// using it, plus a degraded-mode demonstration.
+//
+// The fault layer's contract (src/fault/fault.h) is that a null
+// injector or an all-defaults plan costs one branch per interception
+// point and changes no arithmetic. This bench enforces both halves:
+//
+//   1. byte-identity — the same job run with no injector and with an
+//      empty-plan injector attached must produce byte-identical
+//      summary JSON and Chrome-trace JSON (virtual time unchanged);
+//   2. wall-clock overhead — the empty-plan run must cost < 2% extra
+//      real time (median of 7 runs each), i.e. the interception
+//      branches are effectively free.
+//
+// It then runs the same job with an active plan (store errors plus one
+// node fail-stop) and reports the degraded-mode outcome: retries,
+// makespan inflation, and records rescued — the robustness story in
+// one table.
+//
+// Exit status is non-zero when byte-identity or the overhead gate
+// fails, so CI can run the bench as an acceptance check.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/table.h"
+#include "fault/fault.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace hetsim;
+
+/// Fixed metered cost per record: keeps the execute phase dominated by
+/// simulator bookkeeping (the thing fault interception could slow
+/// down), not by workload-specific compute.
+class LinearWorkload final : public core::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "linear-scan"; }
+  [[nodiscard]] partition::Layout preferred_layout() const override {
+    return partition::Layout::kRepresentative;
+  }
+  void reset(std::size_t, std::uint32_t) override {}
+  void run(cluster::NodeContext& ctx, const data::Dataset&,
+           std::span<const std::uint32_t> indices) override {
+    ctx.meter().add(2e4 * static_cast<double>(indices.size()));
+  }
+};
+
+struct RunResult {
+  runtime::JobSummary summary;
+  std::string fingerprint;  // summary JSON + trace JSON
+  double wall_s = 0.0;
+};
+
+RunResult run_once(const data::Dataset& dataset, std::uint32_t partitions,
+                   const fault::FaultPlan* plan, std::uint64_t seed) {
+  cluster::Cluster cluster(cluster::standard_cluster(partitions));
+  const energy::GreenEnergyEstimator energy =
+      energy::GreenEnergyEstimator::standard(72);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (plan != nullptr) {
+    injector = std::make_unique<fault::FaultInjector>(*plan);
+    cluster.set_fault(injector.get());
+  }
+  LinearWorkload workload;
+
+  runtime::JobSpec spec;
+  spec.name = "fault-overhead-bench";
+  spec.strategy = core::Strategy::kHetAware;
+  spec.sampling.min_records = 40;
+  spec.seed = seed;
+
+  runtime::JobRuntime rt(cluster, energy, spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult result;
+  result.summary = rt.run(dataset, workload);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  result.fingerprint =
+      runtime::summary_json(result.summary) + "\n" +
+      rt.trace().chrome_trace_json();
+  return result;
+}
+
+double median_wall_s(const data::Dataset& dataset, std::uint32_t partitions,
+                     const fault::FaultPlan* plan, std::uint64_t seed,
+                     int reps) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    samples.push_back(run_once(dataset, partitions, plan, seed).wall_s);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t partitions = 8;
+  const std::uint64_t seed = 171;
+  const int reps = 7;
+  const data::Dataset dataset =
+      data::generate_text_corpus(data::rcv1_like(0.5), "rcv1");
+
+  std::cout << "fault-injection overhead — " << dataset.name << " ("
+            << dataset.size() << " records), " << partitions
+            << " nodes, median of " << reps << " runs\n\n";
+
+  bool ok = true;
+  std::vector<bench::BenchMetric> metrics;
+
+  // ---- byte-identity: empty plan must change nothing -----------------
+  const RunResult bare = run_once(dataset, partitions, nullptr, seed);
+  const fault::FaultPlan empty_plan;
+  const RunResult gated = run_once(dataset, partitions, &empty_plan, seed);
+  const bool identical = bare.fingerprint == gated.fingerprint;
+  std::cout << "empty-plan byte-identity (summary + trace): "
+            << (identical ? "byte-identical" : "MISMATCH") << " ("
+            << bare.fingerprint.size() << " bytes)\n";
+  metrics.push_back({"empty_plan_identical", identical ? 1.0 : 0.0, "bool"});
+  if (!identical) ok = false;
+
+  // ---- wall-clock overhead gate --------------------------------------
+  // One warm-up pass of each configuration already happened above.
+  const double wall_bare =
+      median_wall_s(dataset, partitions, nullptr, seed, reps);
+  const double wall_gated =
+      median_wall_s(dataset, partitions, &empty_plan, seed, reps);
+  const double overhead_pct = 100.0 * (wall_gated - wall_bare) / wall_bare;
+  std::cout << "wall time: no injector " << common::format_double(wall_bare, 4)
+            << " s, empty plan " << common::format_double(wall_gated, 4)
+            << " s, overhead " << common::format_double(overhead_pct, 2)
+            << "% (gate: < 2%)\n";
+  metrics.push_back({"wall_bare", wall_bare, "s"});
+  metrics.push_back({"wall_empty_plan", wall_gated, "s"});
+  metrics.push_back({"empty_plan_overhead", overhead_pct, "%"});
+  if (overhead_pct >= 2.0) {
+    std::cout << "FAIL: empty-plan overhead " << overhead_pct
+              << "% breaches the 2% gate\n";
+    ok = false;
+  }
+
+  // ---- degraded mode under an active plan ----------------------------
+  fault::FaultPlan active;
+  active.seed = 7;
+  active.stores[1].error_prob = 0.05;
+  active.nodes[partitions - 1].fail_stop_at_s = bare.summary.makespan_s * 0.3;
+  const RunResult faulty = run_once(dataset, partitions, &active, seed);
+
+  common::Table table({"configuration", "makespan (s)", "degraded",
+                       "records rescued", "kv retries", "kv failures"});
+  const auto row = [&](const char* name, const RunResult& r) {
+    table.add_row({name, common::format_double(r.summary.makespan_s, 4),
+                   r.summary.degraded ? "yes" : "no",
+                   std::to_string(r.summary.replanned_records),
+                   std::to_string(r.summary.kv_retries),
+                   std::to_string(r.summary.kv_failures)});
+  };
+  row("no injector", bare);
+  row("empty plan", gated);
+  row("store errors + fail-stop", faulty);
+  std::cout << '\n';
+  table.print(std::cout, "job outcome by fault configuration");
+
+  const std::size_t processed = std::accumulate(
+      faulty.summary.processed.begin(), faulty.summary.processed.end(),
+      std::size_t{0});
+  if (processed != faulty.summary.records) {
+    std::cout << "FAIL: degraded run lost records (" << processed << " of "
+              << faulty.summary.records << ")\n";
+    ok = false;
+  }
+  metrics.push_back({"degraded_makespan", faulty.summary.makespan_s, "s"});
+  metrics.push_back({"makespan", bare.summary.makespan_s, "s"});
+  metrics.push_back(
+      {"rescued_records",
+       static_cast<double>(faulty.summary.replanned_records), "count"});
+  metrics.push_back({"kv_retries",
+                     static_cast<double>(faulty.summary.kv_retries), "count"});
+
+  bench::write_bench_json("fault", metrics);
+  return ok ? 0 : 1;
+}

@@ -5,6 +5,8 @@
 //   ./build/examples/hetsim_cli --workload graph --scale 0.5 --csv
 //   ./build/examples/hetsim_cli run-job --workload text
 //       --slowdown 2.5,1,1,1 --trace_out job.trace.json  (one line)
+//   ./build/examples/hetsim_cli run-job --workload text
+//       --fault_plan examples/fault_plan.json             (one line)
 //
 // Workloads: text (SON+Apriori on the RCV1 analogue), tree (FREQT
 // subtree mining on the SwissProt analogue), graph (BV webgraph
@@ -16,6 +18,7 @@
 // and optionally writes a Chrome-trace file viewable in chrome://tracing
 // or https://ui.perfetto.dev.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -23,6 +26,7 @@
 #include "common/args.h"
 #include "common/error.h"
 #include "common/table.h"
+#include "fault/fault.h"
 #include "core/compression_workload.h"
 #include "core/framework.h"
 #include "core/mining_workload.h"
@@ -84,6 +88,15 @@ std::vector<core::Strategy> parse_strategies(const std::string& name) {
                             " (expected all|random|stratified|het|energy)");
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  common::require<common::ConfigError>(static_cast<bool>(in),
+                                       "cannot read fault plan: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 std::vector<double> parse_slowdown(const std::string& csv) {
   std::vector<double> out;
   if (csv.empty()) return out;
@@ -117,6 +130,13 @@ int run_job_main(int argc, const char* const* argv) {
   args.add_int("seed", "scheduler seed (same seed => identical trace)", 171);
   args.add_flag("no_replan", "disable straggler-triggered re-planning");
   args.add_string("trace_out", "write Chrome-trace JSON to this path", "");
+  args.add_string("fault_plan",
+                  "JSON fault plan (see examples/fault_plan.json): seeded\n"
+                  "      drops/spikes/partitions, store errors/stalls/crashes,\n"
+                  "      node fail-stops and slowdowns", "");
+  args.add_double("heartbeat",
+                  "node-loss detection timeout in virtual seconds (0 = the\n"
+                  "      executor's auto rule)", 0.0);
   if (!args.parse(argc, argv, std::cerr)) return 2;
 
   const std::vector<core::Strategy> strategies =
@@ -132,6 +152,15 @@ int run_job_main(int argc, const char* const* argv) {
   const energy::GreenEnergyEstimator energy =
       energy::GreenEnergyEstimator::standard(72);
 
+  // The injector must outlive every phase the cluster runs.
+  std::unique_ptr<fault::FaultInjector> injector;
+  const std::string plan_path = args.get_string("fault_plan");
+  if (!plan_path.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::from_json_text(read_file(plan_path)));
+    cluster.set_fault(injector.get());
+  }
+
   runtime::JobSpec spec;
   spec.name = args.get_string("workload") + "-job";
   spec.strategy = strategies[0];
@@ -141,6 +170,7 @@ int run_job_main(int argc, const char* const* argv) {
   spec.enable_replan = !args.get_flag("no_replan");
   spec.per_node_slowdown = parse_slowdown(args.get_string("slowdown"));
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  spec.heartbeat_timeout_s = args.get_double("heartbeat");
 
   runtime::JobRuntime job_runtime(cluster, energy, spec);
   const runtime::JobSummary summary =

@@ -18,6 +18,8 @@
 //        |             |                               | lane-name buffers
 //    300 | kStore      | kvstore::Store::mu_           | keyspace map and
 //        |             |                               | op counter
+//    350 | kFault      | fault::FaultInjector::mu_     | per-target fault
+//        |             |                               | draw counters
 //    400 | kParPool    | par::ThreadPool::mu_          | fan-out job slot,
 //        |             |                               | lane tally (leaf)
 //
@@ -54,6 +56,7 @@ enum class LockRank : std::uint32_t {
   kScheduler = 100,  // runtime::PhaseExecutor scheduler state (outermost)
   kTrace = 200,      // runtime::TraceRecorder buffers
   kStore = 300,      // kvstore::Store keyspace
+  kFault = 350,      // fault::FaultInjector draw counters
   kParPool = 400,    // par::ThreadPool fan-out state (leaf)
 };
 

@@ -18,7 +18,8 @@ kvstore::Client& NodeContext::client(std::uint32_t target) {
   if (!slot) {
     slot = std::make_unique<kvstore::Client>(
         cluster_.fabric(), node_.id, target, cluster_.store(target),
-        cluster_.options().pipeline_width);
+        cluster_.options().pipeline_width, cluster_.fault_injector(),
+        cluster_.options().retry);
   }
   return *slot;
 }

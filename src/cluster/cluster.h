@@ -81,6 +81,8 @@ struct ClusterOptions {
   WorkRate work_rate{};
   net::LinkSpec remote_link{};
   std::size_t pipeline_width = 256;
+  /// Failure handling of every client created through NodeContext.
+  kvstore::RetryPolicy retry{};
   /// Per-(node, phase) multiplicative speed noise, as a standard
   /// deviation fraction. Models the throughput variability of co-located
   /// virtual machines (paper section II cites 2x variation on EC2) —
@@ -104,6 +106,16 @@ class Cluster {
   [[nodiscard]] kvstore::Store& store(std::uint32_t id);
   [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Attach the fault injector every subsequently-created client (and
+  /// the runtime's failure detector) consults. Not owned; null detaches.
+  /// Attach before running phases — mid-run swaps are undefined.
+  void set_fault(fault::FaultInjector* injector) noexcept {
+    fabric_.set_fault_injector(injector);
+  }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const noexcept {
+    return fabric_.fault_injector();
+  }
 
   /// Run one task per node (tasks.size() must equal size()); returns the
   /// phase report and advances the cluster's virtual clock by the

@@ -31,6 +31,14 @@ class OptimizeError : public Error {
   using Error::Error;
 };
 
+/// A bounded wait (virtual-time deadline or poll budget) expired before
+/// the awaited condition held — e.g. a kvstore barrier still missing
+/// parties after its poll budget.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Require `cond`, otherwise throw E with `message`.
 template <typename E = Error>
 inline void require(bool cond, const std::string& message) {

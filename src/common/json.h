@@ -1,11 +1,17 @@
-// Minimal JSON writer for exporting experiment reports to downstream
-// tooling (plots, dashboards). Handles comma placement and string
-// escaping; no parsing — hetsim only emits JSON.
+// Minimal JSON writer + parser.
+//
+// The writer exports experiment reports to downstream tooling (plots,
+// dashboards): it handles comma placement and string escaping. The
+// parser exists for the handful of configuration documents hetsim
+// *reads* (fault plans, see src/fault/) — a strict recursive-descent
+// JSON subset: no comments, no trailing commas, \uXXXX escapes decoded
+// only for the ASCII range.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hetsim::common {
@@ -49,5 +55,49 @@ class JsonWriter {
 
 /// Escape a string for embedding in JSON (quotes included by value()).
 [[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Parsed JSON document node. Numbers are stored as double (JSON has a
+/// single number type); object member order is preserved so error
+/// messages and round-trips stay deterministic.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors; throw ConfigError (with `where` in the message)
+  /// when the value has the wrong kind.
+  [[nodiscard]] bool as_bool(std::string_view where) const;
+  [[nodiscard]] double as_double(std::string_view where) const;
+  [[nodiscard]] std::int64_t as_int(std::string_view where) const;
+  [[nodiscard]] const std::string& as_string(std::string_view where) const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array(
+      std::string_view where) const;
+};
+
+/// Strict JSON parser; throws common::ConfigError on malformed input
+/// (trailing garbage included). See header comment for subset notes.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace hetsim::common

@@ -73,7 +73,7 @@ void ParetoFramework::prepare(const data::Dataset& dataset, Workload& workload) 
                              .key = key,
                              .value = encode_sketch(sketches[i])});
         }
-        (void)to_master.drain();
+        kvstore::expect_ok(to_master.drain());
       });
     }
     cluster_.run_phase("sketch", tasks);
@@ -99,7 +99,7 @@ void ParetoFramework::prepare(const data::Dataset& dataset, Workload& workload) 
                      .key = "data",
                      .value = r.payload});
     }
-    (void)local.drain();
+    kvstore::expect_ok(local.drain());
   });
 
   // ---- Phase 4: progressive-sampling time models ----
@@ -190,16 +190,17 @@ JobReport ParetoFramework::run(Strategy strategy, const data::Dataset& dataset,
                                .key = "data",
                                .arg0 = static_cast<std::int64_t>(idx)});
         }
-        const std::vector<kvstore::Reply> replies = from_master.drain();
+        const std::vector<kvstore::Reply> replies =
+            kvstore::expect_ok(from_master.drain());
         kvstore::Client& local = ctx.local();
-        (void)local.execute(
-            {.type = kvstore::CommandType::kDel, .key = config_.partition_key});
+        kvstore::expect_ok(local.execute(
+            {.type = kvstore::CommandType::kDel, .key = config_.partition_key}));
         for (const kvstore::Reply& r : replies) {
           local.enqueue({.type = kvstore::CommandType::kRPush,
                          .key = config_.partition_key,
                          .value = r.blob});
         }
-        (void)local.drain();
+        kvstore::expect_ok(local.drain());
       });
     }
     const cluster::PhaseReport load = cluster_.run_phase("load", tasks);

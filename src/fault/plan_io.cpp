@@ -1,0 +1,151 @@
+// FaultPlan JSON IO. Schema (all fields optional, unknown keys
+// rejected so typos fail loudly):
+//
+//   {
+//     "seed": 42,
+//     "net": {"drop_prob": 0.02, "drop_request_lost_fraction": 0.5,
+//             "spike_prob": 0.01, "spike_latency_s": 0.005,
+//             "partitions": [{"a": 0, "b": 2, "after_round_trips": 100}]},
+//     "stores": [{"host": 1, "error_prob": 0.01, "stall_prob": 0.01,
+//                 "stall_s": 0.2, "crash_at_op": 0}],
+//     "nodes": [{"node": 3, "fail_stop_at_s": 12.5,
+//                "slowdown_factor": 1.0}]
+//   }
+#include <initializer_list>
+#include <string>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "fault/fault.h"
+
+namespace hetsim::fault {
+
+namespace {
+
+using common::JsonValue;
+
+void reject_unknown_keys(const JsonValue& obj, std::string_view where,
+                         std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : obj.object) {
+    (void)value;
+    bool ok = false;
+    for (const std::string_view k : known) ok = ok || key == k;
+    common::require<common::ConfigError>(
+        ok, "FaultPlan: unknown key '" + key + "' in " + std::string(where));
+  }
+}
+
+double get_double(const JsonValue& obj, std::string_view key,
+                  double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v == nullptr ? fallback : v->as_double(key);
+}
+
+std::uint64_t get_u64(const JsonValue& obj, std::string_view key,
+                      std::uint64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  const std::int64_t i = v->as_int(key);
+  common::require<common::ConfigError>(
+      i >= 0, "FaultPlan: '" + std::string(key) + "' must be >= 0");
+  return static_cast<std::uint64_t>(i);
+}
+
+HostId get_host(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  common::require<common::ConfigError>(
+      v != nullptr, "FaultPlan: missing '" + std::string(key) + "'");
+  const std::int64_t i = v->as_int(key);
+  common::require<common::ConfigError>(
+      i >= 0, "FaultPlan: '" + std::string(key) + "' must be >= 0");
+  return static_cast<HostId>(i);
+}
+
+NetFaults parse_net(const JsonValue& obj, std::vector<LinkPartition>& parts) {
+  common::require<common::ConfigError>(obj.is_object(),
+                                       "FaultPlan: 'net' must be an object");
+  reject_unknown_keys(obj, "net",
+                      {"drop_prob", "drop_request_lost_fraction",
+                       "spike_prob", "spike_latency_s", "partitions"});
+  NetFaults net;
+  net.drop_prob = get_double(obj, "drop_prob", net.drop_prob);
+  net.drop_request_lost_fraction = get_double(
+      obj, "drop_request_lost_fraction", net.drop_request_lost_fraction);
+  net.spike_prob = get_double(obj, "spike_prob", net.spike_prob);
+  net.spike_latency_s =
+      get_double(obj, "spike_latency_s", net.spike_latency_s);
+  if (const JsonValue* arr = obj.find("partitions")) {
+    for (const JsonValue& e : arr->as_array("partitions")) {
+      common::require<common::ConfigError>(
+          e.is_object(), "FaultPlan: each partition must be an object");
+      reject_unknown_keys(e, "partitions[]", {"a", "b", "after_round_trips"});
+      parts.push_back({get_host(e, "a"), get_host(e, "b"),
+                       get_u64(e, "after_round_trips", 0)});
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_json(const JsonValue& doc) {
+  common::require<common::ConfigError>(
+      doc.is_object(), "FaultPlan: document must be a JSON object");
+  reject_unknown_keys(doc, "plan", {"seed", "net", "stores", "nodes"});
+  FaultPlan plan;
+  if (const JsonValue* v = doc.find("seed")) {
+    const std::int64_t s = v->as_int("seed");
+    common::require<common::ConfigError>(s >= 0,
+                                         "FaultPlan: seed must be >= 0");
+    plan.seed = static_cast<std::uint64_t>(s);
+  }
+  if (const JsonValue* v = doc.find("net")) {
+    plan.net = parse_net(*v, plan.partitions);
+  }
+  if (const JsonValue* v = doc.find("stores")) {
+    for (const JsonValue& e : v->as_array("stores")) {
+      common::require<common::ConfigError>(
+          e.is_object(), "FaultPlan: each stores[] entry must be an object");
+      reject_unknown_keys(
+          e, "stores[]",
+          {"host", "error_prob", "stall_prob", "stall_s", "crash_at_op"});
+      const HostId host = get_host(e, "host");
+      common::require<common::ConfigError>(
+          plan.stores.count(host) == 0,
+          "FaultPlan: duplicate stores[] entry for host " +
+              std::to_string(host));
+      StoreFaults f;
+      f.error_prob = get_double(e, "error_prob", f.error_prob);
+      f.stall_prob = get_double(e, "stall_prob", f.stall_prob);
+      f.stall_s = get_double(e, "stall_s", f.stall_s);
+      f.crash_at_op = get_u64(e, "crash_at_op", f.crash_at_op);
+      plan.stores.emplace(host, f);
+    }
+  }
+  if (const JsonValue* v = doc.find("nodes")) {
+    for (const JsonValue& e : v->as_array("nodes")) {
+      common::require<common::ConfigError>(
+          e.is_object(), "FaultPlan: each nodes[] entry must be an object");
+      reject_unknown_keys(e, "nodes[]",
+                          {"node", "fail_stop_at_s", "slowdown_factor"});
+      const HostId node = get_host(e, "node");
+      common::require<common::ConfigError>(
+          plan.nodes.count(node) == 0,
+          "FaultPlan: duplicate nodes[] entry for node " +
+              std::to_string(node));
+      NodeFaults f;
+      f.fail_stop_at_s = get_double(e, "fail_stop_at_s", f.fail_stop_at_s);
+      f.slowdown_factor =
+          get_double(e, "slowdown_factor", f.slowdown_factor);
+      plan.nodes.emplace(node, f);
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::from_json_text(std::string_view text) {
+  return from_json(common::parse_json(text));
+}
+
+}  // namespace hetsim::fault

@@ -1,28 +1,80 @@
 #include "kvstore/barrier.h"
 
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "common/error.h"
 
 namespace hetsim::kvstore {
 
-Barrier::Barrier(Store& store, std::string name, std::uint32_t parties)
-    : store_(store), key_("barrier:" + std::move(name)), parties_(parties) {
+Barrier::Barrier(Store& store, std::string name, std::uint32_t parties,
+                 BarrierOptions options)
+    : store_(store),
+      key_("barrier:" + std::move(name)),
+      parties_(parties),
+      options_(options) {
   common::require<common::ConfigError>(parties >= 1,
                                        "Barrier: parties must be >= 1");
+  common::require<common::ConfigError>(
+      options_.timeout_polls >= 1, "Barrier: timeout_polls must be >= 1");
 }
 
 std::uint64_t Barrier::arrive_and_wait() {
   const std::int64_t ticket = store_.incrby(key_, 1);
+  return wait(ticket, /*registered=*/false);
+}
+
+std::uint64_t Barrier::arrive_and_wait(std::uint32_t party) {
+  // Register BEFORE taking the ticket: once the epoch's last ticket has
+  // been drawn, every party of the epoch has already pushed its id, so
+  // the arrival list window for epoch e is exactly entries
+  // [e * parties, (e + 1) * parties).
+  (void)store_.rpush(key_ + ":arrived", std::to_string(party));
+  const std::int64_t ticket = store_.incrby(key_, 1);
+  return wait(ticket, /*registered=*/true);
+}
+
+std::uint64_t Barrier::wait(std::int64_t ticket, bool registered) {
   // End of this ticket's epoch: smallest multiple of parties >= ticket.
   const std::int64_t target =
       ((ticket + parties_ - 1) / parties_) * static_cast<std::int64_t>(parties_);
   std::uint64_t polls = 0;
   while (store_.counter(key_) < target) {
     ++polls;
+    if (polls >= options_.timeout_polls) throw_timeout(ticket, registered);
     std::this_thread::yield();
   }
   return polls;
+}
+
+void Barrier::throw_timeout(std::int64_t ticket, bool registered) const {
+  const std::int64_t target =
+      ((ticket + parties_ - 1) / parties_) * static_cast<std::int64_t>(parties_);
+  const std::int64_t arrived_count = store_.counter(key_);
+  const std::int64_t epoch = target / parties_ - 1;
+  std::string message = "Barrier '" + key_ + "' timed out after " +
+                        std::to_string(options_.timeout_polls) +
+                        " polls (epoch " + std::to_string(epoch) + ": " +
+                        std::to_string(arrived_count - epoch * parties_) +
+                        "/" + std::to_string(parties_) + " arrived)";
+  if (registered) {
+    // Best-effort roster diff: parties that registered this epoch vs the
+    // full [0, parties) set. Only exact when all arrivals registered.
+    const std::vector<std::string> entries = store_.lrange(
+        key_ + ":arrived", epoch * parties_,
+        (epoch + 1) * static_cast<std::int64_t>(parties_) - 1);
+    std::set<std::string> present(entries.begin(), entries.end());
+    std::string missing;
+    for (std::uint32_t p = 0; p < parties_; ++p) {
+      if (present.count(std::to_string(p)) == 0) {
+        if (!missing.empty()) missing += ", ";
+        missing += std::to_string(p);
+      }
+    }
+    if (!missing.empty()) message += "; missing parties: {" + missing + "}";
+  }
+  throw common::TimeoutError(message);
 }
 
 }  // namespace hetsim::kvstore

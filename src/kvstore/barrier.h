@@ -7,6 +7,13 @@
 // party waits until the counter reaches the end of its own epoch
 // (ceil(ticket / parties) * parties). The barrier is reusable across any
 // number of epochs without resetting state.
+//
+// Waiting is bounded: after `timeout_polls` polls the barrier throws
+// common::TimeoutError instead of spinning forever — a fail-stopped or
+// wedged party turns a hung ctest into a diagnostic. Parties that
+// arrive through arrive_and_wait(party) additionally register their id
+// in a store-side list, so the timeout message names exactly who is
+// missing.
 #pragma once
 
 #include <cstdint>
@@ -16,23 +23,41 @@
 
 namespace hetsim::kvstore {
 
+struct BarrierOptions {
+  /// Poll budget before a waiting party gives up and throws
+  /// common::TimeoutError. Each poll yields the CPU, so the default is
+  /// seconds of real time — far beyond any legitimate arrival delay,
+  /// small enough that CI fails fast instead of timing the job out.
+  std::uint64_t timeout_polls = 10'000'000;
+};
+
 class Barrier {
  public:
   /// `parties` threads must arrive to release an epoch; `name` keys the
   /// counter inside `store`.
-  Barrier(Store& store, std::string name, std::uint32_t parties);
+  Barrier(Store& store, std::string name, std::uint32_t parties,
+          BarrierOptions options = {});
 
   /// Blocks (spins with yield) until all parties of this epoch arrived.
   /// Returns the number of polls performed (useful for cost accounting in
-  /// the simulator: each poll is one round trip).
+  /// the simulator: each poll is one round trip). Throws
+  /// common::TimeoutError when the poll budget runs out.
   std::uint64_t arrive_and_wait();
+
+  /// Same, but registers `party` in the arrival list first, so a timeout
+  /// anywhere in this epoch can name the parties that never showed up.
+  std::uint64_t arrive_and_wait(std::uint32_t party);
 
   [[nodiscard]] std::uint32_t parties() const noexcept { return parties_; }
 
  private:
+  [[nodiscard]] std::uint64_t wait(std::int64_t ticket, bool registered);
+  [[noreturn]] void throw_timeout(std::int64_t ticket, bool registered) const;
+
   Store& store_;
   std::string key_;
   std::uint32_t parties_;
+  BarrierOptions options_;
 };
 
 }  // namespace hetsim::kvstore

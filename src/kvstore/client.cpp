@@ -1,19 +1,108 @@
 #include "kvstore/client.h"
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "fault/fault.h"
 #include "kvstore/resp.h"
 
 namespace hetsim::kvstore {
 
+namespace {
+
+// Wire sizes of the injected server error replies (what a RESP server
+// would actually put on the socket; see RespServer::handle).
+constexpr std::string_view kInjectedErrorReply = "-ERR FAULT injected error\r\n";
+constexpr std::string_view kStoreDownReply = "-ERR FAULT store down\r\n";
+
+}  // namespace
+
+std::string_view status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kError:
+      return "error";
+    case Status::kTimeout:
+      return "timeout";
+    case Status::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+bool idempotent(CommandType type) {
+  switch (type) {
+    case CommandType::kSet:
+    case CommandType::kGet:
+    case CommandType::kDel:
+    case CommandType::kExists:
+    case CommandType::kLRange:
+    case CommandType::kLLen:
+    case CommandType::kLIndex:
+    case CommandType::kCounter:
+      return true;
+    case CommandType::kRPush:
+    case CommandType::kIncrBy:
+      return false;
+  }
+  return false;
+}
+
+Reply expect_ok(Reply reply) {
+  if (reply.status != Status::kOk) {
+    throw UnavailableError(std::string("kvstore operation failed: status=") +
+                           std::string(status_name(reply.status)));
+  }
+  return reply;
+}
+
+std::vector<Reply> expect_ok(std::vector<Reply> replies) {
+  for (const Reply& r : replies) {
+    if (r.status != Status::kOk) {
+      throw UnavailableError(
+          std::string("kvstore batch operation failed: status=") +
+          std::string(status_name(r.status)));
+    }
+  }
+  return replies;
+}
+
 Client::Client(net::Fabric& fabric, net::HostId self, net::HostId target,
-               Store& store, std::size_t pipeline_width)
+               Store& store, std::size_t pipeline_width,
+               fault::FaultInjector* fault, RetryPolicy retry)
     : fabric_(fabric),
       self_(self),
       target_(target),
       store_(store),
-      pipeline_width_(pipeline_width) {
+      pipeline_width_(pipeline_width),
+      fault_(fault),
+      retry_(retry),
+      jitter_rng_(retry.jitter_seed ^
+                  (static_cast<std::uint64_t>(self) << 32U) ^ target) {
   common::require<common::ConfigError>(pipeline_width >= 1,
                                        "Client: pipeline width must be >= 1");
+  common::require<common::ConfigError>(
+      retry_.max_attempts >= 1, "Client: retry max_attempts must be >= 1");
+  common::require<common::ConfigError>(
+      retry_.base_backoff_s >= 0.0 && retry_.max_backoff_s >= 0.0 &&
+          retry_.attempt_timeout_s > 0.0 && retry_.deadline_s > 0.0,
+      "Client: retry policy durations must be positive");
+}
+
+bool Client::faults_active() const noexcept {
+  return fault_ != nullptr && fault_->enabled();
+}
+
+double Client::backoff_s(std::size_t retry) {
+  double wait = retry_.base_backoff_s;
+  for (std::size_t i = 1; i < retry && wait < retry_.max_backoff_s; ++i) {
+    wait *= 2.0;
+  }
+  wait = std::min(wait, retry_.max_backoff_s);
+  // Deterministic jitter in [1.0, 1.5): de-synchronizes retry storms
+  // without breaking reproducibility (seeded per client).
+  return wait * (1.0 + 0.5 * jitter_rng_.uniform());
 }
 
 std::size_t Client::request_bytes(const Command& cmd) {
@@ -77,56 +166,153 @@ Reply apply_command(Store& store, const Command& cmd) {
 Reply Client::apply(const Command& cmd) { return apply_command(store_, cmd); }
 
 Reply Client::execute(const Command& cmd) {
-  Reply reply = apply(cmd);
+  if (!faults_active()) {
+    // Fault-free fast path: unchanged arithmetic, so runs without an
+    // injector (or with an empty plan) stay byte-identical to the
+    // pre-fault-injection simulator.
+    Reply reply = apply(cmd);
+    const std::size_t req = request_bytes(cmd);
+    const std::size_t rsp = response_bytes(cmd, reply);
+    sim_time_ += fabric_.exchange_cost(self_, target_, req, rsp);
+    fabric_.record(self_, target_, /*requests=*/1, /*round_trips=*/1,
+                   req + rsp);
+    return reply;
+  }
+  return execute_with_faults(cmd);
+}
+
+Reply Client::execute_with_faults(const Command& cmd) {
   const std::size_t req = request_bytes(cmd);
-  const std::size_t rsp = response_bytes(cmd, reply);
-  sim_time_ += fabric_.exchange_cost(self_, target_, req, rsp);
-  fabric_.record(self_, target_, /*requests=*/1, /*round_trips=*/1, req + rsp);
-  return reply;
+  double elapsed = 0.0;
+  Status last = Status::kError;
+  for (std::size_t attempt = 1;; ++attempt) {
+    fabric_.note_attempt();
+    const fault::RoundTripFault net = fault_->on_round_trip(self_, target_);
+    if (net.partitioned || net.dropped) {
+      if (net.dropped && !net.request_lost) {
+        // Reached the server and was applied; the reply was lost.
+        (void)apply(cmd);
+      }
+      // The client waits out the full attempt timeout for a reply that
+      // never comes; only the request's bytes ever hit the wire.
+      sim_time_ += retry_.attempt_timeout_s;
+      elapsed += retry_.attempt_timeout_s;
+      fabric_.record(self_, target_, 1, 1, req);
+      last = Status::kTimeout;
+    } else {
+      const fault::StoreFault sf = fault_->on_store_op(target_);
+      if (sf == fault::StoreFault::kError || sf == fault::StoreFault::kDown) {
+        const std::size_t rsp = sf == fault::StoreFault::kDown
+                                    ? kStoreDownReply.size()
+                                    : kInjectedErrorReply.size();
+        const double cost =
+            fabric_.exchange_cost(self_, target_, req, rsp) +
+            net.extra_latency_s;
+        sim_time_ += cost;
+        elapsed += cost;
+        fabric_.record(self_, target_, 1, 1, req + rsp);
+        last = Status::kError;
+      } else {
+        const double stall = sf == fault::StoreFault::kStall
+                                 ? fault_->stall_seconds(target_)
+                                 : 0.0;
+        if (stall >= retry_.attempt_timeout_s) {
+          // The server applied the command but its reply arrives after
+          // the client gave up — indistinguishable from a lost reply.
+          (void)apply(cmd);
+          sim_time_ += retry_.attempt_timeout_s;
+          elapsed += retry_.attempt_timeout_s;
+          fabric_.record(self_, target_, 1, 1, req);
+          last = Status::kTimeout;
+        } else {
+          Reply reply = apply(cmd);
+          const std::size_t rsp = response_bytes(cmd, reply);
+          const double cost =
+              fabric_.exchange_cost(self_, target_, req, rsp) +
+              net.extra_latency_s + stall;
+          sim_time_ += cost;
+          elapsed += cost;
+          fabric_.record(self_, target_, 1, 1, req + rsp);
+          reply.status = Status::kOk;
+          return reply;
+        }
+      }
+    }
+    // A timeout is ambiguous — the command may have been applied — so a
+    // non-idempotent command must not be retried (double-apply risk).
+    if (last == Status::kTimeout && !idempotent(cmd.type)) {
+      fabric_.note_timeout();
+      fabric_.note_failure();
+      Reply failed;
+      failed.status = Status::kTimeout;
+      return failed;
+    }
+    if (attempt >= retry_.max_attempts || elapsed >= retry_.deadline_s) {
+      if (last == Status::kTimeout) fabric_.note_timeout();
+      fabric_.note_failure();
+      Reply failed;
+      failed.status = Status::kUnavailable;
+      return failed;
+    }
+    fabric_.note_retry();
+    const double wait = backoff_s(attempt);
+    sim_time_ += wait;
+    elapsed += wait;
+  }
 }
 
 void Client::set(std::string_view key, std::string_view value) {
-  execute({.type = CommandType::kSet,
-           .key = std::string(key),
-           .value = std::string(value)});
+  expect_ok(execute({.type = CommandType::kSet,
+                     .key = std::string(key),
+                     .value = std::string(value)}));
 }
 
 std::optional<std::string> Client::get(std::string_view key) {
-  Reply r = execute({.type = CommandType::kGet, .key = std::string(key)});
+  Reply r =
+      expect_ok(execute({.type = CommandType::kGet, .key = std::string(key)}));
   if (!r.ok) return std::nullopt;
   return std::move(r.blob);
 }
 
+bool Client::del(std::string_view key) {
+  return expect_ok(
+             execute({.type = CommandType::kDel, .key = std::string(key)}))
+      .ok;
+}
+
 std::size_t Client::rpush(std::string_view key, std::string_view element) {
-  Reply r = execute({.type = CommandType::kRPush,
-                     .key = std::string(key),
-                     .value = std::string(element)});
+  Reply r = expect_ok(execute({.type = CommandType::kRPush,
+                               .key = std::string(key),
+                               .value = std::string(element)}));
   return static_cast<std::size_t>(r.integer);
 }
 
 std::vector<std::string> Client::lrange(std::string_view key, std::int64_t start,
                                         std::int64_t stop) {
-  Reply r = execute({.type = CommandType::kLRange,
-                     .key = std::string(key),
-                     .arg0 = start,
-                     .arg1 = stop});
+  Reply r = expect_ok(execute({.type = CommandType::kLRange,
+                               .key = std::string(key),
+                               .arg0 = start,
+                               .arg1 = stop}));
   return std::move(r.list);
 }
 
 std::size_t Client::llen(std::string_view key) {
-  Reply r = execute({.type = CommandType::kLLen, .key = std::string(key)});
+  Reply r = expect_ok(
+      execute({.type = CommandType::kLLen, .key = std::string(key)}));
   return static_cast<std::size_t>(r.integer);
 }
 
 std::int64_t Client::incrby(std::string_view key, std::int64_t delta) {
-  Reply r = execute(
-      {.type = CommandType::kIncrBy, .key = std::string(key), .arg0 = delta});
-  return r.integer;
+  return expect_ok(execute({.type = CommandType::kIncrBy,
+                            .key = std::string(key),
+                            .arg0 = delta}))
+      .integer;
 }
 
 std::int64_t Client::counter(std::string_view key) {
-  Reply r = execute({.type = CommandType::kCounter, .key = std::string(key)});
-  return r.integer;
+  return expect_ok(
+             execute({.type = CommandType::kCounter, .key = std::string(key)}))
+      .integer;
 }
 
 void Client::enqueue(Command cmd) {
@@ -136,6 +322,10 @@ void Client::enqueue(Command cmd) {
 
 void Client::flush_queue() {
   if (queue_.empty()) return;
+  if (faults_active()) {
+    flush_queue_with_faults();
+    return;
+  }
   std::vector<std::size_t> payloads;
   payloads.reserve(queue_.size());
   std::size_t bytes = 0;
@@ -149,6 +339,102 @@ void Client::flush_queue() {
   sim_time_ += fabric_.pipelined_cost(self_, target_, payloads);
   fabric_.record(self_, target_, queue_.size(), /*round_trips=*/1, bytes);
   queue_.clear();
+}
+
+void Client::flush_queue_with_faults() {
+  // A pipelined batch is ONE round trip (that is the point of
+  // pipelining), so it gets one network draw and one store-interaction
+  // draw per attempt, and fails or succeeds as a unit.
+  const std::size_t n = queue_.size();
+  bool batch_idempotent = true;
+  std::size_t req_total = 0;
+  for (const Command& cmd : queue_) {
+    batch_idempotent = batch_idempotent && idempotent(cmd.type);
+    req_total += request_bytes(cmd);
+  }
+  const auto fail_batch = [&](Status status, bool timed_out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Reply failed;
+      failed.status = status;
+      pending_replies_.push_back(std::move(failed));
+    }
+    queue_.clear();
+    if (timed_out) fabric_.note_timeout();
+    fabric_.note_failure();
+  };
+  double elapsed = 0.0;
+  Status last = Status::kError;
+  for (std::size_t attempt = 1;; ++attempt) {
+    fabric_.note_attempt();
+    const fault::RoundTripFault net = fault_->on_round_trip(self_, target_);
+    if (net.partitioned || net.dropped) {
+      if (net.dropped && !net.request_lost) {
+        for (const Command& cmd : queue_) (void)apply(cmd);
+      }
+      sim_time_ += retry_.attempt_timeout_s;
+      elapsed += retry_.attempt_timeout_s;
+      fabric_.record(self_, target_, n, 1, req_total);
+      last = Status::kTimeout;
+    } else {
+      const fault::StoreFault sf = fault_->on_store_op(target_);
+      if (sf == fault::StoreFault::kError || sf == fault::StoreFault::kDown) {
+        const std::size_t rsp = sf == fault::StoreFault::kDown
+                                    ? kStoreDownReply.size()
+                                    : kInjectedErrorReply.size();
+        const double cost =
+            fabric_.exchange_cost(self_, target_, req_total, rsp) +
+            net.extra_latency_s;
+        sim_time_ += cost;
+        elapsed += cost;
+        fabric_.record(self_, target_, n, 1, req_total + rsp);
+        last = Status::kError;
+      } else {
+        const double stall = sf == fault::StoreFault::kStall
+                                 ? fault_->stall_seconds(target_)
+                                 : 0.0;
+        if (stall >= retry_.attempt_timeout_s) {
+          for (const Command& cmd : queue_) (void)apply(cmd);
+          sim_time_ += retry_.attempt_timeout_s;
+          elapsed += retry_.attempt_timeout_s;
+          fabric_.record(self_, target_, n, 1, req_total);
+          last = Status::kTimeout;
+        } else {
+          std::vector<std::size_t> payloads;
+          payloads.reserve(n);
+          std::size_t bytes = 0;
+          for (const Command& cmd : queue_) {
+            Reply reply = apply(cmd);
+            const std::size_t p =
+                request_bytes(cmd) + response_bytes(cmd, reply);
+            payloads.push_back(p);
+            bytes += p;
+            reply.status = Status::kOk;
+            pending_replies_.push_back(std::move(reply));
+          }
+          const double cost =
+              fabric_.pipelined_cost(self_, target_, payloads) +
+              net.extra_latency_s + stall;
+          sim_time_ += cost;
+          elapsed += cost;
+          fabric_.record(self_, target_, n, 1, bytes);
+          queue_.clear();
+          return;
+        }
+      }
+    }
+    if (last == Status::kTimeout && !batch_idempotent) {
+      fail_batch(Status::kTimeout, /*timed_out=*/true);
+      return;
+    }
+    if (attempt >= retry_.max_attempts || elapsed >= retry_.deadline_s) {
+      fail_batch(Status::kUnavailable, last == Status::kTimeout);
+      return;
+    }
+    fabric_.note_retry();
+    const double wait = backoff_s(attempt);
+    sim_time_ += wait;
+    elapsed += wait;
+  }
 }
 
 std::vector<Reply> Client::drain() {

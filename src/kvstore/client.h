@@ -13,8 +13,14 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
+#include "common/rng.h"
 #include "kvstore/store.h"
 #include "net/fabric.h"
+
+namespace hetsim::fault {
+class FaultInjector;
+}  // namespace hetsim::fault
 
 namespace hetsim::kvstore {
 
@@ -39,12 +45,66 @@ struct Command {
   std::int64_t arg1 = 0;   // kLRange stop
 };
 
+/// Transport-level outcome of an operation, orthogonal to Reply::ok
+/// (which is protocol-level: key found / applied). Anything but kOk
+/// means the operation's reply never reached the caller.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// Server answered with an error reply; the command was NOT applied,
+  /// so a retry is always safe.
+  kError,
+  /// No reply within the attempt timeout. Ambiguous: the command may or
+  /// may not have been applied, so only idempotent commands are retried.
+  kTimeout,
+  /// Retries exhausted (attempt cap or deadline) without a reply.
+  kUnavailable,
+};
+
+[[nodiscard]] std::string_view status_name(Status s);
+
+/// True when re-applying the command cannot change the outcome beyond
+/// the first application (reads, kSet, kDel, kExists). kRPush and
+/// kIncrBy append/accumulate, so a retry after an ambiguous loss could
+/// double-apply them.
+[[nodiscard]] bool idempotent(CommandType type);
+
 struct Reply {
   bool ok = false;                 // key found / operation applied
   std::string blob;                // kGet / kLIndex
   std::vector<std::string> list;   // kLRange
   std::int64_t integer = 0;        // kIncrBy / kCounter / kLLen / kRPush
+  Status status = Status::kOk;     // transport outcome
 };
+
+/// Client-side failure handling: per-attempt timeout, capped exponential
+/// backoff with deterministic seeded jitter, an overall deadline and an
+/// attempt cap. Defaults are tuned for the simulated fabric's 100 us
+/// links: a stalled store (stall_s >= attempt_timeout_s) reads as a
+/// timeout rather than wedging the job.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;
+  double base_backoff_s = 2e-3;
+  double max_backoff_s = 0.25;
+  double attempt_timeout_s = 0.1;
+  double deadline_s = 2.0;
+  std::uint64_t jitter_seed = 9177;
+};
+
+/// Thrown by expect_ok() and the typed convenience wrappers when an
+/// operation's transport status is not kOk.
+class UnavailableError : public common::Error {
+ public:
+  using common::Error::Error;
+};
+
+/// Pass-through status check: returns the reply (or batch) unchanged
+/// when every status is kOk, throws UnavailableError otherwise. Raw
+/// execute()/drain() call sites must either inspect Reply::status or
+/// wrap the call in expect_ok (enforced by hetsim_lint unchecked-reply).
+/// Deliberately not [[nodiscard]]: a bare `expect_ok(c.drain());` is the
+/// idiom for "I only care that it succeeded".
+Reply expect_ok(Reply reply);
+std::vector<Reply> expect_ok(std::vector<Reply> replies);
 
 /// Execute a command against a store, producing its reply. Shared by the
 /// simulated Client and the RESP server dispatch.
@@ -54,15 +114,23 @@ struct Reply {
 class Client {
  public:
   /// `pipeline_width` caps the number of queued commands before an
-  /// automatic flush (must be >= 1).
+  /// automatic flush (must be >= 1). `fault` (nullable, not owned) makes
+  /// round trips fallible; `retry` governs the recovery loop.
   Client(net::Fabric& fabric, net::HostId self, net::HostId target,
-         Store& store, std::size_t pipeline_width = 64);
+         Store& store, std::size_t pipeline_width = 64,
+         fault::FaultInjector* fault = nullptr, RetryPolicy retry = {});
 
   // ---- immediate (one round trip each) -------------------------------
-  Reply execute(const Command& cmd);
+  /// Executes with retries when faults are active; check Reply::status
+  /// (or wrap in expect_ok) — a non-kOk reply carries no payload.
+  [[nodiscard]] Reply execute(const Command& cmd);
 
+  // Typed wrappers: these check status internally and throw
+  // UnavailableError when the operation ultimately failed, since their
+  // return types cannot express transport failure.
   void set(std::string_view key, std::string_view value);
   [[nodiscard]] std::optional<std::string> get(std::string_view key);
+  bool del(std::string_view key);
   std::size_t rpush(std::string_view key, std::string_view element);
   [[nodiscard]] std::vector<std::string> lrange(std::string_view key,
                                                 std::int64_t start,
@@ -76,8 +144,9 @@ class Client {
   /// auto-flushed commands are appended to the pending reply buffer.
   void enqueue(Command cmd);
   /// Flush the queue; returns replies for ALL commands enqueued since the
-  /// last drain (including auto-flushed ones), in order.
-  std::vector<Reply> drain();
+  /// last drain (including auto-flushed ones), in order. Under faults a
+  /// failed batch yields one reply per command with the failure status.
+  [[nodiscard]] std::vector<Reply> drain();
 
   /// Simulated seconds consumed by this client's traffic so far.
   [[nodiscard]] double consumed_time() const noexcept { return sim_time_; }
@@ -86,18 +155,30 @@ class Client {
   [[nodiscard]] net::HostId self() const noexcept { return self_; }
   [[nodiscard]] net::HostId target() const noexcept { return target_; }
 
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_;
+  }
+
  private:
   Reply apply(const Command& cmd);
   [[nodiscard]] static std::size_t request_bytes(const Command& cmd);
   [[nodiscard]] static std::size_t response_bytes(const Command& cmd,
                                                   const Reply& reply);
   void flush_queue();
+  [[nodiscard]] bool faults_active() const noexcept;
+  [[nodiscard]] Reply execute_with_faults(const Command& cmd);
+  void flush_queue_with_faults();
+  /// Backoff before retry number `retry` (1-based), jittered.
+  [[nodiscard]] double backoff_s(std::size_t retry);
 
   net::Fabric& fabric_;
   net::HostId self_;
   net::HostId target_;
   Store& store_;
   std::size_t pipeline_width_;
+  fault::FaultInjector* fault_;
+  RetryPolicy retry_;
+  common::Rng jitter_rng_;
   std::vector<Command> queue_;
   std::vector<Reply> pending_replies_;
   double sim_time_ = 0.0;

@@ -1,12 +1,26 @@
 #include "kvstore/server.h"
 
 #include "common/error.h"
+#include "fault/fault.h"
 #include "kvstore/client.h"
 #include "kvstore/resp.h"
 
 namespace hetsim::kvstore {
 
 std::string RespServer::handle(std::string_view wire_command) {
+  if (fault_ != nullptr && fault_->enabled()) {
+    // Stalls are a transport-timing effect and have no meaning for a
+    // socket-less dispatch, so only error/down surface here.
+    switch (fault_->on_store_op(host_)) {
+      case fault::StoreFault::kDown:
+        return resp::encode(resp::Value::error("ERR FAULT store down"));
+      case fault::StoreFault::kError:
+        return resp::encode(resp::Value::error("ERR FAULT injected error"));
+      case fault::StoreFault::kStall:
+      case fault::StoreFault::kNone:
+        break;
+    }
+  }
   try {
     const Command cmd = resp::decode_command(wire_command);
     const Reply reply = apply_command(store_, cmd);

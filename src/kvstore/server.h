@@ -8,16 +8,32 @@
 // server semantics.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "kvstore/store.h"
+
+namespace hetsim::fault {
+class FaultInjector;
+}  // namespace hetsim::fault
 
 namespace hetsim::kvstore {
 
 class RespServer {
  public:
   explicit RespServer(Store& store) : store_(store) {}
+
+  /// Make this server fallible: each handled command consults the
+  /// injector's store stream for `host` and may answer "-ERR FAULT
+  /// injected error" (transient) or "-ERR FAULT store down" (permanent
+  /// once crash-at-op-K triggers) instead of executing. The injector is
+  /// not owned; null disables injection.
+  void inject_faults(fault::FaultInjector* injector,
+                     std::uint32_t host) noexcept {
+    fault_ = injector;
+    host_ = host;
+  }
 
   /// Handle one RESP command array; returns the RESP-encoded reply
   /// (never throws — protocol errors become "-ERR ..." replies).
@@ -34,6 +50,8 @@ class RespServer {
  private:
   Store& store_;
   std::uint64_t commands_served_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
+  std::uint32_t host_ = 0;
 };
 
 }  // namespace hetsim::kvstore

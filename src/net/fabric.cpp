@@ -64,6 +64,9 @@ LinkStats Fabric::total_stats() const {
   return total;
 }
 
-void Fabric::reset_stats() { stats_.clear(); }
+void Fabric::reset_stats() {
+  stats_.clear();
+  retry_stats_ = RetryStats{};
+}
 
 }  // namespace hetsim::net

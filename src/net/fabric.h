@@ -20,6 +20,10 @@
 #include <utility>
 #include <vector>
 
+namespace hetsim::fault {
+class FaultInjector;
+}  // namespace hetsim::fault
+
 namespace hetsim::net {
 
 /// Identifies a simulated host; node ids are dense from 0.
@@ -38,6 +42,16 @@ struct LinkStats {
   std::uint64_t messages = 0;   // logical requests (pre-batching)
   std::uint64_t round_trips = 0;  // actual network exchanges (post-batching)
   std::uint64_t bytes = 0;
+};
+
+/// Fabric-wide counters of the kvstore clients' failure handling, fed by
+/// the clients via the note_* hooks below so a single place (the fabric
+/// both parties share) can report them to job summaries.
+struct RetryStats {
+  std::uint64_t attempts = 0;  // round-trip attempts, first tries included
+  std::uint64_t retries = 0;   // attempts beyond the first per operation
+  std::uint64_t timeouts = 0;  // operations that last failed by timeout
+  std::uint64_t failures = 0;  // operations that exhausted their retries
 };
 
 /// A deterministic network cost simulator.
@@ -72,6 +86,26 @@ class Fabric {
   [[nodiscard]] LinkStats total_stats() const;
   void reset_stats();
 
+  /// Attach / detach the fault injector consulted by clients on this
+  /// fabric. The fabric does not own the injector; null disables
+  /// injection. Attach before any traffic flows — swapping injectors
+  /// mid-run would change counters mid-stream.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const noexcept {
+    return fault_;
+  }
+
+  // ---- client failure-handling counters ------------------------------
+  void note_attempt() noexcept { ++retry_stats_.attempts; }
+  void note_retry() noexcept { ++retry_stats_.retries; }
+  void note_timeout() noexcept { ++retry_stats_.timeouts; }
+  void note_failure() noexcept { ++retry_stats_.failures; }
+  [[nodiscard]] const RetryStats& retry_stats() const noexcept {
+    return retry_stats_;
+  }
+
   [[nodiscard]] const LinkSpec& remote_spec() const noexcept { return remote_; }
   [[nodiscard]] const LinkSpec& local_spec() const noexcept { return local_; }
 
@@ -85,6 +119,8 @@ class Fabric {
   LinkSpec remote_;
   LinkSpec local_;
   std::map<std::pair<HostId, HostId>, LinkStats> stats_;
+  RetryStats retry_stats_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace hetsim::net

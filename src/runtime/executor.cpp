@@ -5,9 +5,11 @@
 #include <mutex>
 #include <thread>
 
+#include "check/check.h"
 #include "check/ranked_mutex.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 
 namespace hetsim::runtime {
 
@@ -31,6 +33,13 @@ struct PhaseExecutor::State {
   std::vector<std::unique_ptr<cluster::NodeContext>> contexts;
   std::vector<double> units_seen;    // last settled meter reading
   std::vector<double> network_seen;  // last settled client time
+  std::vector<char> dead;            // fail-stopped (thread exited)
+  std::vector<double> heartbeat;     // virtual time of last sign of life
+  std::vector<double> max_chunk_s;   // largest own chunk duration, per node
+  std::uint64_t mutations = 0;       // queue-mutation epoch (rescue progress)
+  std::size_t taken = 0;             // records removed via take_* calls
+  std::size_t given = 0;             // records re-queued via give()
+  std::exception_ptr error;          // first worker-thread exception
   std::uint32_t current = 0;
   bool done = false;
 };
@@ -63,10 +72,21 @@ PhaseExecutor::PhaseExecutor(cluster::Cluster& cluster,
   state_->network_seen.assign(p, 0.0);
   state_->slowdown = options_.per_node_slowdown;
   if (state_->slowdown.empty()) state_->slowdown.assign(p, 1.0);
+  if (options_.fault != nullptr && options_.fault->enabled()) {
+    for (std::size_t i = 0; i < p; ++i) {
+      state_->slowdown[i] *=
+          options_.fault->slowdown_factor(static_cast<std::uint32_t>(i));
+    }
+  }
   for (const double s : state_->slowdown) {
     common::require<common::ConfigError>(s > 0.0,
                                          "PhaseExecutor: slowdown must be > 0");
   }
+  common::require<common::ConfigError>(options_.heartbeat_timeout_s >= 0.0,
+                                       "PhaseExecutor: heartbeat timeout < 0");
+  state_->dead.assign(p, 0);
+  state_->heartbeat.assign(p, 0.0);
+  state_->max_chunk_s.assign(p, 0.0);
   common::Rng rng(options_.seed);
   state_->priority.resize(p);
   for (auto& pr : state_->priority) pr = rng();
@@ -83,6 +103,7 @@ std::uint32_t PhaseExecutor::pick_next_locked() const {
   const std::size_t p = state_->queues.size();
   std::uint32_t best = static_cast<std::uint32_t>(p);
   for (std::uint32_t i = 0; i < p; ++i) {
+    if (state_->dead[i] != 0) continue;
     if (state_->queues[i].empty()) continue;
     if (best == p) {
       best = i;
@@ -104,6 +125,10 @@ double PhaseExecutor::sync_network(std::uint32_t node) {
   state_->network_seen[node] = now;
   state_->clock[node] += delta;
   state_->progress[node].network_s += delta;
+  // Settled traffic counts as a sign of life: a node charged for
+  // migration transfers inside a checkpoint must not look silent just
+  // because it hasn't run a chunk of its own since.
+  state_->heartbeat[node] = state_->clock[node];
   return delta;
 }
 
@@ -113,47 +138,117 @@ void PhaseExecutor::worker(std::uint32_t node) {
   for (;;) {
     s.cv.wait(lk, [&] { return s.done || s.current == node; });
     if (s.done) return;
-    // This node holds the scheduler token: run one chunk. The lock stays
-    // held — admission is one-at-a-time by construction, and serial
-    // execution is what makes the interleaving reproducible.
-    auto& queue = s.queues[node];
-    // Tail absorption: a sub-chunk remainder would hand the workload a
-    // degenerate unit of work (for SON mining, a tiny transaction set
-    // collapses the local support threshold to ~1 and the candidate
-    // space explodes). If what's left fits in 1.5 chunks, take it all.
-    const std::size_t take =
-        queue.size() <= options_.chunk_records + options_.chunk_records / 2
-            ? queue.size()
-            : options_.chunk_records;
-    std::vector<std::uint32_t> chunk;
-    chunk.reserve(take);
-    while (chunk.size() < take) {
-      chunk.push_back(queue.front());
-      queue.pop_front();
-    }
-    cluster::NodeContext& ctx = *s.contexts[node];
-    runner_(ctx, chunk);
-    const double units = ctx.meter().units() - s.units_seen[node];
-    s.units_seen[node] = ctx.meter().units();
-    const double compute =
-        cluster_.options().work_rate.seconds(units, ctx.node().speed) *
-        s.slowdown[node];
-    s.clock[node] += compute;
-    NodeProgress& prog = s.progress[node];
-    prog.records_done += chunk.size();
-    prog.work_units += units;
-    prog.compute_s += compute;
-    prog.chunks += 1;
-    sync_network(node);
-    if (checkpoint_) checkpoint_(node);
-    const std::uint32_t next = pick_next_locked();
-    if (next == s.queues.size()) {
+    try {
+      // Fail-stop fires at the chunk boundary: the node is admitted,
+      // finds its planned death time has arrived, and vanishes without
+      // processing or announcing anything. Its queue stays as-is — the
+      // orphaned records are only recoverable through a checkpoint
+      // callback noticing the missed heartbeats.
+      if (options_.fault != nullptr && options_.fault->enabled() &&
+          s.dead[node] == 0 && options_.fault->has_fail_stop(node) &&
+          s.clock[node] >= options_.fault->fail_stop_time_s(node)) {
+        s.dead[node] = 1;
+        hand_off_locked();
+        return;  // the thread exits; dead nodes are never picked again
+      }
+      // This node holds the scheduler token: run one chunk. The lock stays
+      // held — admission is one-at-a-time by construction, and serial
+      // execution is what makes the interleaving reproducible.
+      auto& queue = s.queues[node];
+      // Tail absorption: a sub-chunk remainder would hand the workload a
+      // degenerate unit of work (for SON mining, a tiny transaction set
+      // collapses the local support threshold to ~1 and the candidate
+      // space explodes). If what's left fits in 1.5 chunks, take it all.
+      const std::size_t take =
+          queue.size() <= options_.chunk_records + options_.chunk_records / 2
+              ? queue.size()
+              : options_.chunk_records;
+      std::vector<std::uint32_t> chunk;
+      chunk.reserve(take);
+      while (chunk.size() < take) {
+        chunk.push_back(queue.front());
+        queue.pop_front();
+      }
+      const double before = s.clock[node];
+      cluster::NodeContext& ctx = *s.contexts[node];
+      runner_(ctx, chunk);
+      const double units = ctx.meter().units() - s.units_seen[node];
+      s.units_seen[node] = ctx.meter().units();
+      const double compute =
+          cluster_.options().work_rate.seconds(units, ctx.node().speed) *
+          s.slowdown[node];
+      s.clock[node] += compute;
+      NodeProgress& prog = s.progress[node];
+      prog.records_done += chunk.size();
+      prog.work_units += units;
+      prog.compute_s += compute;
+      prog.chunks += 1;
+      sync_network(node);
+      // Update the detection threshold before the checkpoint runs so the
+      // auto heartbeat timeout already covers this chunk's duration.
+      s.max_chunk_s[node] =
+          std::max(s.max_chunk_s[node], s.clock[node] - before);
+      s.heartbeat[node] = s.clock[node];
+      if (checkpoint_) checkpoint_(node);
+      if (!hand_off_locked()) return;
+    } catch (...) {
+      // A checkpoint callback (or workload) threw on a worker thread.
+      // Record the first exception and shut the phase down; run()
+      // rethrows it on the caller's thread.
+      if (!s.error) s.error = std::current_exception();
       s.done = true;
       s.cv.notify_all();
       return;
     }
-    s.current = next;
-    if (next != node) s.cv.notify_all();
+  }
+}
+
+bool PhaseExecutor::hand_off_locked() {
+  State& s = *state_;
+  std::uint32_t next = pick_next_locked();
+  if (next == s.queues.size()) next = rescue_locked();
+  if (next == s.queues.size()) {
+    s.done = true;
+    s.cv.notify_all();
+    return false;
+  }
+  s.current = next;
+  s.cv.notify_all();
+  return true;
+}
+
+std::uint32_t PhaseExecutor::rescue_locked() {
+  State& s = *state_;
+  const std::size_t p = s.queues.size();
+  const auto none = static_cast<std::uint32_t>(p);
+  if (!checkpoint_) return none;
+  for (;;) {
+    std::uint32_t rescuer = none;
+    for (std::uint32_t i = 0; i < p; ++i) {
+      if (s.dead[i] != 0) continue;
+      if (rescuer == none || s.clock[i] < s.clock[rescuer]) rescuer = i;
+    }
+    if (rescuer == none) return none;  // everyone is dead
+    // Records stranded on dead nodes? Without this path the phase would
+    // end (no live node is runnable) and silently lose them.
+    double horizon = -1.0;
+    for (std::uint32_t d = 0; d < p; ++d) {
+      if (s.dead[d] == 0 || s.queues[d].empty()) continue;
+      // Push the rescuer's clock far enough past the dead node's last
+      // heartbeat that detection's strict `>` comparison cannot sit on
+      // the boundary: 1.125 is exact in binary, so the margin survives
+      // rounding.
+      horizon = std::max(
+          horizon, s.heartbeat[d] + 1.125 * heartbeat_timeout(rescuer));
+    }
+    if (horizon < 0.0) return none;
+    const std::uint64_t before = s.mutations;
+    s.clock[rescuer] = std::max(s.clock[rescuer], horizon);
+    s.heartbeat[rescuer] = s.clock[rescuer];
+    checkpoint_(rescuer);
+    if (s.mutations == before) return none;  // callback won't reassign
+    const std::uint32_t next = pick_next_locked();
+    if (next != none) return next;
   }
 }
 
@@ -179,11 +274,16 @@ ExecutorReport PhaseExecutor::run() {
     s.cv.notify_all();
   }
   for (auto& t : threads) t.join();
+  if (s.error) std::rethrow_exception(s.error);
+  // No work lost in transit: every record a checkpoint callback took out
+  // of a queue must have been put back into one.
+  HETSIM_CHECK_EQ(s.taken, s.given);
   ExecutorReport report;
   report.per_node = s.progress;
   for (const double t : s.clock) {
     report.makespan_s = std::max(report.makespan_s, t);
   }
+  for (const auto& q : s.queues) report.unprocessed += q.size();
   return report;
 }
 
@@ -214,6 +314,21 @@ std::vector<std::uint32_t> PhaseExecutor::take_from_tail(std::uint32_t node,
     taken.push_back(queue.back());
     queue.pop_back();
   }
+  if (!taken.empty()) {
+    state_->taken += taken.size();
+    ++state_->mutations;
+  }
+  return taken;
+}
+
+std::vector<std::uint32_t> PhaseExecutor::take_all(std::uint32_t node) {
+  auto& queue = state_->queues.at(node);
+  std::vector<std::uint32_t> taken(queue.begin(), queue.end());
+  queue.clear();
+  if (!taken.empty()) {
+    state_->taken += taken.size();
+    ++state_->mutations;
+  }
   return taken;
 }
 
@@ -221,6 +336,29 @@ void PhaseExecutor::give(std::uint32_t node,
                          std::span<const std::uint32_t> records) {
   auto& queue = state_->queues.at(node);
   queue.insert(queue.end(), records.begin(), records.end());
+  if (!records.empty()) {
+    state_->given += records.size();
+    ++state_->mutations;
+  }
+}
+
+double PhaseExecutor::heartbeat(std::uint32_t node) const {
+  return state_->heartbeat.at(node);
+}
+
+double PhaseExecutor::heartbeat_timeout(std::uint32_t observer) const {
+  if (options_.heartbeat_timeout_s > 0.0) return options_.heartbeat_timeout_s;
+  // Auto rule: when `observer` checkpoints, every live node with work
+  // had a clock at least as large as the observer's pre-chunk clock
+  // (min-clock admission would have run it first), so a live node's
+  // heartbeat lags by at most the observer's own chunk duration. 3x
+  // that cannot produce a false positive — and deliberately excludes
+  // OTHER nodes' chunk durations, so one slow node's long chunks do
+  // not delay every survivor's detection of a fast node's death. The
+  // floor covers the degenerate case where the observer has not
+  // completed a chunk yet (only reachable through the rescue path,
+  // where every remaining record provably belongs to a dead node).
+  return std::max(3.0 * state_->max_chunk_s.at(observer), 1e-3);
 }
 
 cluster::NodeContext& PhaseExecutor::context(std::uint32_t node) {

@@ -25,6 +25,10 @@
 
 #include "cluster/cluster.h"
 
+namespace hetsim::fault {
+class FaultInjector;
+}  // namespace hetsim::fault
+
 namespace hetsim::runtime {
 
 struct ExecutorOptions {
@@ -37,6 +41,16 @@ struct ExecutorOptions {
   std::vector<double> per_node_slowdown;
   /// Seed for the scheduler's tie-break priorities.
   std::uint64_t seed = 171;
+  /// Fault oracle (nullable, not owned): fail-stops node threads at
+  /// their planned virtual times and compounds per-node slowdowns.
+  const fault::FaultInjector* fault = nullptr;
+  /// Virtual seconds without a heartbeat before a node counts as lost.
+  /// 0 = auto: 3x the largest chunk duration the OBSERVING node has
+  /// completed, which the min-clock admission rule makes impossible for
+  /// a live node to exceed (when a node checkpoints, every live node
+  /// with work has a clock at least its own pre-chunk clock, so the lag
+  /// is bounded by the observer's own chunk — not anyone else's).
+  double heartbeat_timeout_s = 0.0;
 };
 
 /// Progress of one node, maintained by the executor.
@@ -53,6 +67,9 @@ struct ExecutorReport {
   /// Slowest node's finish time (barrier at the end of the phase).
   double makespan_s = 0.0;
   std::vector<NodeProgress> per_node;
+  /// Records still queued when the phase ended — nonzero only when
+  /// fail-stops orphaned work that no checkpoint callback reassigned.
+  std::size_t unprocessed = 0;
   [[nodiscard]] double total_work_units() const noexcept;
 };
 
@@ -88,8 +105,20 @@ class PhaseExecutor {
   /// records it would have processed last).
   std::vector<std::uint32_t> take_from_tail(std::uint32_t node,
                                             std::size_t count);
+  /// Drain `node`'s entire queue (reclaiming a lost node's in-flight
+  /// partition for redistribution).
+  std::vector<std::uint32_t> take_all(std::uint32_t node);
   /// Append records to `node`'s queue.
   void give(std::uint32_t node, std::span<const std::uint32_t> records);
+  /// Virtual time of `node`'s last sign of life (chunk completion or
+  /// settled network activity). A node whose heartbeat lags the current
+  /// time by more than heartbeat_timeout(observer) while still holding
+  /// queued records is lost — live nodes cannot lag that far (see
+  /// ExecutorOptions::heartbeat_timeout_s).
+  [[nodiscard]] double heartbeat(std::uint32_t node) const;
+  /// The detection threshold in force for checks made by `observer`
+  /// (resolves the auto rule against the observer's own chunk history).
+  [[nodiscard]] double heartbeat_timeout(std::uint32_t observer) const;
   /// The node's context (for issuing migration traffic from the
   /// checkpoint callback). Traffic issued here must be settled with
   /// sync_network() so it lands on the node's clock exactly once.
@@ -104,6 +133,14 @@ class PhaseExecutor {
   /// Node to run next: runnable with min (time, priority, id); size() if
   /// none.
   [[nodiscard]] std::uint32_t pick_next_locked() const;
+  /// Pass the token on (or finish the phase). False = phase over.
+  bool hand_off_locked();
+  /// Dead nodes still hold records but no live node has queued work:
+  /// advance the clock of a live node past the detection horizon and run
+  /// the checkpoint callback as it, so missed heartbeats become visible
+  /// and the work can be reassigned. Returns the next runnable node, or
+  /// size() when no callback mutation made one available.
+  [[nodiscard]] std::uint32_t rescue_locked();
 
   cluster::Cluster& cluster_;
   ExecutorOptions options_;

@@ -1,12 +1,15 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <numeric>
 #include <optional>
 
+#include "check/check.h"
 #include "common/allocation.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "common/json.h"
+#include "fault/fault.h"
 #include "kvstore/client.h"
 #include "partition/partitioner.h"
 #include "runtime/dag.h"
@@ -56,8 +59,29 @@ std::string summary_json(const JobSummary& s) {
     w.value(static_cast<std::uint64_t>(v));
   }
   w.end_array();
+  w.field("degraded", s.degraded);
+  w.key("nodes_lost");
+  w.begin_array();
+  for (const std::uint32_t v : s.nodes_lost) {
+    w.value(static_cast<std::uint64_t>(v));
+  }
+  w.end_array();
+  w.field("node_loss_replans",
+          static_cast<std::uint64_t>(s.node_loss_replans));
+  w.field("replanned_records",
+          static_cast<std::uint64_t>(s.replanned_records));
+  w.field("replanned_bytes", s.replanned_bytes);
+  w.field("kv_retries", s.kv_retries);
+  w.field("kv_timeouts", s.kv_timeouts);
+  w.field("kv_failures", s.kv_failures);
   w.end_object();
   return w.str();
+}
+
+void verify_no_work_lost(const JobSummary& summary) {
+  std::size_t processed = 0;
+  for (const std::size_t v : summary.processed) processed += v;
+  HETSIM_CHECK_EQ(processed, summary.records);
 }
 
 JobRuntime::JobRuntime(cluster::Cluster& cluster,
@@ -118,6 +142,7 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
   summary.workload = workload.name();
   summary.strategy = spec_.strategy;
   summary.records = n;
+  const net::RetryStats kv_before = cluster_.fabric().retry_stats();
 
   // Job-relative virtual clock: cluster phases advance cluster_.now(),
   // the execute phase advances exec_extra (the executor runs its own
@@ -145,7 +170,7 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                                 .key = "data",
                                 .value = r.payload});
                }
-               (void)local.drain();
+               kvstore::expect_ok(local.drain());
              });
            }});
 
@@ -167,7 +192,7 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                                       .key = key,
                                       .value = encode_sketch(sketches[i])});
                  }
-                 (void)to_master.drain();
+                 kvstore::expect_ok(to_master.drain());
                });
              }
              cluster_.run_phase("sketch", tasks);
@@ -229,16 +254,18 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                                         .key = "data",
                                         .arg0 = static_cast<std::int64_t>(idx)});
                  }
-                 const std::vector<kvstore::Reply> replies = from_master.drain();
+                 const std::vector<kvstore::Reply> replies =
+                     kvstore::expect_ok(from_master.drain());
                  kvstore::Client& local = ctx.local();
-                 (void)local.execute({.type = kvstore::CommandType::kDel,
-                                      .key = spec_.partition_key});
+                 kvstore::expect_ok(local.execute(
+                     {.type = kvstore::CommandType::kDel,
+                      .key = spec_.partition_key}));
                  for (const kvstore::Reply& r : replies) {
                    local.enqueue({.type = kvstore::CommandType::kRPush,
                                   .key = spec_.partition_key,
                                   .value = r.blob});
                  }
-                 (void)local.drain();
+                 kvstore::expect_ok(local.drain());
                });
              }
              cluster_.run_phase("load", tasks);
@@ -260,6 +287,8 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                      : std::max<std::size_t>(1, (largest + 7) / 8);
              opts.per_node_slowdown = spec_.per_node_slowdown;
              opts.seed = spec_.seed;
+             opts.fault = cluster_.fault_injector();
+             opts.heartbeat_timeout_s = spec_.heartbeat_timeout_s;
 
              // Per-node read cursor into the local partition list, so
              // each chunk's payload fetch is network-costed like the
@@ -285,6 +314,45 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
              // Chunk spans need each node's previous clock value.
              std::vector<double> last_time(p, 0.0);
              std::vector<std::size_t> last_done(p, 0);
+             std::vector<char> lost(p, 0);  // nodes declared dead so far
+
+             // Move `taken` records to node `to`: the receiver pulls the
+             // canonical payloads from the data master and appends them
+             // to its local partition list — the same path as the
+             // initial load, costed through the client over the Fabric —
+             // then the records join its queue. Returns payload bytes.
+             const auto transfer = [&](std::vector<std::uint32_t> taken,
+                                       std::uint32_t from, std::uint32_t to,
+                                       const char* span_name) -> double {
+               std::sort(taken.begin(), taken.end());
+               cluster::NodeContext& ctx_to = executor.context(to);
+               kvstore::Client& from_master = ctx_to.client(master_);
+               for (const std::uint32_t idx : taken) {
+                 from_master.enqueue({.type = kvstore::CommandType::kLIndex,
+                                      .key = "data",
+                                      .arg0 = static_cast<std::int64_t>(idx)});
+               }
+               const std::vector<kvstore::Reply> replies =
+                   kvstore::expect_ok(from_master.drain());
+               kvstore::Client& local = ctx_to.local();
+               double bytes = 0.0;
+               for (const kvstore::Reply& r : replies) {
+                 bytes += static_cast<double>(r.blob.size());
+                 local.enqueue({.type = kvstore::CommandType::kRPush,
+                                .key = spec_.partition_key,
+                                .value = r.blob});
+               }
+               kvstore::expect_ok(local.drain());
+               const double start = executor.node_time(to);
+               const double charged = executor.sync_network(to);
+               executor.give(to, taken);
+               trace_.add_span(span_name, "replan", to, exec_base + start,
+                               charged,
+                               {{"records", static_cast<double>(taken.size())},
+                                {"from", static_cast<double>(from)},
+                                {"bytes", bytes}});
+               return bytes;
+             };
 
              executor.set_checkpoint([&](std::uint32_t node) {
                const double now = executor.node_time(node);
@@ -301,6 +369,116 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                                   TraceRecorder::kRuntimeLane, exec_base + now,
                                   static_cast<double>(executor.total_remaining()));
 
+               const double replan_alpha =
+                   spec_.strategy == core::Strategy::kHetEnergyAware
+                       ? spec_.alpha
+                       : 1.0;
+
+               // ---- node-loss detection (degraded mode) --------------
+               // Runs before any straggler gate: reclaiming a dead
+               // node's partition is correctness, not optimization.
+               const fault::FaultInjector* inj = cluster_.fault_injector();
+               if (inj != nullptr && inj->enabled() && p >= 2) {
+                 for (std::uint32_t d = 0; d < p; ++d) {
+                   if (lost[d] != 0 || d == node) continue;
+                   if (executor.remaining(d) == 0) continue;
+                   if (now - executor.heartbeat(d) <=
+                       executor.heartbeat_timeout(node)) {
+                     continue;
+                   }
+                   // `d` holds queued records but has shown no sign of
+                   // life for longer than a live node possibly could:
+                   // declare it lost and redistribute its in-flight
+                   // partition over the survivors.
+                   common::require<common::Error>(
+                       d != master_,
+                       "JobRuntime: data master lost — the canonical "
+                       "record copies are gone, cannot degrade");
+                   lost[d] = 1;
+                   summary.degraded = true;
+                   summary.nodes_lost.push_back(d);
+                   trace_.add_instant(
+                       "node-lost", "fault", d, exec_base + now,
+                       {{"heartbeat", executor.heartbeat(d)},
+                        {"timeout", executor.heartbeat_timeout(node)}});
+                   std::vector<std::uint32_t> orphans = executor.take_all(d);
+                   std::vector<std::uint32_t> surv;
+                   for (std::uint32_t i = 0; i < p; ++i) {
+                     if (lost[i] == 0) surv.push_back(i);
+                   }
+                   // At least `node` is alive, so surv is never empty.
+                   std::vector<optimize::NodeModel> surv_models(surv.size());
+                   std::vector<NodeObservation> surv_obs(surv.size());
+                   for (std::size_t k = 0; k < surv.size(); ++k) {
+                     const std::uint32_t id = surv[k];
+                     surv_models[k] = models_[id];
+                     surv_obs[k] =
+                         NodeObservation{executor.progress(id).records_done,
+                                         executor.progress(id).busy_s(),
+                                         executor.remaining(id)};
+                   }
+                   const std::vector<optimize::NodeModel> refit =
+                       refit_models(surv_models, surv_obs,
+                                    spec_.straggler.min_observed_records);
+                   // Granularity floor: never hand a survivor less than
+                   // one chunk of orphans. Sub-chunk slivers are poison
+                   // for support-threshold workloads (SON over a
+                   // handful of records admits nearly every candidate),
+                   // so cap the recipient count and keep the survivors
+                   // the LP rates highest (ties to the lower id).
+                   std::vector<std::size_t> recipients(surv.size());
+                   std::iota(recipients.begin(), recipients.end(),
+                             std::size_t{0});
+                   const std::size_t max_recipients = std::min(
+                       surv.size(),
+                       std::max<std::size_t>(
+                           1, orphans.size() / opts.chunk_records));
+                   std::vector<std::size_t> shares;
+                   if (max_recipients < surv.size()) {
+                     const std::vector<std::size_t> probe =
+                         optimize::solve_partition_sizes(
+                             refit, orphans.size(), replan_alpha)
+                             .sizes;
+                     std::stable_sort(recipients.begin(), recipients.end(),
+                                      [&](std::size_t a, std::size_t b) {
+                                        return probe[a] > probe[b];
+                                      });
+                     recipients.resize(max_recipients);
+                     std::sort(recipients.begin(), recipients.end());
+                     std::vector<optimize::NodeModel> kept(max_recipients);
+                     for (std::size_t k = 0; k < max_recipients; ++k) {
+                       kept[k] = refit[recipients[k]];
+                     }
+                     shares = optimize::solve_partition_sizes(
+                                  kept, orphans.size(), replan_alpha)
+                                  .sizes;
+                   } else {
+                     shares = optimize::solve_partition_sizes(
+                                  refit, orphans.size(), replan_alpha)
+                                  .sizes;
+                   }
+                   std::size_t off = 0;
+                   for (std::size_t k = 0; k < recipients.size(); ++k) {
+                     // Last recipient absorbs any rounding remainder so
+                     // every orphan lands somewhere.
+                     const std::size_t cnt =
+                         k + 1 == recipients.size()
+                             ? orphans.size() - off
+                             : std::min(shares[k], orphans.size() - off);
+                     if (cnt == 0) continue;
+                     std::vector<std::uint32_t> slice(
+                         orphans.begin() + static_cast<std::ptrdiff_t>(off),
+                         orphans.begin() +
+                             static_cast<std::ptrdiff_t>(off + cnt));
+                     off += cnt;
+                     summary.replanned_bytes += transfer(
+                         std::move(slice), d, surv[recipients[k]], "rescue");
+                     summary.replanned_records += cnt;
+                   }
+                   ++summary.node_loss_replans;
+                 }
+               }
+
                if (!spec_.enable_replan || p < 2) return;
                if (summary.replans >= spec_.straggler.max_replans) return;
                const std::size_t total_rem = executor.total_remaining();
@@ -310,39 +488,46 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                        static_cast<double>(n)) {
                  return;
                }
-               std::vector<NodeObservation> obs(p);
-               for (std::size_t i = 0; i < p; ++i) {
-                 const auto id32 = static_cast<std::uint32_t>(i);
-                 obs[i] = NodeObservation{executor.progress(id32).records_done,
-                                          executor.progress(id32).busy_s(),
-                                          executor.remaining(id32)};
+               // Straggler machinery runs over survivors only: a lost
+               // node must never be detected as a straggler, donate, or
+               // receive migrated work. With no losses `surv` is the
+               // identity and the computation is unchanged.
+               std::vector<std::uint32_t> surv;
+               for (std::uint32_t i = 0; i < p; ++i) {
+                 if (lost[i] == 0) surv.push_back(i);
+               }
+               if (surv.size() < 2) return;
+               std::vector<optimize::NodeModel> surv_models(surv.size());
+               std::vector<NodeObservation> obs(surv.size());
+               for (std::size_t k = 0; k < surv.size(); ++k) {
+                 const std::uint32_t id = surv[k];
+                 surv_models[k] = models_[id];
+                 obs[k] = NodeObservation{executor.progress(id).records_done,
+                                          executor.progress(id).busy_s(),
+                                          executor.remaining(id)};
                }
                const std::vector<std::uint32_t> stragglers =
-                   detect_stragglers(models_, obs, spec_.straggler);
+                   detect_stragglers(surv_models, obs, spec_.straggler);
                if (stragglers.empty()) return;
 
                ++summary.replans;
                summary.stragglers_detected += stragglers.size();
                const std::vector<double> observed = observed_slopes(
-                   models_, obs, spec_.straggler.min_observed_records);
+                   surv_models, obs, spec_.straggler.min_observed_records);
                for (const std::uint32_t s : stragglers) {
-                 trace_.add_instant("straggler", "replan", s,
-                                    exec_base + executor.node_time(s),
+                 trace_.add_instant("straggler", "replan", surv[s],
+                                    exec_base + executor.node_time(surv[s]),
                                     {{"observed_slope", observed[s]},
-                                     {"model_slope", models_[s].slope}});
+                                     {"model_slope", surv_models[s].slope}});
                }
 
                const std::vector<optimize::NodeModel> refit = refit_models(
-                   models_, obs, spec_.straggler.min_observed_records);
-               const double replan_alpha =
-                   spec_.strategy == core::Strategy::kHetEnergyAware
-                       ? spec_.alpha
-                       : 1.0;
+                   surv_models, obs, spec_.straggler.min_observed_records);
                const std::vector<std::size_t> target =
                    replan_remaining(refit, obs, replan_alpha);
-               std::vector<std::size_t> current(p);
-               for (std::size_t i = 0; i < p; ++i) {
-                 current[i] = executor.remaining(static_cast<std::uint32_t>(i));
+               std::vector<std::size_t> current(surv.size());
+               for (std::size_t k = 0; k < surv.size(); ++k) {
+                 current[k] = executor.remaining(surv[k]);
                }
                const std::vector<MigrationStep> steps =
                    plan_migrations(current, target);
@@ -356,49 +541,25 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                    std::max<std::size_t>(1, opts.chunk_records / 2);
                for (const MigrationStep& step : steps) {
                  if (step.count < min_step) continue;
+                 const std::uint32_t from = surv[step.from];
+                 const std::uint32_t to = surv[step.to];
                  std::vector<std::uint32_t> taken =
-                     executor.take_from_tail(step.from, step.count);
+                     executor.take_from_tail(from, step.count);
                  if (taken.empty()) continue;
-                 std::sort(taken.begin(), taken.end());
-                 // The receiving node pulls the canonical payloads from
-                 // the data master and appends them to its local
-                 // partition list — the same path as the initial load,
-                 // costed through the client over the Fabric.
-                 cluster::NodeContext& ctx_to = executor.context(step.to);
-                 kvstore::Client& from_master = ctx_to.client(master_);
-                 for (const std::uint32_t idx : taken) {
-                   from_master.enqueue({.type = kvstore::CommandType::kLIndex,
-                                        .key = "data",
-                                        .arg0 =
-                                            static_cast<std::int64_t>(idx)});
-                 }
-                 const std::vector<kvstore::Reply> replies =
-                     from_master.drain();
-                 kvstore::Client& local = ctx_to.local();
-                 double bytes = 0.0;
-                 for (const kvstore::Reply& r : replies) {
-                   bytes += static_cast<double>(r.blob.size());
-                   local.enqueue({.type = kvstore::CommandType::kRPush,
-                                  .key = spec_.partition_key,
-                                  .value = r.blob});
-                 }
-                 (void)local.drain();
-                 const double start = executor.node_time(step.to);
-                 const double charged = executor.sync_network(step.to);
-                 executor.give(step.to, taken);
+                 const std::size_t count = taken.size();
+                 const double bytes =
+                     transfer(std::move(taken), from, to, "migrate");
                  summary.migrated_bytes += bytes;
-                 summary.migrated_records += taken.size();
+                 summary.migrated_records += count;
                  ++summary.migration_steps;
-                 moved_records += taken.size();
-                 trace_.add_span("migrate", "replan", step.to,
-                                 exec_base + start, charged,
-                                 {{"records", static_cast<double>(taken.size())},
-                                  {"from", static_cast<double>(step.from)},
-                                  {"bytes", bytes}});
+                 moved_records += count;
                }
-               // Adopt the refit models so detection re-baselines and a
-               // node is only re-flagged if it deviates *again*.
-               models_ = refit;
+               // Adopt the refit models (survivor entries only) so
+               // detection re-baselines and a node is only re-flagged
+               // if it deviates *again*.
+               for (std::size_t k = 0; k < surv.size(); ++k) {
+                 models_[surv[k]] = refit[k];
+               }
                trace_.add_instant(
                    "replan", "replan", TraceRecorder::kRuntimeLane,
                    exec_base + now,
@@ -407,6 +568,12 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
              });
 
              const ExecutorReport report = executor.run();
+             // Records still stranded on a dead node mean detection
+             // never fired for it — surfacing that as success would be
+             // silent data loss.
+             common::require<common::Error>(
+                 report.unprocessed == 0,
+                 "JobRuntime: records left unprocessed after node loss");
              exec_extra += report.makespan_s;
              summary.makespan_s += report.makespan_s;
              summary.total_work_units += report.total_work_units();
@@ -444,6 +611,11 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
     summary.green_energy_j += node_spec.power_watts * busy[node] - dirty;
   }
   summary.quality = workload.quality();
+  const net::RetryStats kv_after = cluster_.fabric().retry_stats();
+  summary.kv_retries = kv_after.retries - kv_before.retries;
+  summary.kv_timeouts = kv_after.timeouts - kv_before.timeouts;
+  summary.kv_failures = kv_after.failures - kv_before.failures;
+  verify_no_work_lost(summary);
   return summary;
 }
 

@@ -59,6 +59,11 @@ struct JobSpec {
   /// this, which is exactly the situation re-planning exists for.
   std::vector<double> per_node_slowdown{};
   std::uint64_t seed = 171;
+  /// Node-loss detection threshold in virtual seconds; 0 = the
+  /// executor's auto rule (3x the observing node's own largest chunk
+  /// duration). Only consulted when a fault injector is attached to
+  /// the cluster.
+  double heartbeat_timeout_s = 0.0;
 };
 
 /// Per-job summary, exported alongside the trace.
@@ -84,10 +89,35 @@ struct JobSummary {
   std::vector<std::size_t> initial_sizes;
   /// Records each node actually processed (ΣN even after migrations).
   std::vector<std::size_t> processed;
+
+  // ---- degraded mode (fault injection) -------------------------------
+  /// True when the job finished without some of its nodes.
+  bool degraded = false;
+  /// Nodes declared lost (missed heartbeats while holding records), in
+  /// detection order.
+  std::vector<std::uint32_t> nodes_lost;
+  /// Survivor re-plans triggered by node loss (one per lost node).
+  std::size_t node_loss_replans = 0;
+  /// Orphaned records redistributed to survivors, and their payload
+  /// bytes re-pulled from the data master.
+  std::size_t replanned_records = 0;
+  double replanned_bytes = 0.0;
+  /// kvstore client failure handling during this job (deltas of the
+  /// fabric's counters over the run).
+  std::uint64_t kv_retries = 0;
+  std::uint64_t kv_timeouts = 0;
+  std::uint64_t kv_failures = 0;
+
   [[nodiscard]] double total_energy_j() const noexcept {
     return dirty_energy_j + green_energy_j;
   }
 };
+
+/// No-work-lost invariant: every ingested record was processed by some
+/// node, even across straggler migrations and node-loss re-plans.
+/// Aborts (HETSIM_CHECK) on violation. Called at the end of every
+/// JobRuntime::run; exposed so tests can drive it directly.
+void verify_no_work_lost(const JobSummary& summary);
 
 /// JSON object for one summary (dashboards, bench trajectories).
 [[nodiscard]] std::string summary_json(const JobSummary& summary);

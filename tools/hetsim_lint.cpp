@@ -24,6 +24,13 @@
 //                     (common, cluster, core, energy, estimator, optimize,
 //                     runtime). Accounting is double end to end; float
 //                     truncation skews joule and makespan sums.
+//   unchecked-reply   `(void)`-discarding the result of a kvstore client
+//                     .drain( / .execute( call. Replies carry a Status
+//                     since the fault-injection work; swallowing one
+//                     hides injected errors and retry exhaustion. Wrap
+//                     the call in kvstore::expect_ok(...) (which throws
+//                     UnavailableError on failure) or inspect
+//                     Reply::status.
 //   pragma-once       every header carries #pragma once.
 //
 // Matching is token-boundary-aware and ignores comments and string
@@ -234,6 +241,15 @@ class Linter {
         add(file, n + 1, "float-accounting",
             "float in energy/time accounting — use double end to end");
       }
+      if (!allowed("unchecked-reply") &&
+          code.find("(void)") != std::string::npos &&
+          (code.find(".drain(") != std::string::npos ||
+           code.find(".execute(") != std::string::npos)) {
+        add(file, n + 1, "unchecked-reply",
+            "kvstore Reply status discarded — wrap the call in "
+            "kvstore::expect_ok(...) or inspect Reply::status instead of "
+            "(void)-discarding it");
+      }
     }
     if (is_header && !saw_pragma_once) {
       add(file, 1, "pragma-once", "header must carry #pragma once");
@@ -265,9 +281,9 @@ int self_test(const fs::path& fixtures) {
   linter.lint_tree(fixtures);
   std::set<std::string> fired;
   for (const Violation& v : linter.violations()) fired.insert(v.rule);
-  const std::vector<std::string> expected{"naked-mutex", "raw-thread",
-                                          "nondeterminism",
-                                          "float-accounting", "pragma-once"};
+  const std::vector<std::string> expected{
+      "naked-mutex",      "raw-thread",  "nondeterminism",
+      "float-accounting", "pragma-once", "unchecked-reply"};
   int missing = 0;
   for (const std::string& rule : expected) {
     if (fired.count(rule) == 0) {

@@ -1,0 +1,13 @@
+// Seeded violation: unchecked-reply. Discarding a kvstore client's
+// drain()/execute() result swallows the Reply status the fault layer
+// reports through; wrap in kvstore::expect_ok(...) instead.
+struct FakeClient {
+  int drain() { return 0; }
+  int execute(int) { return 0; }
+};
+
+void seeded_unchecked_reply() {
+  FakeClient c;
+  (void)c.drain();
+  (void)c.execute(0);
+}
