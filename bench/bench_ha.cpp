@@ -1,0 +1,255 @@
+// bench_ha — acceptance gates for the hetsim::ha replicated data plane.
+//
+// Three promises the HA layer makes, each enforced with a non-zero exit
+// on breach so CI runs this bench as a check:
+//
+//   1. replication is cheap — the same fault-free job at replication=2
+//      costs < 5% extra virtual time (setup + makespan) over the
+//      single-master baseline: the extra copies ride the pipelined
+//      ingest batches instead of doubling round trips;
+//   2. replication works — fail-stop the data master at k=2 and every
+//      ingested record is still processed (rescued from surviving
+//      replicas), with the job reporting kDegraded, never
+//      kDataUnavailable;
+//   3. recovery is deterministic — the degraded run's summary + trace
+//      fingerprint is identical across repeated runs AND across worker
+//      thread counts: the bench re-executes itself (--fingerprint) under
+//      HETSIM_THREADS=1 and =4 and compares child hashes, since the
+//      worker pool size is pinned once per process.
+//
+// Emits BENCH_ha.json (write_bench_json) when HETSIM_BENCH_JSON is set.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/harness.h"
+#include "common/hash.h"
+#include "common/table.h"
+#include "fault/fault.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using namespace hetsim;
+
+/// Fixed metered cost per record, so the execute phase is dominated by
+/// data-plane bookkeeping — exactly what replication could slow down.
+class LinearWorkload final : public core::Workload {
+ public:
+  [[nodiscard]] std::string name() const override { return "linear-scan"; }
+  [[nodiscard]] partition::Layout preferred_layout() const override {
+    return partition::Layout::kRepresentative;
+  }
+  void reset(std::size_t, std::uint32_t) override {}
+  void run(cluster::NodeContext& ctx, const data::Dataset&,
+           std::span<const std::uint32_t> indices) override {
+    ctx.meter().add(2e4 * static_cast<double>(indices.size()));
+  }
+};
+
+constexpr std::uint32_t kPartitions = 6;
+constexpr std::uint64_t kSeed = 171;
+
+struct RunResult {
+  runtime::JobSummary summary;
+  std::string fingerprint;  // summary JSON + trace JSON
+};
+
+RunResult run_once(const data::Dataset& dataset, std::size_t replication,
+                   const fault::FaultPlan* plan) {
+  cluster::Cluster cluster(cluster::standard_cluster(kPartitions));
+  const energy::GreenEnergyEstimator energy =
+      energy::GreenEnergyEstimator::standard(72);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (plan != nullptr) {
+    injector = std::make_unique<fault::FaultInjector>(*plan);
+    cluster.set_fault(injector.get());
+  }
+  LinearWorkload workload;
+
+  runtime::JobSpec spec;
+  spec.name = "ha-bench";
+  spec.strategy = core::Strategy::kHetAware;
+  spec.sampling.min_records = 40;
+  spec.seed = kSeed;
+  spec.replication = replication;
+
+  runtime::JobRuntime rt(cluster, energy, spec);
+  RunResult result;
+  result.summary = rt.run(dataset, workload);
+  result.fingerprint = runtime::summary_json(result.summary) + "\n" +
+                       rt.trace().chrome_trace_json();
+  return result;
+}
+
+data::Dataset bench_dataset() {
+  return data::generate_text_corpus(data::rcv1_like(0.5), "rcv1");
+}
+
+/// The fault plan of the determinism gate: lose the data master mid-job.
+fault::FaultPlan master_loss_plan() {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.nodes[0].fail_stop_at_s = 0.0;
+  return plan;
+}
+
+std::uint64_t fingerprint_hash(const std::string& fingerprint) {
+  return common::hash_bytes(fingerprint);
+}
+
+/// Child mode: run the degraded replicated job once and print the
+/// fingerprint hash — the parent compares this across HETSIM_THREADS.
+int fingerprint_main() {
+  const data::Dataset dataset = bench_dataset();
+  const fault::FaultPlan plan = master_loss_plan();
+  const RunResult r = run_once(dataset, /*replication=*/2, &plan);
+  std::printf("%016llx %zu\n",
+              static_cast<unsigned long long>(fingerprint_hash(r.fingerprint)),
+              r.fingerprint.size());
+  return 0;
+}
+
+/// Re-exec this binary with HETSIM_THREADS pinned; returns the child's
+/// one-line stdout (empty on failure).
+std::string fingerprint_of_threads(int threads) {
+  char self[4096];
+  const ssize_t len = readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (len <= 0) return {};
+  self[len] = '\0';
+  std::ostringstream cmd;
+  cmd << "HETSIM_THREADS=" << threads << " '" << self << "' --fingerprint";
+  FILE* pipe = popen(cmd.str().c_str(), "r");
+  if (pipe == nullptr) return {};
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int status = pclose(pipe);
+  if (status != 0) return {};
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--fingerprint") == 0) {
+    return fingerprint_main();
+  }
+
+  const data::Dataset dataset = bench_dataset();
+  std::cout << "ha acceptance — " << dataset.name << " (" << dataset.size()
+            << " records), " << kPartitions << " nodes, seed " << kSeed
+            << "\n\n";
+
+  bool ok = true;
+  std::vector<bench::BenchMetric> metrics;
+
+  // ---- gate 1: replication overhead < 5% -----------------------------
+  const RunResult k1 = run_once(dataset, 1, nullptr);
+  const RunResult k2 = run_once(dataset, 2, nullptr);
+  const double cost_k1 = k1.summary.setup_time_s + k1.summary.makespan_s;
+  const double cost_k2 = k2.summary.setup_time_s + k2.summary.makespan_s;
+  const double overhead_pct = 100.0 * (cost_k2 - cost_k1) / cost_k1;
+  std::cout << "replication=1: setup+makespan "
+            << common::format_double(cost_k1, 5) << " s\n"
+            << "replication=2: setup+makespan "
+            << common::format_double(cost_k2, 5) << " s ("
+            << k2.summary.replica_writes << " replica copies acked)\n"
+            << "overhead: " << common::format_double(overhead_pct, 2)
+            << "% (gate: < 5%)\n\n";
+  metrics.push_back({"cost_k1", cost_k1, "s"});
+  metrics.push_back({"cost_k2", cost_k2, "s"});
+  metrics.push_back({"replication_overhead", overhead_pct, "%"});
+  metrics.push_back(
+      {"replica_writes", static_cast<double>(k2.summary.replica_writes),
+       "count"});
+  if (!(overhead_pct < 5.0)) {
+    std::cout << "FAIL: replication overhead breaches the 5% gate\n";
+    ok = false;
+  }
+  if (k2.summary.replica_writes != 2 * dataset.size()) {
+    std::cout << "FAIL: expected " << 2 * dataset.size()
+              << " acked replica copies, got " << k2.summary.replica_writes
+              << "\n";
+    ok = false;
+  }
+
+  // ---- gate 2: master loss at k=2 loses zero records -----------------
+  const fault::FaultPlan plan = master_loss_plan();
+  const RunResult lossy = run_once(dataset, 2, &plan);
+  const std::size_t processed = std::accumulate(
+      lossy.summary.processed.begin(), lossy.summary.processed.end(),
+      std::size_t{0});
+  common::Table table({"configuration", "status", "makespan (s)",
+                       "records processed", "rescued from replicas",
+                       "elections"});
+  const auto row = [&](const char* name, const RunResult& r,
+                       std::size_t done) {
+    table.add_row({name, std::string(runtime::job_status_name(r.summary.status)),
+                   common::format_double(r.summary.makespan_s, 5),
+                   std::to_string(done),
+                   std::to_string(r.summary.replica_rescued_records),
+                   std::to_string(r.summary.elections)});
+  };
+  row("fault-free, k=2", k2, dataset.size());
+  row("master fail-stop, k=2", lossy, processed);
+  table.print(std::cout, "replica-loss outcome");
+  std::cout << '\n';
+  metrics.push_back({"degraded_makespan", lossy.summary.makespan_s, "s"});
+  metrics.push_back(
+      {"rescued_records",
+       static_cast<double>(lossy.summary.replica_rescued_records), "count"});
+  metrics.push_back(
+      {"elections", static_cast<double>(lossy.summary.elections), "count"});
+  const bool nothing_lost =
+      processed == dataset.size() &&
+      lossy.summary.status == runtime::JobStatus::kDegraded;
+  metrics.push_back({"records_lost",
+                     static_cast<double>(dataset.size() - processed), "count"});
+  if (!nothing_lost) {
+    std::cout << "FAIL: master loss at k=2 lost records (" << processed
+              << " of " << dataset.size() << ", status "
+              << runtime::job_status_name(lossy.summary.status) << ")\n";
+    ok = false;
+  }
+
+  // ---- gate 3: deterministic recovery traces -------------------------
+  const RunResult replay = run_once(dataset, 2, &plan);
+  const bool rerun_identical = lossy.fingerprint == replay.fingerprint;
+  std::cout << "same-seed recovery rerun: "
+            << (rerun_identical ? "byte-identical" : "MISMATCH") << " ("
+            << lossy.fingerprint.size() << " bytes)\n";
+  metrics.push_back(
+      {"rerun_identical", rerun_identical ? 1.0 : 0.0, "bool"});
+  if (!rerun_identical) ok = false;
+
+  const std::string fp1 = fingerprint_of_threads(1);
+  const std::string fp4 = fingerprint_of_threads(4);
+  const bool threads_identical = !fp1.empty() && fp1 == fp4;
+  std::cout << "HETSIM_THREADS=1 fingerprint: "
+            << (fp1.empty() ? "(child failed)" : fp1) << '\n'
+            << "HETSIM_THREADS=4 fingerprint: "
+            << (fp4.empty() ? "(child failed)" : fp4) << '\n'
+            << "cross-thread-count identity: "
+            << (threads_identical ? "byte-identical" : "MISMATCH") << '\n';
+  metrics.push_back(
+      {"threads_identical", threads_identical ? 1.0 : 0.0, "bool"});
+  if (!threads_identical) {
+    std::cout << "FAIL: degraded recovery trace depends on the worker "
+                 "thread count\n";
+    ok = false;
+  }
+
+  bench::write_bench_json("ha", metrics);
+  return ok ? 0 : 1;
+}

@@ -137,6 +137,9 @@ int run_job_main(int argc, const char* const* argv) {
   args.add_double("heartbeat",
                   "node-loss detection timeout in virtual seconds (0 = the\n"
                   "      executor's auto rule)", 0.0);
+  args.add_int("replication",
+               "record copies kept via the HA shard router (1 = single\n"
+               "      master; >= 2 survives node loss incl. the master)", 1);
   if (!args.parse(argc, argv, std::cerr)) return 2;
 
   const std::vector<core::Strategy> strategies =
@@ -171,6 +174,7 @@ int run_job_main(int argc, const char* const* argv) {
   spec.per_node_slowdown = parse_slowdown(args.get_string("slowdown"));
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   spec.heartbeat_timeout_s = args.get_double("heartbeat");
+  spec.replication = static_cast<std::size_t>(args.get_int("replication"));
 
   runtime::JobRuntime job_runtime(cluster, energy, spec);
   const runtime::JobSummary summary =

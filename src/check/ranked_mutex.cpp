@@ -1,24 +1,29 @@
 #include "check/ranked_mutex.h"
 
-#include <iterator>
-#include <vector>
+#include <cstddef>
 
 namespace hetsim::check {
 
 namespace {
 
 #if HETSIM_DCHECK_ENABLED
-// Acquisition stack of the calling thread, outermost first. A plain
-// vector: lock nesting depth is tiny (≤ 3 in the current hierarchy) and
-// thread_local keeps it contention-free.
-thread_local std::vector<const RankedMutex*> t_held;
+// Acquisition stack of the calling thread, outermost first. A fixed POD
+// array, deliberately NOT a std::vector: trivially-destructible TLS has
+// no destructor to run, so mutexes locked during process teardown (the
+// global thread pool's atexit destructor runs AFTER __call_tls_dtors)
+// still track safely. Nesting depth is tiny (≤ 3 in the current
+// hierarchy); 16 leaves generous headroom.
+constexpr std::size_t kMaxHeld = 16;
+thread_local const RankedMutex* t_held[kMaxHeld];
+thread_local std::size_t t_held_n = 0;
 #endif
 
 }  // namespace
 
 void RankedMutex::check_order_before_acquire() const {
 #if HETSIM_DCHECK_ENABLED
-  for (const RankedMutex* held : t_held) {
+  for (std::size_t i = 0; i < t_held_n; ++i) {
+    const RankedMutex* held = t_held[i];
     if (held->rank_ >= rank_) {
       FailureStream("LOCK-ORDER", __FILE__, __LINE__,
                     "acquired rank must exceed every held rank")
@@ -34,7 +39,12 @@ void RankedMutex::check_order_before_acquire() const {
 
 void RankedMutex::register_acquired() const {
 #if HETSIM_DCHECK_ENABLED
-  t_held.push_back(this);
+  if (t_held_n >= kMaxHeld) {
+    FailureStream("LOCK-ORDER", __FILE__, __LINE__,
+                  "lock nesting exceeds the tracking capacity")
+        << ": acquiring \"" << name_ << "\" as lock #" << t_held_n + 1;
+  }
+  t_held[t_held_n++] = this;
 #endif
 }
 
@@ -42,9 +52,12 @@ void RankedMutex::register_released() const {
 #if HETSIM_DCHECK_ENABLED
   // Unlocks are almost always LIFO, but std::unique_lock allows early or
   // out-of-order release; erase the newest matching entry.
-  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
-    if (*it == this) {
-      t_held.erase(std::next(it).base());
+  for (std::size_t i = t_held_n; i > 0; --i) {
+    if (t_held[i - 1] == this) {
+      for (std::size_t j = i - 1; j + 1 < t_held_n; ++j) {
+        t_held[j] = t_held[j + 1];
+      }
+      --t_held_n;
       return;
     }
   }
@@ -74,7 +87,7 @@ void RankedMutex::unlock() {
 
 std::size_t RankedMutex::held_by_this_thread() {
 #if HETSIM_DCHECK_ENABLED
-  return t_held.size();
+  return t_held_n;
 #else
   return 0;
 #endif

@@ -16,6 +16,9 @@
 //        |             |                               | clocks, progress
 //    200 | kTrace      | TraceRecorder::mu_            | trace event and
 //        |             |                               | lane-name buffers
+//    250 | kHa         | ha::ShardRouter::mu_          | replica liveness,
+//        |             |                               | election log,
+//        |             |                               | replication stats
 //    300 | kStore      | kvstore::Store::mu_           | keyspace map and
 //        |             |                               | op counter
 //    350 | kFault      | fault::FaultInjector::mu_     | per-target fault
@@ -24,9 +27,12 @@
 //        |             |                               | lane tally (leaf)
 //
 // The executor's checkpoint callback holds kScheduler while it records
-// trace events (kTrace) and issues migration traffic through the kvstore
-// (kStore); neither the recorder nor the store ever calls back out while
-// locked, so both are safe to rank below the scheduler. The parallel-for
+// trace events (kTrace), consults the HA shard router (kHa) and issues
+// migration traffic through the kvstore (kStore); neither the recorder,
+// the router nor the store ever calls back out while locked, so all
+// three are safe to rank below the scheduler. The router never issues
+// store traffic under its own lock (routing decisions are returned by
+// value), so kHa < kStore holds by construction. The parallel-for
 // pool is leaf-most: a caller may fan out while holding anything above,
 // and chunk bodies run with no pool lock held, so they can themselves
 // take kStore or kTrace. Equal ranks never nest: acquiring a second
@@ -55,6 +61,7 @@ namespace hetsim::check {
 enum class LockRank : std::uint32_t {
   kScheduler = 100,  // runtime::PhaseExecutor scheduler state (outermost)
   kTrace = 200,      // runtime::TraceRecorder buffers
+  kHa = 250,         // ha::ShardRouter liveness + election log
   kStore = 300,      // kvstore::Store keyspace
   kFault = 350,      // fault::FaultInjector draw counters
   kParPool = 400,    // par::ThreadPool fan-out state (leaf)

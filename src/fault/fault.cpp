@@ -176,6 +176,16 @@ double FaultInjector::slowdown_factor(HostId node) const {
   return it == plan_.nodes.end() ? 1.0 : it->second.slowdown_factor;
 }
 
+std::vector<HostId> FaultInjector::failed_nodes_at(double now_s) const {
+  std::vector<HostId> out;
+  for (const auto& [node, faults] : plan_.nodes) {
+    if (faults.fail_stop_at_s >= 0.0 && faults.fail_stop_at_s <= now_s) {
+      out.push_back(node);
+    }
+  }
+  return out;  // plan_.nodes is an ordered map, so ids are ascending
+}
+
 std::uint64_t FaultInjector::round_trips(HostId src, HostId dst) const {
   std::lock_guard<check::RankedMutex> lk(mu_);
   const auto it = link_trips_.find({src, dst});

@@ -150,6 +150,12 @@ class FaultInjector {
   /// Fail-stop virtual time; only meaningful when has_fail_stop(node).
   [[nodiscard]] double fail_stop_time_s(HostId node) const;
   [[nodiscard]] double slowdown_factor(HostId node) const;
+  /// Nodes whose planned fail-stop time is at or before virtual time
+  /// `now_s`, ascending by id. This is the heartbeat oracle the HA
+  /// failover election reads: because it is a pure function of the plan,
+  /// the same plan replays the same membership changes at any
+  /// HETSIM_THREADS.
+  [[nodiscard]] std::vector<HostId> failed_nodes_at(double now_s) const;
 
   // ---- introspection (tests, diagnostics) ----------------------------
   [[nodiscard]] std::uint64_t round_trips(HostId src, HostId dst) const;

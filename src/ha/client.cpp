@@ -1,0 +1,180 @@
+#include "ha/client.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hetsim::ha {
+
+using kvstore::Command;
+using kvstore::CommandType;
+using kvstore::Reply;
+using kvstore::Status;
+
+bool should_fall_back(Status s) { return s != Status::kOk; }
+
+namespace {
+
+/// Least severe of two statuses — the aggregate failure of a fan-out
+/// where nothing acked is the best outcome any replica produced.
+Status better_status(Status a, Status b) {
+  return kvstore::worse_status(a, b) == a ? b : a;
+}
+
+}  // namespace
+
+Client::Client(ShardRouter& router, ClientProvider provider,
+               WriteObserver observer)
+    : router_(router),
+      provider_(std::move(provider)),
+      observer_(std::move(observer)) {}
+
+WriteResult Client::fan_out(std::string_view key, const Command& cmd) {
+  WriteResult out;
+  for (const HostId target : router_.route(key)) {
+    ++out.attempted;
+    const Reply reply = provider_(target).execute(cmd);
+    if (reply.status == Status::kOk) {
+      ++out.acked;
+      if (observer_) observer_(target, cmd);
+    }
+    out.status = out.acked > 0 ? Status::kOk
+                               : better_status(out.status, reply.status);
+  }
+  router_.note_write(out.attempted - out.acked);
+  return out;
+}
+
+ReadResult Client::read_with_fallback(std::string_view key,
+                                      const Command& cmd) {
+  ReadResult out;
+  bool first = true;
+  for (const HostId target : router_.live_preference(key)) {
+    out.reply = provider_(target).execute(cmd);
+    out.served_by = target;
+    out.fallback = !first;
+    if (!should_fall_back(out.reply.status) && out.reply.ok) break;
+    first = false;
+  }
+  router_.note_read(out.fallback);
+  return out;
+}
+
+WriteResult Client::put(std::string_view key, std::string_view value) {
+  return fan_out(key, Command{CommandType::kSet, std::string(key),
+                              std::string(value), 0, 0});
+}
+
+WriteResult Client::del(std::string_view key) {
+  return fan_out(key, Command{CommandType::kDel, std::string(key), "", 0, 0});
+}
+
+WriteResult Client::rpush(std::string_view key, std::string_view element) {
+  return fan_out(key, Command{CommandType::kRPush, std::string(key),
+                              std::string(element), 0, 0});
+}
+
+WriteResult Client::incrby(std::string_view key, std::int64_t delta) {
+  return fan_out(key, Command{CommandType::kIncrBy, std::string(key), "",
+                              delta, 0});
+}
+
+ReadResult Client::get(std::string_view key) {
+  return read_with_fallback(
+      key, Command{CommandType::kGet, std::string(key), "", 0, 0});
+}
+
+ReadResult Client::counter(std::string_view key) {
+  return read_with_fallback(
+      key, Command{CommandType::kCounter, std::string(key), "", 0, 0});
+}
+
+std::vector<WriteResult> Client::put_many(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<WriteResult> results(pairs.size());
+  // Group (pair index, command) per replica target; std::map iterates
+  // targets in ascending order so every run charges the fabric in the
+  // same sequence.
+  std::map<HostId, std::vector<std::size_t>> per_target;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (const HostId target : router_.route(pairs[i].first)) {
+      per_target[target].push_back(i);
+      ++results[i].attempted;
+    }
+  }
+  for (const auto& [target, indices] : per_target) {
+    kvstore::Client& client = provider_(target);
+    for (const std::size_t i : indices) {
+      client.enqueue(Command{CommandType::kSet, pairs[i].first,
+                             pairs[i].second, 0, 0});
+    }
+    const std::vector<Reply> replies = client.drain();
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+      const std::size_t i = indices[r];
+      const Status s = replies[r].status;
+      if (s == Status::kOk) {
+        ++results[i].acked;
+        if (observer_) {
+          observer_(target, Command{CommandType::kSet, pairs[i].first,
+                                    pairs[i].second, 0, 0});
+        }
+      } else {
+        results[i].status = better_status(results[i].status, s);
+      }
+    }
+  }
+  for (WriteResult& res : results) {
+    if (res.acked > 0) res.status = Status::kOk;
+    router_.note_write(res.attempted - res.acked);
+  }
+  return results;
+}
+
+std::vector<ReadResult> Client::get_many(
+    const std::vector<std::string>& keys) {
+  std::vector<ReadResult> results(keys.size());
+  // Round 0: batch each key to its acting primary.
+  std::map<HostId, std::vector<std::size_t>> per_target;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::vector<HostId> route = router_.route(keys[i]);
+    if (route.empty()) {
+      results[i].reply.status = Status::kUnavailable;
+      continue;
+    }
+    per_target[route.front()].push_back(i);
+  }
+  for (const auto& [target, indices] : per_target) {
+    kvstore::Client& client = provider_(target);
+    for (const std::size_t i : indices) {
+      client.enqueue(Command{CommandType::kGet, keys[i], "", 0, 0});
+    }
+    const std::vector<Reply> replies = client.drain();
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+      results[indices[r]].reply = replies[r];
+      results[indices[r]].served_by = target;
+    }
+  }
+  // Fallback rounds: any key its primary could not serve walks the rest
+  // of its preference order individually.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ReadResult& res = results[i];
+    const bool primary_ok =
+        !should_fall_back(res.reply.status) && res.reply.ok;
+    if (primary_ok) {
+      router_.note_read(false);
+      continue;
+    }
+    const std::vector<HostId> pref = router_.live_preference(keys[i]);
+    for (const HostId target : pref) {
+      if (target == res.served_by) continue;  // primary already failed
+      res.reply = provider_(target).execute(
+          Command{CommandType::kGet, keys[i], "", 0, 0});
+      res.served_by = target;
+      res.fallback = true;
+      if (!should_fall_back(res.reply.status) && res.reply.ok) break;
+    }
+    router_.note_read(res.fallback);
+  }
+  return results;
+}
+
+}  // namespace hetsim::ha

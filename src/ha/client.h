@@ -1,0 +1,100 @@
+// Replicated key-value client: one logical put/get over k physical
+// kvstore::Clients, routed by a ShardRouter.
+//
+// Writes fan out to every live replica of the key (element 0 of the
+// route is the acting primary). The logical write succeeds when at
+// least one replica acknowledged; replicas that failed are counted as
+// write divergence for the anti-entropy repair pass to reconcile.
+// Reads walk the key's live preference order and fall back to the next
+// replica whenever the current one cannot answer — transport failure
+// (kError / kTimeout / kUnavailable) or a missing key (a replica that
+// was down during the write and has not been repaired yet).
+//
+// The client does not own connections: a ClientProvider maps a HostId
+// to the per-target kvstore::Client to use, so the same code runs over
+// cluster::NodeContext connections inside the runtime and over a
+// self-contained NodeGroup in tests. All per-replica retry/backoff
+// stays inside kvstore::Client; this layer only sequences replicas.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ha/router.h"
+#include "kvstore/client.h"
+
+namespace hetsim::ha {
+
+/// Maps a replica HostId to the connection to use for it.
+using ClientProvider = std::function<kvstore::Client&(HostId)>;
+
+/// Observes every replica write that was acknowledged (status kOk), in
+/// issue order. The recovery layer hooks this to append to the target
+/// node's op log.
+using WriteObserver =
+    std::function<void(HostId target, const kvstore::Command& cmd)>;
+
+/// True when a read served with transport status `s` should be retried
+/// on the next replica. Everything but kOk qualifies: kError replies
+/// were not applied, kTimeout/kUnavailable never answered.
+[[nodiscard]] bool should_fall_back(kvstore::Status s);
+
+/// Aggregated outcome of a replicated write.
+struct WriteResult {
+  /// kOk when >= 1 replica acked; otherwise the least severe failure
+  /// observed (the closest the write came to landing).
+  kvstore::Status status = kvstore::Status::kUnavailable;
+  std::size_t acked = 0;      // replicas that returned kOk
+  std::size_t attempted = 0;  // live replicas the write was sent to
+};
+
+/// Outcome of a replicated read.
+struct ReadResult {
+  kvstore::Reply reply;
+  HostId served_by = 0;
+  /// True when a non-primary replica answered.
+  bool fallback = false;
+};
+
+class Client {
+ public:
+  Client(ShardRouter& router, ClientProvider provider,
+         WriteObserver observer = nullptr);
+
+  // ---- single-key -----------------------------------------------------
+  WriteResult put(std::string_view key, std::string_view value);
+  WriteResult del(std::string_view key);
+  WriteResult rpush(std::string_view key, std::string_view element);
+  WriteResult incrby(std::string_view key, std::int64_t delta);
+  [[nodiscard]] ReadResult get(std::string_view key);
+  [[nodiscard]] ReadResult counter(std::string_view key);
+
+  // ---- batched --------------------------------------------------------
+  /// Pipelined replicated kSet of all pairs: commands are grouped per
+  /// replica target and drained in one batch per target (ascending
+  /// HostId, so fabric charging is deterministic). Returns one
+  /// WriteResult per input pair, in order.
+  std::vector<WriteResult> put_many(
+      const std::vector<std::pair<std::string, std::string>>& pairs);
+
+  /// Pipelined replicated kGet: keys are batched to their acting
+  /// primaries first; misses and failures retry individually down the
+  /// preference order. One ReadResult per key, in order.
+  [[nodiscard]] std::vector<ReadResult> get_many(
+      const std::vector<std::string>& keys);
+
+  [[nodiscard]] ShardRouter& router() noexcept { return router_; }
+
+ private:
+  WriteResult fan_out(std::string_view key, const kvstore::Command& cmd);
+  [[nodiscard]] ReadResult read_with_fallback(std::string_view key,
+                                              const kvstore::Command& cmd);
+
+  ShardRouter& router_;
+  ClientProvider provider_;
+  WriteObserver observer_;
+};
+
+}  // namespace hetsim::ha

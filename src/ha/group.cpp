@@ -1,0 +1,138 @@
+#include "ha/group.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+#include "common/error.h"
+
+namespace hetsim::ha {
+
+namespace {
+
+std::vector<HostId> make_members(std::size_t nodes) {
+  std::vector<HostId> members(nodes);
+  std::iota(members.begin(), members.end(), HostId{0});
+  return members;
+}
+
+}  // namespace
+
+NodeGroup::NodeGroup(NodeGroupConfig config)
+    : config_(config),
+      fabric_(static_cast<std::uint32_t>(config.nodes), config.remote),
+      router_(ShardMap(make_members(config.nodes), config.shard),
+              config.election_seed) {
+  common::require<common::ConfigError>(config.nodes >= 1,
+                                       "NodeGroup: need at least one node");
+  stores_.reserve(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    stores_.push_back(std::make_unique<kvstore::Store>());
+  }
+  oplogs_.resize(config.nodes);
+  snapshots_.resize(config.nodes);
+}
+
+void NodeGroup::check_node(HostId node) const {
+  common::require<common::ConfigError>(node < stores_.size(),
+                                       "NodeGroup: node id out of range");
+}
+
+kvstore::Store& NodeGroup::store(HostId node) {
+  check_node(node);
+  return *stores_[node];
+}
+
+OpLog& NodeGroup::oplog(HostId node) {
+  check_node(node);
+  return oplogs_[node];
+}
+
+Snapshot& NodeGroup::snapshot(HostId node) {
+  check_node(node);
+  return snapshots_[node];
+}
+
+void NodeGroup::set_fault(const fault::FaultPlan& plan) {
+  fault_ = std::make_unique<fault::FaultInjector>(plan);
+  fabric_.set_fault_injector(fault_.get());
+}
+
+kvstore::Client& NodeGroup::connection(HostId self, HostId target) {
+  check_node(self);
+  check_node(target);
+  auto& slot = connections_[{self, target}];
+  if (!slot) {
+    slot = std::make_unique<kvstore::Client>(
+        fabric_, self, target, *stores_[target], config_.pipeline_width,
+        fault_.get(), config_.retry);
+  }
+  return *slot;
+}
+
+Client& NodeGroup::client(HostId self) {
+  check_node(self);
+  auto& slot = clients_[self];
+  if (!slot) {
+    slot = std::make_unique<Client>(
+        router_,
+        [this, self](HostId target) -> kvstore::Client& {
+          return connection(self, target);
+        },
+        [this](HostId target, const kvstore::Command& cmd) {
+          oplogs_[target].append(cmd);
+        });
+  }
+  return *slot;
+}
+
+ElectionRecord NodeGroup::crash(HostId node, double at_s) {
+  check_node(node);
+  stores_[node]->flush_all();
+  return router_.mark_down(node, at_s);
+}
+
+void NodeGroup::checkpoint(HostId node) {
+  check_node(node);
+  snapshots_[node] = take_snapshot(*stores_[node], oplogs_[node].last_seq());
+  oplogs_[node].trim(snapshots_[node].seq);
+}
+
+NodeGroup::RejoinReport NodeGroup::rejoin(HostId node) {
+  check_node(node);
+  RejoinReport report;
+  report.recovery = recover(*stores_[node], snapshots_[node], oplogs_[node]);
+  router_.mark_up(node);
+  // Close the gap (writes accepted while down) peer by peer: for each
+  // live peer, reconcile only the keys whose current route contains
+  // both nodes — the arcs where the peer legitimately holds a copy of
+  // the rejoiner's data.
+  for (const HostId peer : router_.map().nodes()) {
+    if (peer == node || router_.is_down(peer)) continue;
+    const KeyFilter shared_arc = [this, node, peer](const std::string& key) {
+      const std::vector<HostId> route = router_.route(key);
+      const bool has_node =
+          std::find(route.begin(), route.end(), node) != route.end();
+      const bool has_peer =
+          std::find(route.begin(), route.end(), peer) != route.end();
+      return has_node && has_peer;
+    };
+    const RepairReport r = repair(*stores_[peer], *stores_[node], &fabric_,
+                                  config_.repair, shared_arc);
+    report.repair.copied += r.copied;
+    report.repair.deleted += r.deleted;
+    report.repair.payload_bytes += r.payload_bytes;
+  }
+  return report;
+}
+
+double NodeGroup::consumed_time() const {
+  double total = 0.0;
+  for (const auto& [key, conn] : connections_) {
+    (void)key;
+    total += conn->consumed_time();
+  }
+  return total;
+}
+
+}  // namespace hetsim::ha

@@ -1,0 +1,94 @@
+#include "ha/ibf.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace hetsim::ha {
+
+namespace {
+
+/// Item checksum, independent of the position hashes: a pure cell is
+/// recognized by check_sum == item_check(key_sum).
+std::uint64_t item_check(std::uint64_t item) {
+  return common::hash_u64(item ^ 0x5bd1e995badcafe5ULL);
+}
+
+}  // namespace
+
+Ibf::Ibf(std::size_t cells, std::uint64_t seed) : seed_(seed), cells_(cells) {
+  common::require<common::ConfigError>(cells >= kHashes,
+                                       "Ibf: need at least kHashes cells");
+}
+
+std::size_t Ibf::cell_index(std::uint64_t item, std::size_t hash) const {
+  // Distinct streams per position hash; collisions between the kHashes
+  // positions of one item are tolerated (the cell then absorbs the item
+  // twice, and peeling removes it symmetrically).
+  return static_cast<std::size_t>(
+      common::hash_combine(common::hash_u64(seed_ ^ (hash + 1)),
+                           common::hash_u64(item)) %
+      cells_.size());
+}
+
+void Ibf::update(std::uint64_t item, std::int64_t sign) {
+  const std::uint64_t check = item_check(item);
+  for (std::size_t h = 0; h < kHashes; ++h) {
+    IbfCell& cell = cells_[cell_index(item, h)];
+    cell.count += sign;
+    cell.key_sum ^= item;
+    cell.check_sum ^= check;
+  }
+}
+
+void Ibf::add(std::uint64_t item) { update(item, +1); }
+void Ibf::remove(std::uint64_t item) { update(item, -1); }
+
+void Ibf::subtract(const Ibf& other) {
+  common::require<common::ConfigError>(
+      cells_.size() == other.cells_.size() && seed_ == other.seed_,
+      "Ibf: subtract requires identical geometry and seed");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].count -= other.cells_[i].count;
+    cells_[i].key_sum ^= other.cells_[i].key_sum;
+    cells_[i].check_sum ^= other.cells_[i].check_sum;
+  }
+}
+
+Ibf::Decode Ibf::decode() const {
+  Ibf work = *this;
+  Decode out;
+  // Peel: repeatedly scan for a pure cell. The scan order is fixed
+  // (ascending cell index), so the peel sequence — and therefore the
+  // failure behaviour at overload — is deterministic.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < work.cells_.size(); ++i) {
+      const IbfCell& cell = work.cells_[i];
+      if ((cell.count != 1 && cell.count != -1) ||
+          cell.check_sum != item_check(cell.key_sum)) {
+        continue;
+      }
+      const std::uint64_t item = cell.key_sum;
+      if (cell.count == 1) {
+        out.extra.push_back(item);
+      } else {
+        out.missing.push_back(item);
+      }
+      work.update(item, -cell.count);
+      progressed = true;
+    }
+  }
+  out.ok = std::all_of(work.cells_.begin(), work.cells_.end(),
+                       [](const IbfCell& c) {
+                         return c.count == 0 && c.key_sum == 0 &&
+                                c.check_sum == 0;
+                       });
+  std::sort(out.extra.begin(), out.extra.end());
+  std::sort(out.missing.begin(), out.missing.end());
+  return out;
+}
+
+}  // namespace hetsim::ha

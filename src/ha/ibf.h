@@ -1,0 +1,78 @@
+// Invertible Bloom filter (IBF / IBLT) for replica set reconciliation.
+//
+// Anti-entropy repair must find the keys two replicas disagree on
+// without shipping either keyspace. Each side summarizes its set of
+// (key, value-digest) items into an IBF — a fixed array of cells, each
+// holding a count, an XOR of the item hashes mapped to it and an XOR of
+// their checksums. Subtracting the two filters cell-wise cancels every
+// item both sides hold, leaving a sketch of only the symmetric
+// difference, which "peels" out exactly (find a cell with count ±1
+// whose checksum matches its key sum, extract that item, remove it from
+// its other cells, repeat). The sketch costs O(d) cells for a
+// difference of size d regardless of the set sizes — that is the whole
+// trick: two 10^6-key replicas that differ in 40 keys exchange a few KB.
+//
+// When the difference exceeds the capacity the peel gets stuck with
+// non-pure cells and decode() reports !ok; the repair planner then
+// doubles the cell count and retries (the "undecodable overload" path).
+// Everything is deterministic for a given (seed, cells, item set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hetsim::ha {
+
+struct IbfCell {
+  std::int64_t count = 0;
+  std::uint64_t key_sum = 0;    // XOR of items in this cell
+  std::uint64_t check_sum = 0;  // XOR of item checksums
+};
+
+class Ibf {
+ public:
+  /// Number of independent cell positions per item.
+  static constexpr std::size_t kHashes = 3;
+  /// Serialized bytes per cell (count + key_sum + check_sum).
+  static constexpr std::size_t kCellBytes = 24;
+
+  /// Throws common::ConfigError when cells < kHashes.
+  Ibf(std::size_t cells, std::uint64_t seed);
+
+  void add(std::uint64_t item);
+  void remove(std::uint64_t item);
+
+  /// Cell-wise subtraction (this := this - other). Throws
+  /// common::ConfigError when geometries or seeds differ — mismatched
+  /// sketches would decode garbage.
+  void subtract(const Ibf& other);
+
+  struct Decode {
+    /// False when the peel stalled (difference larger than capacity).
+    bool ok = false;
+    /// Items with net count +1: present here, absent on the subtracted
+    /// side. Sorted ascending for deterministic downstream iteration.
+    std::vector<std::uint64_t> extra;
+    /// Items with net count -1: present only on the subtracted side.
+    std::vector<std::uint64_t> missing;
+  };
+  /// Peel the (usually subtracted) filter. Non-destructive.
+  [[nodiscard]] Decode decode() const;
+
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// Wire size of the sketch (what a repair exchange ships).
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return cells_.size() * kCellBytes + 16;  // + cells/seed header
+  }
+
+ private:
+  void update(std::uint64_t item, std::int64_t sign);
+  [[nodiscard]] std::size_t cell_index(std::uint64_t item,
+                                       std::size_t hash) const;
+
+  std::uint64_t seed_;
+  std::vector<IbfCell> cells_;
+};
+
+}  // namespace hetsim::ha

@@ -1,0 +1,66 @@
+#include "ha/recovery.h"
+
+#include <algorithm>
+
+namespace hetsim::ha {
+
+std::uint64_t OpLog::append(kvstore::Command cmd) {
+  const std::uint64_t seq = next_++;
+  entries_.push_back(LogEntry{seq, std::move(cmd)});
+  return seq;
+}
+
+std::vector<LogEntry> OpLog::tail(std::uint64_t from_seq) const {
+  // entries_ is sorted by seq (append-only, trim-from-front).
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), from_seq,
+      [](std::uint64_t seq, const LogEntry& e) { return seq < e.seq; });
+  return std::vector<LogEntry>(it, entries_.end());
+}
+
+void OpLog::trim(std::uint64_t up_to_seq) {
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), up_to_seq,
+      [](std::uint64_t seq, const LogEntry& e) { return seq < e.seq; });
+  entries_.erase(entries_.begin(), it);
+}
+
+std::size_t Snapshot::bytes() const {
+  std::size_t total = 8;  // seq
+  for (const auto& [key, encoded] : entries) {
+    total += 8 + key.size() + encoded.size();  // two length prefixes
+  }
+  return total;
+}
+
+Snapshot take_snapshot(const kvstore::Store& store, std::uint64_t seq) {
+  Snapshot snap;
+  snap.seq = seq;
+  for (const std::string& key : store.keys()) {
+    const std::optional<std::string> encoded = store.encode_value(key);
+    if (encoded) snap.entries.emplace_back(key, *encoded);
+  }
+  return snap;
+}
+
+void restore_snapshot(kvstore::Store& store, const Snapshot& snapshot) {
+  store.flush_all();
+  for (const auto& [key, encoded] : snapshot.entries) {
+    store.restore_value(key, encoded);
+  }
+}
+
+RecoveryReport recover(kvstore::Store& store, const Snapshot& snapshot,
+                       const OpLog& log) {
+  RecoveryReport report;
+  restore_snapshot(store, snapshot);
+  report.snapshot_seq = snapshot.seq;
+  report.snapshot_keys = snapshot.entries.size();
+  for (const LogEntry& entry : log.tail(snapshot.seq)) {
+    (void)kvstore::apply_command(store, entry.cmd);
+    ++report.replayed_ops;
+  }
+  return report;
+}
+
+}  // namespace hetsim::ha

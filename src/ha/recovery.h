@@ -1,0 +1,89 @@
+// Crash recovery for a replica: snapshot + op-log replay.
+//
+// Each node keeps a durable OpLog of the replica writes it
+// acknowledged (appended by ha::Client's WriteObserver) and, after a
+// checkpoint, a Snapshot of its store's full contents at a log
+// sequence number. A crash wipes the in-memory kvstore::Store but not
+// the log or snapshot; rejoining replays snapshot-then-tail and lands
+// byte-identical to the pre-crash store:
+//
+//   recover = restore(snapshot) ; replay(log entries with seq > snapshot.seq)
+//
+// Writes the cluster performed WHILE the node was down are by
+// definition in neither the snapshot nor the log — those are closed by
+// the anti-entropy repair pass (ha/repair.h) against a live replica.
+// Everything here is deterministic: the log is an ordered sequence and
+// replay applies it in order through the same kvstore::apply_command
+// path the live write took.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kvstore/client.h"
+#include "kvstore/store.h"
+
+namespace hetsim::ha {
+
+struct LogEntry {
+  std::uint64_t seq = 0;  // 1-based, dense
+  kvstore::Command cmd;
+};
+
+/// Append-only durable command log for one node. Not thread-safe by
+/// design: appends happen on the owning node's write path, which is
+/// already serialized per node.
+class OpLog {
+ public:
+  /// Appends and returns the entry's sequence number.
+  std::uint64_t append(kvstore::Command cmd);
+
+  /// Entries with seq > from_seq, in order.
+  [[nodiscard]] std::vector<LogEntry> tail(std::uint64_t from_seq) const;
+
+  /// Drop entries with seq <= up_to_seq (they are covered by a
+  /// snapshot).
+  void trim(std::uint64_t up_to_seq);
+
+  [[nodiscard]] std::uint64_t last_seq() const noexcept { return next_ - 1; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<LogEntry> entries_;
+  std::uint64_t next_ = 1;
+};
+
+/// Point-in-time copy of a store's contents, tagged with the op-log
+/// position it covers. Values use Store::encode_value's tagged wire
+/// form, so lists and counters round-trip exactly.
+struct Snapshot {
+  std::uint64_t seq = 0;
+  std::vector<std::pair<std::string, std::string>> entries;  // key, encoded
+
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+  /// Approximate durable size (for bench accounting).
+  [[nodiscard]] std::size_t bytes() const;
+};
+
+/// Capture the store at log position `seq` (keys in deterministic map
+/// order).
+[[nodiscard]] Snapshot take_snapshot(const kvstore::Store& store,
+                                     std::uint64_t seq);
+
+/// Replace the store's contents with the snapshot's.
+void restore_snapshot(kvstore::Store& store, const Snapshot& snapshot);
+
+struct RecoveryReport {
+  std::uint64_t snapshot_seq = 0;
+  std::size_t snapshot_keys = 0;
+  std::size_t replayed_ops = 0;
+};
+
+/// Full recovery: wipe, restore the snapshot (possibly empty), replay
+/// the log tail. Returns what was done.
+RecoveryReport recover(kvstore::Store& store, const Snapshot& snapshot,
+                       const OpLog& log);
+
+}  // namespace hetsim::ha

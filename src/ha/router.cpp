@@ -1,0 +1,128 @@
+#include "ha/router.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace hetsim::ha {
+
+ShardRouter::ShardRouter(ShardMap map, std::uint64_t election_seed)
+    : map_(std::move(map)),
+      election_seed_(election_seed),
+      down_(map_.nodes().size(), 0) {}
+
+std::size_t ShardRouter::index_of(HostId node) const {
+  const auto& nodes = map_.nodes();
+  const auto it = std::lower_bound(nodes.begin(), nodes.end(), node);
+  common::require<common::ConfigError>(it != nodes.end() && *it == node,
+                                       "ShardRouter: unknown node");
+  return static_cast<std::size_t>(it - nodes.begin());
+}
+
+std::vector<HostId> ShardRouter::live_walk_locked(std::string_view key,
+                                                  std::size_t count) const {
+  std::vector<HostId> out;
+  out.reserve(count);
+  for (const HostId node : map_.preference(key)) {
+    if (down_[index_of(node)]) continue;
+    out.push_back(node);
+    if (out.size() == count) break;
+  }
+  return out;
+}
+
+std::vector<HostId> ShardRouter::route(std::string_view key) const {
+  const std::size_t k =
+      std::min(map_.config().replication, map_.nodes().size());
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  return live_walk_locked(key, k);
+}
+
+std::vector<HostId> ShardRouter::live_preference(std::string_view key) const {
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  return live_walk_locked(key, map_.nodes().size());
+}
+
+ElectionRecord ShardRouter::mark_down(HostId node, double at_s) {
+  const std::size_t idx = index_of(node);
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  if (down_[idx]) {
+    // Already dead: return the election that re-homed it, if any.
+    for (auto it = elections_.rbegin(); it != elections_.rend(); ++it) {
+      if (it->failed == node) return *it;
+    }
+    return ElectionRecord{at_s, node, node, 0, 0};
+  }
+  down_[idx] = 1;
+
+  ElectionRecord rec;
+  rec.at_s = at_s;
+  rec.failed = node;
+  rec.term = elections_.size();
+  rec.promoted = node;  // placeholder: stays self when no peer survives
+  bool first = true;
+  for (std::size_t i = 0; i < map_.nodes().size(); ++i) {
+    if (down_[i]) continue;
+    const HostId candidate = map_.nodes()[i];
+    // Ballot = pure function of (seed, failed, candidate, term): every
+    // observer that replays the same loss sequence elects the same
+    // successor, regardless of thread interleaving.
+    const std::uint64_t ballot = common::hash_combine(
+        common::hash_combine(common::hash_u64(election_seed_),
+                             common::hash_u64(node)),
+        common::hash_combine(common::hash_u64(candidate),
+                             common::hash_u64(rec.term)));
+    if (first || ballot < rec.ballot ||
+        (ballot == rec.ballot && candidate < rec.promoted)) {
+      rec.ballot = ballot;
+      rec.promoted = candidate;
+      first = false;
+    }
+  }
+  elections_.push_back(rec);
+  return rec;
+}
+
+void ShardRouter::mark_up(HostId node) {
+  const std::size_t idx = index_of(node);
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  down_[idx] = 0;
+}
+
+bool ShardRouter::is_down(HostId node) const {
+  const std::size_t idx = index_of(node);
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  return down_[idx] != 0;
+}
+
+std::size_t ShardRouter::live_count() const {
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  return static_cast<std::size_t>(
+      std::count(down_.begin(), down_.end(), 0));
+}
+
+std::vector<ElectionRecord> ShardRouter::elections() const {
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  return elections_;
+}
+
+RouterStats ShardRouter::stats() const {
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  return stats_;
+}
+
+void ShardRouter::note_read(bool fallback) {
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  ++stats_.routed_reads;
+  if (fallback) ++stats_.fallback_reads;
+}
+
+void ShardRouter::note_write(std::uint64_t failed_replicas) {
+  std::lock_guard<check::RankedMutex> lk(mu_);
+  ++stats_.routed_writes;
+  stats_.write_failures += failed_replicas;
+}
+
+}  // namespace hetsim::ha

@@ -1,0 +1,104 @@
+// Liveness-aware routing and seeded failover election on top of the
+// consistent-hash ShardMap.
+//
+// The ShardMap is pure placement; the router overlays the cluster's
+// *current* health. route(key) returns the first k live nodes in the
+// key's ring preference order, so a dead primary transparently demotes
+// to its first live successor. When the fault layer's heartbeats report
+// a node loss, mark_down() runs a deterministic election for the failed
+// node's shards: every live candidate draws a seeded ballot (a pure
+// hash of seed, failed node, candidate and term) and the lowest ballot
+// wins. No messages, no quorum — the simulation has a global view — but
+// the record is byte-identical at any HETSIM_THREADS, which is what the
+// determinism harness asserts.
+//
+// Locking: mu_ has rank kHa (250), below kStore — the router only
+// mutates its own liveness/election state under the lock and returns
+// routing decisions by value; it NEVER issues store traffic while
+// holding mu_.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "check/ranked_mutex.h"
+#include "ha/shard_map.h"
+
+namespace hetsim::ha {
+
+/// One failover decision. `ballot` is the winning draw, recorded so the
+/// trace pins down not only who won but why.
+struct ElectionRecord {
+  double at_s = 0.0;      // virtual time of the loss
+  HostId failed = 0;      // node whose shards are being re-homed
+  HostId promoted = 0;    // live node that now fronts them
+  std::uint64_t ballot = 0;
+  std::uint64_t term = 0; // 0-based election counter
+};
+
+struct RouterStats {
+  std::uint64_t routed_reads = 0;
+  std::uint64_t routed_writes = 0;
+  /// Reads answered by a non-primary replica after fallback.
+  std::uint64_t fallback_reads = 0;
+  /// Per-replica write attempts that did not come back kOk (divergence
+  /// that anti-entropy repair later reconciles).
+  std::uint64_t write_failures = 0;
+};
+
+class ShardRouter {
+ public:
+  /// `election_seed` feeds the failover ballots; keep it distinct from
+  /// the shard-map seed so placement and elections are independent
+  /// streams.
+  ShardRouter(ShardMap map, std::uint64_t election_seed);
+
+  [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
+
+  /// The key's replica targets — first min(k, live) LIVE nodes in ring
+  /// preference order; element 0 is the acting primary. Empty only when
+  /// every node is down.
+  [[nodiscard]] std::vector<HostId> route(std::string_view key) const;
+
+  /// Every live node in the key's preference order (for exhaustive read
+  /// fallback past the nominal replica set).
+  [[nodiscard]] std::vector<HostId> live_preference(
+      std::string_view key) const;
+
+  /// Heartbeat loss: mark the node dead and, if any peer survives, run
+  /// the seeded election promoting a successor for its shards. Returns
+  /// the record (promoted == failed when no live peer remained).
+  /// Idempotent: re-marking a dead node returns the original record
+  /// without a new term.
+  ElectionRecord mark_down(HostId node, double at_s);
+
+  /// Rejoin after recovery; the node resumes its ring arcs on the next
+  /// route() call (repair closes whatever it missed while away).
+  void mark_up(HostId node);
+
+  [[nodiscard]] bool is_down(HostId node) const;
+  [[nodiscard]] std::size_t live_count() const;
+
+  /// All elections so far, in term order.
+  [[nodiscard]] std::vector<ElectionRecord> elections() const;
+
+  [[nodiscard]] RouterStats stats() const;
+  void note_read(bool fallback);
+  void note_write(std::uint64_t failed_replicas);
+
+ private:
+  [[nodiscard]] std::size_t index_of(HostId node) const;
+  /// route()/live_preference() body; mu_ must be held.
+  [[nodiscard]] std::vector<HostId> live_walk_locked(
+      std::string_view key, std::size_t count) const;
+
+  ShardMap map_;
+  std::uint64_t election_seed_;
+  mutable check::RankedMutex mu_{check::LockRank::kHa, "ha::ShardRouter"};
+  std::vector<char> down_;  // parallel to map_.nodes()
+  std::vector<ElectionRecord> elections_;
+  RouterStats stats_;
+};
+
+}  // namespace hetsim::ha

@@ -31,6 +31,10 @@ std::string_view status_name(Status s) {
   return "?";
 }
 
+Status worse_status(Status a, Status b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
 bool idempotent(CommandType type) {
   switch (type) {
     case CommandType::kSet:

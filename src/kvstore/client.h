@@ -62,6 +62,11 @@ enum class Status : std::uint8_t {
 
 [[nodiscard]] std::string_view status_name(Status s);
 
+/// The more severe of two transport statuses, for aggregating a fan-out
+/// (replicated write) into one outcome: kOk < kError < kTimeout <
+/// kUnavailable.
+[[nodiscard]] Status worse_status(Status a, Status b);
+
 /// True when re-applying the command cannot change the outcome beyond
 /// the first application (reads, kSet, kDel, kExists). kRPush and
 /// kIncrBy append/accumulate, so a retry after an ambiguous loss could

@@ -63,6 +63,25 @@ class Store {
   void flush_all();
   [[nodiscard]] StoreStats stats() const;
 
+  // ---- replication / repair surface (src/ha) -------------------------
+  // The HA layer snapshots stores, replays op logs onto them and
+  // reconciles diverged replicas; all three need a stable, enumerable
+  // view of the keyspace. None of these count as served operations
+  // (ops_ untouched): they model control-plane access, not client
+  // traffic.
+  /// All keys, in map (lexicographic) order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+  /// Stable 64-bit digest of the value under `key` (type-tagged, so a
+  /// string "3" and a counter 3 differ); 0 when the key is absent.
+  [[nodiscard]] std::uint64_t value_digest(std::string_view key) const;
+  /// Type-tagged wire encoding of the value under `key` (nullopt when
+  /// absent). restore_value() round-trips it exactly.
+  [[nodiscard]] std::optional<std::string> encode_value(
+      std::string_view key) const;
+  /// Install an encoded value under `key`, replacing any previous value.
+  /// Throws StoreError on a malformed encoding.
+  void restore_value(std::string_view key, std::string_view encoded);
+
  private:
   using Value = std::variant<std::string, std::vector<std::string>, std::int64_t>;
 

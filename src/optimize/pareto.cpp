@@ -80,17 +80,22 @@ PartitionPlan finalize(std::span<const NodeModel> models, std::size_t total,
 
 namespace {
 
-/// Core LP: minimize w_time·v + w_energy·Σ k_i·m_i·x_i subject to the
-/// partitioning constraints. Both weights must be >= 0, not both zero.
+/// Core LP: minimize w_time·v + w_energy·Σ (k_i·m_i + e_i)·x_i subject
+/// to the partitioning constraints, where e_i is an optional extra
+/// per-record energy rate (replica-write term; empty = none). Both
+/// weights must be >= 0, not both zero.
 PartitionPlan solve_scalarized(std::span<const NodeModel> models,
                                std::size_t total, double w_time,
-                               double w_energy) {
+                               double w_energy,
+                               std::span<const double> extra_energy = {}) {
   const std::size_t p = models.size();
   LpProblem lp;
   lp.num_vars = p + 1;  // x_0..x_{p-1}, then v
   lp.objective.assign(p + 1, 0.0);
   for (std::size_t i = 0; i < p; ++i) {
-    lp.objective[i] = w_energy * models[i].dirty_rate * models[i].slope;
+    const double extra = extra_energy.empty() ? 0.0 : extra_energy[i];
+    lp.objective[i] =
+        w_energy * (models[i].dirty_rate * models[i].slope + extra);
   }
   lp.objective[p] = w_time;
 
@@ -124,6 +129,66 @@ PartitionPlan solve_partition_sizes(std::span<const NodeModel> models,
   common::require<common::ConfigError>(alpha >= 0.0 && alpha <= 1.0,
                                        "pareto: alpha must be in [0, 1]");
   return solve_scalarized(models, total, alpha, 1.0 - alpha);
+}
+
+namespace {
+
+/// Per-record replica-write dirty rate of each node's partition:
+/// e_i = write_s_per_record · Σ_{j ∈ replica_sets[i]} dirty_rate_j.
+std::vector<double> replica_energy_rates(std::span<const NodeModel> models,
+                                         const ReplicaCostModel& replicas) {
+  common::require<common::ConfigError>(
+      replicas.replica_sets.size() == models.size(),
+      "pareto: replica_sets arity mismatch");
+  common::require<common::ConfigError>(
+      replicas.write_s_per_record >= 0.0,
+      "pareto: write_s_per_record must be >= 0");
+  std::vector<double> rates(models.size(), 0.0);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    for (const std::uint32_t j : replicas.replica_sets[i]) {
+      common::require<common::ConfigError>(
+          j < models.size(), "pareto: replica set names unknown node");
+      rates[i] += replicas.write_s_per_record * models[j].dirty_rate;
+    }
+  }
+  return rates;
+}
+
+}  // namespace
+
+PartitionPlan solve_partition_sizes_replicated(
+    std::span<const NodeModel> models, std::size_t total, double alpha,
+    const ReplicaCostModel& replicas) {
+  validate_models(models);
+  common::require<common::ConfigError>(alpha >= 0.0 && alpha <= 1.0,
+                                       "pareto: alpha must be in [0, 1]");
+  if (replicas.replication <= 1 || replicas.write_s_per_record <= 0.0 ||
+      replicas.replica_sets.empty()) {
+    return solve_scalarized(models, total, alpha, 1.0 - alpha);
+  }
+  const std::vector<double> rates = replica_energy_rates(models, replicas);
+  PartitionPlan plan =
+      solve_scalarized(models, total, alpha, 1.0 - alpha, rates);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    if (plan.continuous[i] > kTinyWork) {
+      plan.predicted_dirty_joules += rates[i] * plan.continuous[i];
+    }
+  }
+  return plan;
+}
+
+double replica_dirty_joules(std::span<const NodeModel> models,
+                            std::span<const std::size_t> sizes,
+                            const ReplicaCostModel& replicas) {
+  common::require<common::ConfigError>(models.size() == sizes.size(),
+                                       "replica_dirty_joules: arity mismatch");
+  if (replicas.replication <= 1 || replicas.replica_sets.empty()) return 0.0;
+  const std::vector<double> rates = replica_energy_rates(models, replicas);
+  double total = 0.0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    total += rates[i] * static_cast<double>(sizes[i]);
+  }
+  return total;
 }
 
 PartitionPlan solve_partition_sizes_normalized(

@@ -56,6 +56,40 @@ struct PartitionPlan {
 [[nodiscard]] PartitionPlan solve_partition_sizes(
     std::span<const NodeModel> models, std::size_t total, double alpha);
 
+/// Replica placement inputs for the replication-aware energy term. With
+/// k-way replication (src/ha) every record assigned to node i is also
+/// written to the k-1 nodes backing i's ring arcs, so partition sizing
+/// should charge THOSE nodes' dirty rates for the copy work:
+///
+///   energy_i(x_i) += x_i · write_s_per_record · Σ_{j ∈ replica_sets[i]} k_j
+///
+/// The term is linear in x_i, so it folds straight into the scalarized
+/// LP's cost row — the frontier stays a frontier, it just tilts away
+/// from nodes whose replicas sit on dirty-powered peers.
+struct ReplicaCostModel {
+  /// Copies per record (1 = no replication, term vanishes).
+  std::size_t replication = 1;
+  /// Seconds of store work one replica copy of one record costs.
+  double write_s_per_record = 0.0;
+  /// replica_sets[i] = nodes holding the extra copies of records
+  /// primaried on node i (ha::ShardMap::replica_sets()).
+  std::vector<std::vector<std::uint32_t>> replica_sets;
+};
+
+/// Scalarized solve with the replica energy term added to the cost row.
+/// Falls back to solve_partition_sizes when the term vanishes
+/// (replication <= 1, zero write cost, or empty placement). The plan's
+/// predicted_dirty_joules includes the replica-write energy.
+[[nodiscard]] PartitionPlan solve_partition_sizes_replicated(
+    std::span<const NodeModel> models, std::size_t total, double alpha,
+    const ReplicaCostModel& replicas);
+
+/// Replica-write dirty energy of an arbitrary size vector (joules) —
+/// the term solve_partition_sizes_replicated adds to the objective.
+[[nodiscard]] double replica_dirty_joules(std::span<const NodeModel> models,
+                                          std::span<const std::size_t> sizes,
+                                          const ReplicaCostModel& replicas);
+
 /// Closed-form α = 1 solution: water-filling that equalizes finish times
 /// across the nodes that receive work.
 [[nodiscard]] PartitionPlan waterfill_makespan(std::span<const NodeModel> models,

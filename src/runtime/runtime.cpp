@@ -10,6 +10,7 @@
 #include "common/error.h"
 #include "common/json.h"
 #include "fault/fault.h"
+#include "ha/client.h"
 #include "kvstore/client.h"
 #include "partition/partitioner.h"
 #include "runtime/dag.h"
@@ -26,7 +27,24 @@ std::string encode_sketch(const sketch::Sketch& sig) {
   return out;
 }
 
+/// Replicated key of the idx-th ingested record.
+std::string record_key(std::uint32_t idx) {
+  return "data:" + std::to_string(idx);
+}
+
 }  // namespace
+
+std::string_view job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kDegraded:
+      return "degraded";
+    case JobStatus::kDataUnavailable:
+      return "data-unavailable";
+  }
+  return "?";
+}
 
 std::string summary_json(const JobSummary& s) {
   common::JsonWriter w;
@@ -74,6 +92,11 @@ std::string summary_json(const JobSummary& s) {
   w.field("kv_retries", s.kv_retries);
   w.field("kv_timeouts", s.kv_timeouts);
   w.field("kv_failures", s.kv_failures);
+  w.field("status", std::string(job_status_name(s.status)));
+  w.field("replica_writes", s.replica_writes);
+  w.field("elections", static_cast<std::uint64_t>(s.elections));
+  w.field("replica_rescued_records",
+          static_cast<std::uint64_t>(s.replica_rescued_records));
   w.end_object();
   return w.str();
 }
@@ -94,6 +117,9 @@ JobRuntime::JobRuntime(cluster::Cluster& cluster,
       spec_.per_node_slowdown.empty() ||
           spec_.per_node_slowdown.size() == cluster_.size(),
       "JobRuntime: per_node_slowdown must have one entry per node");
+  common::require<common::ConfigError>(
+      spec_.replication >= 1 && spec_.replication <= cluster_.size(),
+      "JobRuntime: replication must be in [1, cluster size]");
   const auto masters =
       cluster::choose_masters(cluster_.nodes(), cluster_.size() >= 2 ? 2 : 1);
   master_ = masters[0];
@@ -110,6 +136,15 @@ std::vector<std::size_t> JobRuntime::plan_sizes(std::size_t total) const {
     case core::Strategy::kHetAware:
       return optimize::solve_partition_sizes(models_, total, 1.0).sizes;
     case core::Strategy::kHetEnergyAware:
+      // With a replicated data plane the copy traffic is part of the
+      // energy bill, so the placement-aware solve takes over. (The raw
+      // alpha is used there: mixing the replica term into the
+      // normalized rescale would re-weight the extremes themselves.)
+      if (replica_cost_.replication > 1) {
+        return optimize::solve_partition_sizes_replicated(
+                   models_, total, spec_.alpha, replica_cost_)
+            .sizes;
+      }
       return (spec_.normalized_alpha
                   ? optimize::solve_partition_sizes_normalized(models_, total,
                                                                spec_.alpha)
@@ -144,6 +179,31 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
   summary.records = n;
   const net::RetryStats kv_before = cluster_.fabric().retry_stats();
 
+  // Replicated data plane: every record is also sharded over k replica
+  // stores, so losing any single node — the data master included —
+  // leaves a live copy of every payload.
+  router_.reset();
+  replica_cost_ = {};
+  if (spec_.replication >= 2) {
+    std::vector<net::HostId> members(p);
+    std::iota(members.begin(), members.end(), net::HostId{0});
+    ha::ShardMapConfig shard;
+    shard.replication = spec_.replication;
+    shard.seed = spec_.seed;
+    router_ = std::make_unique<ha::ShardRouter>(
+        ha::ShardMap(std::move(members), shard),
+        spec_.seed ^ 0x48412d454c454354ULL);  // independent election stream
+    double payload_bytes = 0.0;
+    for (const data::Record& r : dataset.records) {
+      payload_bytes += static_cast<double>(r.payload.size());
+    }
+    replica_cost_.replication = spec_.replication;
+    replica_cost_.write_s_per_record =
+        (payload_bytes / static_cast<double>(n)) /
+        cluster_.fabric().remote_spec().bandwidth_bps;
+    replica_cost_.replica_sets = router_->map().replica_sets();
+  }
+
   // Job-relative virtual clock: cluster phases advance cluster_.now(),
   // the execute phase advances exec_extra (the executor runs its own
   // per-node clocks and reports a makespan).
@@ -171,6 +231,25 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                                 .value = r.payload});
                }
                kvstore::expect_ok(local.drain());
+               if (!router_) return;
+               // Replicated copies: one keyed record per replica, fanned
+               // out through the shard router (pipelined per target).
+               ha::Client replicated(
+                   *router_, [&ctx](net::HostId target) -> kvstore::Client& {
+                     return ctx.client(target);
+                   });
+               std::vector<std::pair<std::string, std::string>> pairs;
+               pairs.reserve(n);
+               for (std::uint32_t i = 0; i < n; ++i) {
+                 pairs.emplace_back(record_key(i), dataset.records[i].payload);
+               }
+               for (const ha::WriteResult& res : replicated.put_many(pairs)) {
+                 common::require<kvstore::UnavailableError>(
+                     res.status == kvstore::Status::kOk,
+                     "JobRuntime: replicated ingest write failed on every "
+                     "replica");
+                 summary.replica_writes += res.acked;
+               }
              });
            }});
 
@@ -326,21 +405,47 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                                        const char* span_name) -> double {
                std::sort(taken.begin(), taken.end());
                cluster::NodeContext& ctx_to = executor.context(to);
-               kvstore::Client& from_master = ctx_to.client(master_);
-               for (const std::uint32_t idx : taken) {
-                 from_master.enqueue({.type = kvstore::CommandType::kLIndex,
-                                      .key = "data",
-                                      .arg0 = static_cast<std::int64_t>(idx)});
-               }
-               const std::vector<kvstore::Reply> replies =
-                   kvstore::expect_ok(from_master.drain());
                kvstore::Client& local = ctx_to.local();
                double bytes = 0.0;
-               for (const kvstore::Reply& r : replies) {
-                 bytes += static_cast<double>(r.blob.size());
-                 local.enqueue({.type = kvstore::CommandType::kRPush,
-                                .key = spec_.partition_key,
-                                .value = r.blob});
+               if (router_ != nullptr) {
+                 // Replicated plane: pull each payload from whichever
+                 // replica of its key is alive (batched to the acting
+                 // primaries, falling back replica-by-replica).
+                 ha::Client replicated(
+                     *router_,
+                     [&ctx_to](net::HostId target) -> kvstore::Client& {
+                       return ctx_to.client(target);
+                     });
+                 std::vector<std::string> keys;
+                 keys.reserve(taken.size());
+                 for (const std::uint32_t idx : taken) {
+                   keys.push_back(record_key(idx));
+                 }
+                 for (const ha::ReadResult& r : replicated.get_many(keys)) {
+                   common::require<kvstore::UnavailableError>(
+                       r.reply.status == kvstore::Status::kOk && r.reply.ok,
+                       "JobRuntime: record unreadable on every live replica");
+                   bytes += static_cast<double>(r.reply.blob.size());
+                   local.enqueue({.type = kvstore::CommandType::kRPush,
+                                  .key = spec_.partition_key,
+                                  .value = r.reply.blob});
+                 }
+               } else {
+                 kvstore::Client& from_master = ctx_to.client(master_);
+                 for (const std::uint32_t idx : taken) {
+                   from_master.enqueue(
+                       {.type = kvstore::CommandType::kLIndex,
+                        .key = "data",
+                        .arg0 = static_cast<std::int64_t>(idx)});
+                 }
+                 const std::vector<kvstore::Reply> replies =
+                     kvstore::expect_ok(from_master.drain());
+                 for (const kvstore::Reply& r : replies) {
+                   bytes += static_cast<double>(r.blob.size());
+                   local.enqueue({.type = kvstore::CommandType::kRPush,
+                                  .key = spec_.partition_key,
+                                  .value = r.blob});
+                 }
                }
                kvstore::expect_ok(local.drain());
                const double start = executor.node_time(to);
@@ -390,10 +495,6 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                    // life for longer than a live node possibly could:
                    // declare it lost and redistribute its in-flight
                    // partition over the survivors.
-                   common::require<common::Error>(
-                       d != master_,
-                       "JobRuntime: data master lost — the canonical "
-                       "record copies are gone, cannot degrade");
                    lost[d] = 1;
                    summary.degraded = true;
                    summary.nodes_lost.push_back(d);
@@ -401,6 +502,32 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                        "node-lost", "fault", d, exec_base + now,
                        {{"heartbeat", executor.heartbeat(d)},
                         {"timeout", executor.heartbeat_timeout(node)}});
+                   if (router_ != nullptr) {
+                     // Re-home the dead node's shards; reads via the
+                     // router now skip it, and a seeded election picks
+                     // the successor fronting its arcs.
+                     const ha::ElectionRecord rec =
+                         router_->mark_down(d, now);
+                     trace_.add_instant(
+                         "election", "fault", d, exec_base + now,
+                         {{"promoted", static_cast<double>(rec.promoted)},
+                          {"term", static_cast<double>(rec.term)}});
+                   } else if (d == master_) {
+                     // Single-master plane and the master is gone: the
+                     // canonical record copies are unreachable. The old
+                     // runtime threw here; instead finish the survivors'
+                     // work and report the typed outcome — the dead
+                     // node's queued records are unrecoverable.
+                     summary.status = JobStatus::kDataUnavailable;
+                     // Leave the queue untouched: the executor reports
+                     // the stranded records as `unprocessed`, which is
+                     // the honest accounting of what was lost.
+                     trace_.add_instant(
+                         "data-unavailable", "fault", d, exec_base + now,
+                         {{"records",
+                           static_cast<double>(executor.remaining(d))}});
+                     continue;
+                   }
                    std::vector<std::uint32_t> orphans = executor.take_all(d);
                    std::vector<std::uint32_t> surv;
                    for (std::uint32_t i = 0; i < p; ++i) {
@@ -474,6 +601,9 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
                      summary.replanned_bytes += transfer(
                          std::move(slice), d, surv[recipients[k]], "rescue");
                      summary.replanned_records += cnt;
+                     if (router_ != nullptr) {
+                       summary.replica_rescued_records += cnt;
+                     }
                    }
                    ++summary.node_loss_replans;
                  }
@@ -570,9 +700,11 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
              const ExecutorReport report = executor.run();
              // Records still stranded on a dead node mean detection
              // never fired for it — surfacing that as success would be
-             // silent data loss.
+             // silent data loss. Exception: kDataUnavailable already
+             // declares the loss explicitly.
              common::require<common::Error>(
-                 report.unprocessed == 0,
+                 summary.status == JobStatus::kDataUnavailable ||
+                     report.unprocessed == 0,
                  "JobRuntime: records left unprocessed after node loss");
              exec_extra += report.makespan_s;
              summary.makespan_s += report.makespan_s;
@@ -615,7 +747,13 @@ JobSummary JobRuntime::run(const data::Dataset& dataset,
   summary.kv_retries = kv_after.retries - kv_before.retries;
   summary.kv_timeouts = kv_after.timeouts - kv_before.timeouts;
   summary.kv_failures = kv_after.failures - kv_before.failures;
-  verify_no_work_lost(summary);
+  summary.elections = router_ ? router_->elections().size() : 0;
+  if (summary.status == JobStatus::kOk && summary.degraded) {
+    summary.status = JobStatus::kDegraded;
+  }
+  if (summary.status != JobStatus::kDataUnavailable) {
+    verify_no_work_lost(summary);
+  }
   return summary;
 }
 

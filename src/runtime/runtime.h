@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "data/dataset.h"
 #include "energy/estimator.h"
 #include "estimator/progressive.h"
+#include "ha/router.h"
 #include "optimize/pareto.h"
 #include "runtime/replan.h"
 #include "runtime/trace.h"
@@ -64,7 +66,27 @@ struct JobSpec {
   /// duration). Only consulted when a fault injector is attached to
   /// the cluster.
   double heartbeat_timeout_s = 0.0;
+  /// Copies kept of every ingested record (via the ha shard router).
+  /// 1 = legacy single-master data plane; >= 2 additionally shards each
+  /// record over k replicas, so node loss — including the data master —
+  /// degrades instead of failing: orphan rescues re-pull payloads from
+  /// surviving replicas. Must be <= the cluster size.
+  std::size_t replication = 1;
 };
+
+/// Typed job outcome, replacing the old throw-on-master-loss behaviour.
+enum class JobStatus : std::uint8_t {
+  /// All nodes survived and every record was processed.
+  kOk,
+  /// Nodes were lost but every record was still processed (rescued from
+  /// the data master or, with replication >= 2, from replicas).
+  kDegraded,
+  /// The canonical data copies became unreachable (master lost without
+  /// replication); the job finished what it could, the rest is gone.
+  kDataUnavailable,
+};
+
+[[nodiscard]] std::string_view job_status_name(JobStatus s);
 
 /// Per-job summary, exported alongside the trace.
 struct JobSummary {
@@ -91,6 +113,8 @@ struct JobSummary {
   std::vector<std::size_t> processed;
 
   // ---- degraded mode (fault injection) -------------------------------
+  /// Typed outcome; kDegraded/kDataUnavailable refine `degraded`.
+  JobStatus status = JobStatus::kOk;
   /// True when the job finished without some of its nodes.
   bool degraded = false;
   /// Nodes declared lost (missed heartbeats while holding records), in
@@ -108,6 +132,15 @@ struct JobSummary {
   std::uint64_t kv_timeouts = 0;
   std::uint64_t kv_failures = 0;
 
+  // ---- replication (spec.replication >= 2) ---------------------------
+  /// Acknowledged per-replica record copies written at ingest.
+  std::uint64_t replica_writes = 0;
+  /// Failover elections run by the shard router during the job.
+  std::size_t elections = 0;
+  /// Orphaned records whose payloads were re-pulled from surviving
+  /// replicas (rather than the single data master).
+  std::size_t replica_rescued_records = 0;
+
   [[nodiscard]] double total_energy_j() const noexcept {
     return dirty_energy_j + green_energy_j;
   }
@@ -116,7 +149,9 @@ struct JobSummary {
 /// No-work-lost invariant: every ingested record was processed by some
 /// node, even across straggler migrations and node-loss re-plans.
 /// Aborts (HETSIM_CHECK) on violation. Called at the end of every
-/// JobRuntime::run; exposed so tests can drive it directly.
+/// JobRuntime::run except when the summary reports kDataUnavailable
+/// (records provably lost is that status's meaning); exposed so tests
+/// can drive it directly.
 void verify_no_work_lost(const JobSummary& summary);
 
 /// JSON object for one summary (dashboards, bench trajectories).
@@ -140,6 +175,11 @@ class JobRuntime {
     return models_;
   }
 
+  /// The shard router of the current run (null when replication == 1).
+  [[nodiscard]] const ha::ShardRouter* router() const noexcept {
+    return router_.get();
+  }
+
  private:
   [[nodiscard]] std::vector<std::size_t> plan_sizes(std::size_t total) const;
 
@@ -150,6 +190,9 @@ class JobRuntime {
   std::vector<optimize::NodeModel> models_;
   std::uint32_t master_ = 0;
   std::uint32_t barrier_master_ = 0;
+  /// Replicated data plane (replication >= 2 only).
+  std::unique_ptr<ha::ShardRouter> router_;
+  optimize::ReplicaCostModel replica_cost_;
 };
 
 }  // namespace hetsim::runtime

@@ -509,11 +509,38 @@ TEST(NodeLoss, TwoFailStopsStillConserveEveryRecord) {
             dataset.size());
 }
 
-TEST(NodeLoss, MasterFailStopThrowsInsteadOfLosingTheDataset) {
+TEST(NodeLoss, MasterFailStopReportsDataUnavailableInsteadOfThrowing) {
   const data::Dataset dataset = small_corpus(200);
   FaultPlan plan;
   plan.nodes[0].fail_stop_at_s = 0.0;  // node 0 is the data master
-  EXPECT_THROW((void)run_job(dataset, &plan), common::Error);
+  // Unreplicated master loss used to throw mid-run; it now finishes the
+  // survivors' work and reports the typed outcome.
+  const runtime::JobSummary summary = run_job(dataset, &plan);
+  EXPECT_EQ(summary.status, runtime::JobStatus::kDataUnavailable);
+  EXPECT_TRUE(summary.degraded);
+  ASSERT_EQ(summary.nodes_lost, (std::vector<std::uint32_t>{0}));
+  // The master's queued records are gone — strictly fewer processed
+  // than ingested, which is exactly what the status encodes.
+  EXPECT_LT(std::accumulate(summary.processed.begin(),
+                            summary.processed.end(), std::size_t{0}),
+            dataset.size());
+}
+
+TEST(NodeLoss, MasterFailStopWithReplicationLosesNothing) {
+  const data::Dataset dataset = small_corpus(200);
+  FaultPlan plan;
+  plan.nodes[0].fail_stop_at_s = 0.0;  // node 0 is the data master
+  runtime::JobSpec spec = fast_spec();
+  spec.replication = 2;
+  const runtime::JobSummary summary =
+      run_job(dataset, &plan, nullptr, spec);
+  EXPECT_EQ(summary.status, runtime::JobStatus::kDegraded);
+  ASSERT_EQ(summary.nodes_lost, (std::vector<std::uint32_t>{0}));
+  EXPECT_GE(summary.elections, 1u);
+  EXPECT_GT(summary.replica_rescued_records, 0u);
+  EXPECT_EQ(std::accumulate(summary.processed.begin(),
+                            summary.processed.end(), std::size_t{0}),
+            dataset.size());
 }
 
 TEST(NodeLoss, DegradedRunIsByteIdenticalForTheSameSeedAndPlan) {

@@ -31,6 +31,13 @@
 //                     the call in kvstore::expect_ok(...) (which throws
 //                     UnavailableError on failure) or inspect
 //                     Reply::status.
+//   direct-store      naming kvstore::Store (or calling a .store()/
+//                     ->store() accessor) outside src/kvstore/, src/ha/
+//                     and src/cluster/. Raw store access bypasses
+//                     ha::ShardRouter placement, so the write is
+//                     invisible to replication, failover rescue, and
+//                     anti-entropy repair — go through ha::Client (or
+//                     kvstore::Client for unreplicated paths).
 //   pragma-once       every header carries #pragma once.
 //
 // Matching is token-boundary-aware and ignores comments and string
@@ -190,6 +197,9 @@ class Linter {
     const bool float_rule_applies =
         std::any_of(std::begin(kAccountingDirs), std::end(kAccountingDirs),
                     [&](std::string_view d) { return in_dir(rel, d); });
+    const bool store_rule_applies = !in_dir(rel, "kvstore") &&
+                                    !in_dir(rel, "ha") &&
+                                    !in_dir(rel, "cluster");
 
     bool saw_pragma_once = false;
     bool in_block_comment = false;
@@ -241,6 +251,17 @@ class Linter {
         add(file, n + 1, "float-accounting",
             "float in energy/time accounting — use double end to end");
       }
+      if (store_rule_applies && !allowed("direct-store") &&
+          (has_token(code, "kvstore::Store") ||
+           code.find(".store(") != std::string::npos ||
+           code.find("->store(") != std::string::npos)) {
+        add(file, n + 1, "direct-store",
+            "direct kvstore::Store access outside src/kvstore/, src/ha/ "
+            "and src/cluster/ — route data-plane traffic through "
+            "ha::Client / ha::ShardRouter (or kvstore::Client for "
+            "unreplicated paths) so replication, failover rescue, and "
+            "anti-entropy repair see the operation");
+      }
       if (!allowed("unchecked-reply") &&
           code.find("(void)") != std::string::npos &&
           (code.find(".drain(") != std::string::npos ||
@@ -283,7 +304,8 @@ int self_test(const fs::path& fixtures) {
   for (const Violation& v : linter.violations()) fired.insert(v.rule);
   const std::vector<std::string> expected{
       "naked-mutex",      "raw-thread",  "nondeterminism",
-      "float-accounting", "pragma-once", "unchecked-reply"};
+      "float-accounting", "pragma-once", "unchecked-reply",
+      "direct-store"};
   int missing = 0;
   for (const std::string& rule : expected) {
     if (fired.count(rule) == 0) {

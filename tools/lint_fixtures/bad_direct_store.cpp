@@ -1,0 +1,20 @@
+// Seeded violation: direct-store. Touching a node's kvstore::Store (or
+// grabbing it through a .store() accessor) from outside src/kvstore/,
+// src/ha/ and src/cluster/ bypasses ha::ShardRouter placement — the
+// write never reaches the replicas, so failover rescue and anti-entropy
+// repair cannot see it. Go through ha::Client instead.
+namespace kvstore {
+struct Store {
+  void set(const char*, const char*) {}
+};
+}  // namespace kvstore
+
+struct FakeCluster {
+  kvstore::Store& store(int) { return s_; }
+  kvstore::Store s_;
+};
+
+void seeded_direct_store() {
+  FakeCluster cluster;
+  cluster.store(0).set("key", "value");
+}
