@@ -26,11 +26,13 @@
 //    400 | kParPool    | par::ThreadPool::mu_          | fan-out job slot,
 //        |             |                               | lane tally (leaf)
 //
-// The executor's checkpoint callback holds kScheduler while it records
-// trace events (kTrace), consults the HA shard router (kHa) and issues
-// migration traffic through the kvstore (kStore); neither the recorder,
-// the router nor the store ever calls back out while locked, so all
-// three are safe to rank below the scheduler. The router never issues
+// The executor releases kScheduler around chunk execution and the
+// checkpoint callback (the admission token, not the lock, is what keeps
+// them serial — see runtime/executor.cpp), so trace recording (kTrace),
+// shard-router queries (kHa) and kvstore migration traffic (kStore)
+// issued from a checkpoint start from an empty held-set. The ranking
+// still orders the subsystems: neither the recorder, the router nor the
+// store ever calls back out while locked, and the router never issues
 // store traffic under its own lock (routing decisions are returned by
 // value), so kHa < kStore holds by construction. The parallel-for
 // pool is leaf-most: a caller may fan out while holding anything above,
@@ -39,10 +41,13 @@
 // mutex of the rank you already hold (including re-acquiring the same
 // mutex) also aborts, which catches self-deadlock.
 //
-// RankedMutex satisfies Lockable, so std::lock_guard / std::unique_lock
-// work unchanged; pair it with std::condition_variable_any for waiting.
-// Naked std::mutex is banned outside src/check/ (enforced by
-// tools/hetsim_lint).
+// RankedMutex satisfies Lockable; acquire it through check::LockGuard
+// (scoped) or check::UniqueLock (condition waits, unlock-around-callback
+// windows) below, which carry the Clang thread-safety annotations
+// (check/thread_safety.h) that let -Wthread-safety prove GUARDED_BY
+// contracts at compile time. Naked std::mutex is banned outside
+// src/check/ (enforced by tools/hetsim_lint), and lock acquisition
+// order is additionally checked statically by tools/hetsim_analyze.
 //
 // Checking is gated on HETSIM_DCHECK_ENABLED (forced on by the
 // HETSIM_DCHECKS CMake option, default ON); with it off, RankedMutex is a
@@ -53,6 +58,7 @@
 #include <mutex>
 
 #include "check/check.h"
+#include "check/thread_safety.h"
 
 namespace hetsim::check {
 
@@ -67,16 +73,16 @@ enum class LockRank : std::uint32_t {
   kParPool = 400,    // par::ThreadPool fan-out state (leaf)
 };
 
-class RankedMutex {
+class HETSIM_CAPABILITY("mutex") RankedMutex {
  public:
   RankedMutex(LockRank rank, const char* name) noexcept
       : rank_(rank), name_(name) {}
   RankedMutex(const RankedMutex&) = delete;
   RankedMutex& operator=(const RankedMutex&) = delete;
 
-  void lock();
-  bool try_lock();
-  void unlock();
+  void lock() HETSIM_ACQUIRE();
+  bool try_lock() HETSIM_TRY_ACQUIRE(true);
+  void unlock() HETSIM_RELEASE();
 
   [[nodiscard]] LockRank rank() const noexcept { return rank_; }
   [[nodiscard]] const char* name() const noexcept { return name_; }
@@ -93,6 +99,57 @@ class RankedMutex {
   std::mutex mu_;
   const LockRank rank_;
   const char* const name_;
+};
+
+/// std::lock_guard for RankedMutex, with the scoped-capability
+/// annotation std::lock_guard lacks — Clang's -Wthread-safety only
+/// credits an acquisition it can see.
+class HETSIM_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(RankedMutex& mu) HETSIM_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~LockGuard() HETSIM_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  RankedMutex& mu_;
+};
+
+/// std::unique_lock for RankedMutex: BasicLockable (so it works with
+/// std::condition_variable_any) plus explicit unlock()/lock() for the
+/// executor's unlock-around-callback windows. Constructor/destructor
+/// carry the scoped-capability annotations; the mid-scope lock()/
+/// unlock() pair is deliberately unannotated — the analysis treats the
+/// capability as held for the whole scope, which is sound here because
+/// the unlocked windows never touch guarded state (the RankedMutex
+/// runtime registry still checks the real acquisition order).
+class HETSIM_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(RankedMutex& mu) HETSIM_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+    owns_ = true;
+  }
+  ~UniqueLock() HETSIM_RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() {
+    mu_.lock();
+    owns_ = true;
+  }
+  void unlock() {
+    owns_ = false;
+    mu_.unlock();
+  }
+  [[nodiscard]] bool owns_lock() const noexcept { return owns_; }
+
+ private:
+  RankedMutex& mu_;
+  bool owns_ = false;
 };
 
 }  // namespace hetsim::check

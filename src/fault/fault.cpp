@@ -97,7 +97,7 @@ RoundTripFault FaultInjector::on_round_trip(HostId src, HostId dst) {
   if (!enabled_) return out;
   std::uint64_t trip = 0;
   {
-    std::lock_guard<check::RankedMutex> lk(mu_);
+    check::LockGuard lk(mu_);
     trip = link_trips_[{src, dst}]++;
   }
   // Loopback never fails: it models in-process memory, not a network.
@@ -107,7 +107,7 @@ RoundTripFault FaultInjector::on_round_trip(HostId src, HostId dst) {
       // Count trips in both directions against the same budget.
       std::uint64_t other = 0;
       {
-        std::lock_guard<check::RankedMutex> lk(mu_);
+        check::LockGuard lk(mu_);
         const auto it = link_trips_.find({dst, src});
         other = it == link_trips_.end() ? 0 : it->second;
       }
@@ -141,7 +141,7 @@ StoreFault FaultInjector::on_store_op(HostId host) {
   const StoreFaults& f = it->second;
   std::uint64_t op = 0;
   {
-    std::lock_guard<check::RankedMutex> lk(mu_);
+    check::LockGuard lk(mu_);
     op = store_ops_[host]++;
   }
   if (f.crash_at_op > 0 && op >= f.crash_at_op) return StoreFault::kDown;
@@ -187,13 +187,13 @@ std::vector<HostId> FaultInjector::failed_nodes_at(double now_s) const {
 }
 
 std::uint64_t FaultInjector::round_trips(HostId src, HostId dst) const {
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   const auto it = link_trips_.find({src, dst});
   return it == link_trips_.end() ? 0 : it->second;
 }
 
 std::uint64_t FaultInjector::store_ops(HostId host) const {
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   const auto it = store_ops_.find(host);
   return it == store_ops_.end() ? 0 : it->second;
 }

@@ -170,8 +170,9 @@ class FaultInjector {
   bool enabled_ = false;
   mutable check::RankedMutex mu_{check::LockRank::kFault,
                                  "fault::FaultInjector"};
-  std::map<std::pair<HostId, HostId>, std::uint64_t> link_trips_;
-  std::map<HostId, std::uint64_t> store_ops_;
+  std::map<std::pair<HostId, HostId>, std::uint64_t> link_trips_
+      HETSIM_GUARDED_BY(mu_);
+  std::map<HostId, std::uint64_t> store_ops_ HETSIM_GUARDED_BY(mu_);
 };
 
 [[nodiscard]] std::string_view store_fault_name(StoreFault f);

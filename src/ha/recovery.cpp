@@ -57,8 +57,20 @@ RecoveryReport recover(kvstore::Store& store, const Snapshot& snapshot,
   report.snapshot_seq = snapshot.seq;
   report.snapshot_keys = snapshot.entries.size();
   for (const LogEntry& entry : log.tail(snapshot.seq)) {
-    (void)kvstore::apply_command(store, entry.cmd);
-    ++report.replayed_ops;
+    // An acknowledged write must re-apply cleanly against the state it
+    // originally applied to; a replay that reports no effect is
+    // divergence (torn snapshot, reordered or corrupted log) and must
+    // not vanish silently. A del of an absent key is exempt — that is
+    // a legitimate no-op live and on replay alike.
+    const kvstore::Reply reply = kvstore::apply_command(store, entry.cmd);
+    const bool effect_ok =
+        reply.status == kvstore::Status::kOk &&
+        (reply.ok || entry.cmd.type == kvstore::CommandType::kDel);
+    if (effect_ok) {
+      ++report.replayed_ops;
+    } else {
+      ++report.failed_ops;
+    }
   }
   return report;
 }

@@ -78,7 +78,15 @@ void restore_snapshot(kvstore::Store& store, const Snapshot& snapshot);
 struct RecoveryReport {
   std::uint64_t snapshot_seq = 0;
   std::size_t snapshot_keys = 0;
+  /// Log entries that re-applied cleanly (Reply::status == kOk).
   std::size_t replayed_ops = 0;
+  /// Log entries whose replay returned an error reply. A live write
+  /// that was acknowledged cannot fail replay against the same store
+  /// state, so any nonzero count means snapshot/log divergence — the
+  /// recovered store must not be trusted until repair runs.
+  std::size_t failed_ops = 0;
+
+  [[nodiscard]] bool diverged() const noexcept { return failed_ops != 0; }
 };
 
 /// Full recovery: wipe, restore the snapshot (possibly empty), replay

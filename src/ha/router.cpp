@@ -36,18 +36,18 @@ std::vector<HostId> ShardRouter::live_walk_locked(std::string_view key,
 std::vector<HostId> ShardRouter::route(std::string_view key) const {
   const std::size_t k =
       std::min(map_.config().replication, map_.nodes().size());
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   return live_walk_locked(key, k);
 }
 
 std::vector<HostId> ShardRouter::live_preference(std::string_view key) const {
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   return live_walk_locked(key, map_.nodes().size());
 }
 
 ElectionRecord ShardRouter::mark_down(HostId node, double at_s) {
   const std::size_t idx = index_of(node);
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   if (down_[idx]) {
     // Already dead: return the election that re-homed it, if any.
     for (auto it = elections_.rbegin(); it != elections_.rend(); ++it) {
@@ -87,40 +87,40 @@ ElectionRecord ShardRouter::mark_down(HostId node, double at_s) {
 
 void ShardRouter::mark_up(HostId node) {
   const std::size_t idx = index_of(node);
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   down_[idx] = 0;
 }
 
 bool ShardRouter::is_down(HostId node) const {
   const std::size_t idx = index_of(node);
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   return down_[idx] != 0;
 }
 
 std::size_t ShardRouter::live_count() const {
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   return static_cast<std::size_t>(
       std::count(down_.begin(), down_.end(), 0));
 }
 
 std::vector<ElectionRecord> ShardRouter::elections() const {
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   return elections_;
 }
 
 RouterStats ShardRouter::stats() const {
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   return stats_;
 }
 
 void ShardRouter::note_read(bool fallback) {
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   ++stats_.routed_reads;
   if (fallback) ++stats_.fallback_reads;
 }
 
 void ShardRouter::note_write(std::uint64_t failed_replicas) {
-  std::lock_guard<check::RankedMutex> lk(mu_);
+  check::LockGuard lk(mu_);
   ++stats_.routed_writes;
   stats_.write_failures += failed_replicas;
 }

@@ -91,14 +91,15 @@ class ShardRouter {
   [[nodiscard]] std::size_t index_of(HostId node) const;
   /// route()/live_preference() body; mu_ must be held.
   [[nodiscard]] std::vector<HostId> live_walk_locked(
-      std::string_view key, std::size_t count) const;
+      std::string_view key, std::size_t count) const HETSIM_REQUIRES(mu_);
 
   ShardMap map_;
   std::uint64_t election_seed_;
   mutable check::RankedMutex mu_{check::LockRank::kHa, "ha::ShardRouter"};
-  std::vector<char> down_;  // parallel to map_.nodes()
-  std::vector<ElectionRecord> elections_;
-  RouterStats stats_;
+  // parallel to map_.nodes()
+  std::vector<char> down_ HETSIM_GUARDED_BY(mu_);
+  std::vector<ElectionRecord> elections_ HETSIM_GUARDED_BY(mu_);
+  RouterStats stats_ HETSIM_GUARDED_BY(mu_);
 };
 
 }  // namespace hetsim::ha

@@ -194,8 +194,9 @@ Reply Client::execute_with_faults(const Command& cmd) {
     const fault::RoundTripFault net = fault_->on_round_trip(self_, target_);
     if (net.partitioned || net.dropped) {
       if (net.dropped && !net.request_lost) {
-        // Reached the server and was applied; the reply was lost.
-        (void)apply(cmd);
+        // Reached the server and was applied; the reply was lost in
+        // flight, so the client genuinely cannot observe its status.
+        (void)apply(cmd);  // hetsim-analyze: allow(status-flow)
       }
       // The client waits out the full attempt timeout for a reply that
       // never comes; only the request's bytes ever hit the wire.
@@ -222,8 +223,9 @@ Reply Client::execute_with_faults(const Command& cmd) {
                                  : 0.0;
         if (stall >= retry_.attempt_timeout_s) {
           // The server applied the command but its reply arrives after
-          // the client gave up — indistinguishable from a lost reply.
-          (void)apply(cmd);
+          // the client gave up — indistinguishable from a lost reply,
+          // so its status is unobservable by design.
+          (void)apply(cmd);  // hetsim-analyze: allow(status-flow)
           sim_time_ += retry_.attempt_timeout_s;
           elapsed += retry_.attempt_timeout_s;
           fabric_.record(self_, target_, 1, 1, req);

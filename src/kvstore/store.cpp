@@ -27,13 +27,13 @@ std::pair<std::size_t, std::size_t> clamp_range(std::size_t n,
 }  // namespace
 
 void Store::set(std::string_view key, std::string_view value) {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   data_.insert_or_assign(std::string(key), std::string(value));
 }
 
 std::optional<std::string> Store::get(std::string_view key) const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   const auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;
@@ -43,7 +43,7 @@ std::optional<std::string> Store::get(std::string_view key) const {
 }
 
 std::size_t Store::rpush(std::string_view key, std::string_view element) {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   auto [it, inserted] = data_.try_emplace(std::string(key),
                                           std::vector<std::string>{});
@@ -55,7 +55,7 @@ std::size_t Store::rpush(std::string_view key, std::string_view element) {
 
 std::vector<std::string> Store::lrange(std::string_view key, std::int64_t start,
                                        std::int64_t stop) const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   const auto it = data_.find(key);
   if (it == data_.end()) return {};
@@ -67,7 +67,7 @@ std::vector<std::string> Store::lrange(std::string_view key, std::int64_t start,
 }
 
 std::size_t Store::llen(std::string_view key) const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   const auto it = data_.find(key);
   if (it == data_.end()) return 0;
@@ -78,7 +78,7 @@ std::size_t Store::llen(std::string_view key) const {
 
 std::optional<std::string> Store::lindex(std::string_view key,
                                          std::int64_t index) const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   const auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;
@@ -91,7 +91,7 @@ std::optional<std::string> Store::lindex(std::string_view key,
 }
 
 std::int64_t Store::incrby(std::string_view key, std::int64_t delta) {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   auto [it, inserted] = data_.try_emplace(std::string(key), std::int64_t{0});
   auto* counter = std::get_if<std::int64_t>(&it->second);
@@ -101,7 +101,7 @@ std::int64_t Store::incrby(std::string_view key, std::int64_t delta) {
 }
 
 std::int64_t Store::counter(std::string_view key) const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   const auto it = data_.find(key);
   if (it == data_.end()) return 0;
@@ -111,13 +111,13 @@ std::int64_t Store::counter(std::string_view key) const {
 }
 
 bool Store::exists(std::string_view key) const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   return data_.find(key) != data_.end();
 }
 
 bool Store::del(std::string_view key) {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   const auto it = data_.find(key);
   if (it == data_.end()) return false;
@@ -126,13 +126,13 @@ bool Store::del(std::string_view key) {
 }
 
 void Store::flush_all() {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   ++ops_;
   data_.clear();
 }
 
 std::vector<std::string> Store::keys() const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(data_.size());
   for (const auto& [key, value] : data_) out.push_back(key);
@@ -174,14 +174,14 @@ std::string encode_variant(
 }  // namespace
 
 std::uint64_t Store::value_digest(std::string_view key) const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   const auto it = data_.find(key);
   if (it == data_.end()) return 0;
   return common::hash_bytes(encode_variant(it->second));
 }
 
 std::optional<std::string> Store::encode_value(std::string_view key) const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   const auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;
   return encode_variant(it->second);
@@ -227,12 +227,12 @@ void Store::restore_value(std::string_view key, std::string_view encoded) {
     default:
       throw StoreError("restore_value: unknown value tag");
   }
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   data_.insert_or_assign(std::string(key), std::move(value));
 }
 
 StoreStats Store::stats() const {
-  std::lock_guard lock(mu_);
+  check::LockGuard lock(mu_);
   StoreStats s;
   s.keys = data_.size();
   s.ops = ops_;

@@ -88,8 +88,8 @@ class Store {
   // Leaf of the lock hierarchy (check/ranked_mutex.h): store operations
   // never call back out of the kvstore while holding it.
   mutable check::RankedMutex mu_{check::LockRank::kStore, "kvstore::Store"};
-  std::map<std::string, Value, std::less<>> data_;
-  mutable std::uint64_t ops_ = 0;
+  std::map<std::string, Value, std::less<>> data_ HETSIM_GUARDED_BY(mu_);
+  mutable std::uint64_t ops_ HETSIM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hetsim::kvstore

@@ -103,16 +103,16 @@ class ThreadPool {
   check::RankedMutex mu_{check::LockRank::kParPool, "par::ThreadPool::mu_"};
   std::condition_variable_any job_cv_;   // workers wait for a new epoch
   std::condition_variable_any done_cv_;  // caller waits for worker lanes
-  // All below guarded by mu_.
-  std::uint64_t epoch_ = 0;
-  bool stop_ = false;
-  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
-  std::size_t n_ = 0;
-  std::size_t chunk_ = 0;
-  std::size_t num_chunks_ = 0;
-  std::uint32_t lanes_done_ = 0;
-  std::exception_ptr first_error_;
-  std::size_t first_error_chunk_ = 0;
+  std::uint64_t epoch_ HETSIM_GUARDED_BY(mu_) = 0;
+  bool stop_ HETSIM_GUARDED_BY(mu_) = false;
+  const std::function<void(std::size_t, std::size_t)>* body_
+      HETSIM_GUARDED_BY(mu_) = nullptr;
+  std::size_t n_ HETSIM_GUARDED_BY(mu_) = 0;
+  std::size_t chunk_ HETSIM_GUARDED_BY(mu_) = 0;
+  std::size_t num_chunks_ HETSIM_GUARDED_BY(mu_) = 0;
+  std::uint32_t lanes_done_ HETSIM_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ HETSIM_GUARDED_BY(mu_);
+  std::size_t first_error_chunk_ HETSIM_GUARDED_BY(mu_) = 0;
 };
 
 /// Process-wide pool sized by default_threads(); constructed on first

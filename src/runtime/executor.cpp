@@ -20,8 +20,11 @@ double ExecutorReport::total_work_units() const noexcept {
 }
 
 struct PhaseExecutor::State {
-  // Outermost rank: held across chunk execution and the checkpoint
-  // callback, which may take the trace and store locks below it.
+  // Outermost rank. Guards admission (current/done) and the accounting
+  // below; NOT held across chunk execution or checkpoint callbacks —
+  // the admission token keeps those serial (see worker()), and holding
+  // a lock across blocking kvstore/fabric traffic is exactly what
+  // tools/hetsim_analyze's lock-blocking rule rejects.
   check::RankedMutex mu{check::LockRank::kScheduler,
                         "runtime::PhaseExecutor"};
   std::condition_variable_any cv;
@@ -134,9 +137,9 @@ double PhaseExecutor::sync_network(std::uint32_t node) {
 
 void PhaseExecutor::worker(std::uint32_t node) {
   State& s = *state_;
-  std::unique_lock<check::RankedMutex> lk(s.mu);
+  check::UniqueLock lk(s.mu);
   for (;;) {
-    s.cv.wait(lk, [&] { return s.done || s.current == node; });
+    while (!s.done && s.current != node) s.cv.wait(lk);
     if (s.done) return;
     try {
       // Fail-stop fires at the chunk boundary: the node is admitted,
@@ -148,12 +151,12 @@ void PhaseExecutor::worker(std::uint32_t node) {
           s.dead[node] == 0 && options_.fault->has_fail_stop(node) &&
           s.clock[node] >= options_.fault->fail_stop_time_s(node)) {
         s.dead[node] = 1;
-        hand_off_locked();
+        hand_off_locked(lk);
         return;  // the thread exits; dead nodes are never picked again
       }
-      // This node holds the scheduler token: run one chunk. The lock stays
-      // held — admission is one-at-a-time by construction, and serial
-      // execution is what makes the interleaving reproducible.
+      // This node holds the scheduler token: run one chunk. Admission is
+      // one-at-a-time by construction — serial execution is what makes
+      // the interleaving reproducible.
       auto& queue = s.queues[node];
       // Tail absorption: a sub-chunk remainder would hand the workload a
       // degenerate unit of work (for SON mining, a tiny transaction set
@@ -171,7 +174,17 @@ void PhaseExecutor::worker(std::uint32_t node) {
       }
       const double before = s.clock[node];
       cluster::NodeContext& ctx = *s.contexts[node];
+      // The chunk body issues blocking work (simulated kvstore/fabric
+      // round trips), so the scheduler lock is RELEASED around it. That
+      // does not admit anyone else: s.current still names this node, and
+      // parked workers only re-check s.done/s.current under the lock —
+      // they never touch the accounting the chunk updates. The mutex
+      // hand-off (release here, re-acquire below, release at the next
+      // hand_off) carries the happens-before edge to whichever thread is
+      // admitted next.
+      lk.unlock();
       runner_(ctx, chunk);
+      lk.lock();
       const double units = ctx.meter().units() - s.units_seen[node];
       s.units_seen[node] = ctx.meter().units();
       const double compute =
@@ -189,12 +202,20 @@ void PhaseExecutor::worker(std::uint32_t node) {
       s.max_chunk_s[node] =
           std::max(s.max_chunk_s[node], s.clock[node] - before);
       s.heartbeat[node] = s.clock[node];
-      if (checkpoint_) checkpoint_(node);
-      if (!hand_off_locked()) return;
+      if (checkpoint_) {
+        // Checkpoints migrate data through kvstore/ha clients — more
+        // blocking traffic, same token argument as the chunk body above.
+        lk.unlock();
+        checkpoint_(node);
+        lk.lock();
+      }
+      if (!hand_off_locked(lk)) return;
     } catch (...) {
-      // A checkpoint callback (or workload) threw on a worker thread.
-      // Record the first exception and shut the phase down; run()
-      // rethrows it on the caller's thread.
+      // A checkpoint callback (or workload) threw on a worker thread —
+      // possibly inside an unlocked callback window, so re-acquire
+      // before touching shared state. Record the first exception and
+      // shut the phase down; run() rethrows it on the caller's thread.
+      if (!lk.owns_lock()) lk.lock();
       if (!s.error) s.error = std::current_exception();
       s.done = true;
       s.cv.notify_all();
@@ -203,10 +224,10 @@ void PhaseExecutor::worker(std::uint32_t node) {
   }
 }
 
-bool PhaseExecutor::hand_off_locked() {
+bool PhaseExecutor::hand_off_locked(check::UniqueLock& lk) {
   State& s = *state_;
   std::uint32_t next = pick_next_locked();
-  if (next == s.queues.size()) next = rescue_locked();
+  if (next == s.queues.size()) next = rescue_locked(lk);
   if (next == s.queues.size()) {
     s.done = true;
     s.cv.notify_all();
@@ -217,7 +238,7 @@ bool PhaseExecutor::hand_off_locked() {
   return true;
 }
 
-std::uint32_t PhaseExecutor::rescue_locked() {
+std::uint32_t PhaseExecutor::rescue_locked(check::UniqueLock& lk) {
   State& s = *state_;
   const std::size_t p = s.queues.size();
   const auto none = static_cast<std::uint32_t>(p);
@@ -245,7 +266,13 @@ std::uint32_t PhaseExecutor::rescue_locked() {
     const std::uint64_t before = s.mutations;
     s.clock[rescuer] = std::max(s.clock[rescuer], horizon);
     s.heartbeat[rescuer] = s.clock[rescuer];
+    // Same unlocked-callback window as worker(): the rescuer thread is
+    // the only one running (no node is runnable), so dropping the lock
+    // around the blocking checkpoint traffic is race-free. On throw the
+    // exception unwinds to worker()'s catch, which re-acquires.
+    lk.unlock();
     checkpoint_(rescuer);
+    lk.lock();
     if (s.mutations == before) return none;  // callback won't reassign
     const std::uint32_t next = pick_next_locked();
     if (next != none) return next;
@@ -256,7 +283,7 @@ ExecutorReport PhaseExecutor::run() {
   State& s = *state_;
   const std::size_t p = s.queues.size();
   {
-    std::lock_guard<check::RankedMutex> lk(s.mu);
+    check::LockGuard lk(s.mu);
     const std::uint32_t first = pick_next_locked();
     if (first == p) {
       s.done = true;  // nothing to do anywhere
@@ -270,7 +297,7 @@ ExecutorReport PhaseExecutor::run() {
     threads.emplace_back([this, i] { worker(i); });
   }
   {
-    std::lock_guard<check::RankedMutex> lk(s.mu);
+    check::LockGuard lk(s.mu);
     s.cv.notify_all();
   }
   for (auto& t : threads) t.join();

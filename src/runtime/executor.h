@@ -15,6 +15,12 @@
 // records between queues (re-planning migrations) and charge extra
 // network time, which is how the runtime implements mid-job
 // re-planning.
+//
+// Locking: the scheduler mutex guards only admission and accounting.
+// Chunk bodies and checkpoint callbacks run with it RELEASED — the
+// admission token (State::current), not the lock, is what keeps them
+// serial — so blocking kvstore/fabric traffic is never issued under a
+// held RankedMutex (tools/hetsim_analyze, rule lock-blocking).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "check/ranked_mutex.h"
 #include "cluster/cluster.h"
 
 namespace hetsim::fault {
@@ -79,9 +86,10 @@ class PhaseExecutor {
   /// metering via ctx (same contract as estimator::SampleRunner).
   using ChunkRunner =
       std::function<void(cluster::NodeContext&, std::span<const std::uint32_t>)>;
-  /// Invoked under the scheduler lock after `node` completes a chunk;
-  /// all other threads are parked, so the callback may freely use the
-  /// mutation API below.
+  /// Invoked after `node` completes a chunk, with the scheduler lock
+  /// released but every other thread parked (the callback runs on the
+  /// thread holding the admission token), so it may freely use the
+  /// mutation API below and issue blocking client traffic.
   using CheckpointFn = std::function<void(std::uint32_t node)>;
 
   PhaseExecutor(cluster::Cluster& cluster,
@@ -134,13 +142,15 @@ class PhaseExecutor {
   /// none.
   [[nodiscard]] std::uint32_t pick_next_locked() const;
   /// Pass the token on (or finish the phase). False = phase over.
-  bool hand_off_locked();
+  /// `lk` is the caller's held scheduler lock (the rescue path drops it
+  /// around checkpoint callbacks).
+  bool hand_off_locked(check::UniqueLock& lk);
   /// Dead nodes still hold records but no live node has queued work:
   /// advance the clock of a live node past the detection horizon and run
   /// the checkpoint callback as it, so missed heartbeats become visible
   /// and the work can be reassigned. Returns the next runnable node, or
   /// size() when no callback mutation made one available.
-  [[nodiscard]] std::uint32_t rescue_locked();
+  [[nodiscard]] std::uint32_t rescue_locked(check::UniqueLock& lk);
 
   cluster::Cluster& cluster_;
   ExecutorOptions options_;

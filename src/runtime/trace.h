@@ -77,8 +77,9 @@ class TraceRecorder {
   /// never calls into the kvstore).
   mutable check::RankedMutex mu_{check::LockRank::kTrace,
                                  "runtime::TraceRecorder"};
-  std::vector<TraceEvent> events_;
-  std::vector<std::pair<std::int64_t, std::string>> lane_names_;
+  std::vector<TraceEvent> events_ HETSIM_GUARDED_BY(mu_);
+  std::vector<std::pair<std::int64_t, std::string>> lane_names_
+      HETSIM_GUARDED_BY(mu_);
 };
 
 }  // namespace hetsim::runtime

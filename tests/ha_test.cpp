@@ -532,6 +532,32 @@ TEST(Recovery, SnapshotPlusLogReplayRebuildsTheExactStore) {
   EXPECT_EQ(rebuilt.counter("c"), 5);
 }
 
+TEST(Recovery, ReplayFailuresAreCountedNotSwallowed) {
+  // Regression for the status-flow finding in recover(): replay used to
+  // (void)-discard every Reply, so a log entry that re-applied with no
+  // effect vanished silently. A corrupted tail entry (here: a read of a
+  // key the snapshot+log state cannot contain) must be surfaced.
+  ha::OpLog log;
+  (void)log.append(
+      {.type = kvstore::CommandType::kSet, .key = "a", .value = "1"});
+  (void)log.append({.type = kvstore::CommandType::kGet, .key = "ghost"});
+  kvstore::Store rebuilt;
+  const ha::RecoveryReport report = ha::recover(rebuilt, ha::Snapshot{}, log);
+  EXPECT_EQ(report.replayed_ops, 1u);
+  EXPECT_EQ(report.failed_ops, 1u);
+  EXPECT_TRUE(report.diverged());
+}
+
+TEST(Recovery, DelOfAbsentKeyIsALegitimateNoOpNotDivergence) {
+  ha::OpLog log;
+  (void)log.append({.type = kvstore::CommandType::kDel, .key = "never"});
+  kvstore::Store rebuilt;
+  const ha::RecoveryReport report = ha::recover(rebuilt, ha::Snapshot{}, log);
+  EXPECT_EQ(report.replayed_ops, 1u);
+  EXPECT_EQ(report.failed_ops, 0u);
+  EXPECT_FALSE(report.diverged());
+}
+
 TEST(Recovery, TrimDropsOnlyTheCoveredPrefix) {
   ha::OpLog log;
   for (int i = 0; i < 5; ++i) {

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <string>
 
+#include "check/ranked_mutex.h"
 #include "common/error.h"
 #include "core/mining_workload.h"
 #include "data/generators.h"
@@ -230,6 +231,37 @@ TEST(PhaseExecutor, CheckpointMigrationIsHonored) {
   const ExecutorReport report = executor.run();
   EXPECT_EQ(report.per_node[0].records_done, 50u);
   EXPECT_EQ(report.per_node[1].records_done, 40u);
+}
+
+TEST(PhaseExecutor, ChunkAndCheckpointRunWithNoSchedulerLockHeld) {
+  // Regression for the lock-blocking finding on the old executor: chunk
+  // bodies and checkpoint callbacks used to run under the scheduler
+  // mutex, so blocking kvstore/fabric traffic issued from either would
+  // have executed with a RankedMutex held. They now run with the lock
+  // released (the admission token keeps them serial); assert the
+  // thread's held-lock set is empty at both callback boundaries.
+  cluster::Cluster cluster(cluster::standard_cluster(2));
+  std::vector<std::uint32_t> work(60);
+  std::iota(work.begin(), work.end(), 0u);
+  std::size_t chunks_seen = 0;
+  std::size_t checkpoints_seen = 0;
+  PhaseExecutor executor(
+      cluster, {work, work},
+      [&](cluster::NodeContext& ctx, std::span<const std::uint32_t> indices) {
+        EXPECT_EQ(check::RankedMutex::held_by_this_thread(), 0u);
+        ++chunks_seen;
+        ctx.meter().add(1e4 * static_cast<double>(indices.size()));
+      },
+      {.chunk_records = 10});
+  executor.set_checkpoint([&](std::uint32_t) {
+    EXPECT_EQ(check::RankedMutex::held_by_this_thread(), 0u);
+    ++checkpoints_seen;
+  });
+  const ExecutorReport report = executor.run();
+  EXPECT_EQ(report.per_node[0].records_done, 60u);
+  EXPECT_EQ(report.per_node[1].records_done, 60u);
+  EXPECT_EQ(chunks_seen, 12u);
+  EXPECT_EQ(checkpoints_seen, 12u);
 }
 
 // ---- straggler / re-plan math ----------------------------------------------

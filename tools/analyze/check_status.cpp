@@ -1,0 +1,198 @@
+// status-flow — kvstore Status / Reply / ha result discipline, flow
+// tracked from producer call to consumption.
+//
+// Two findings:
+//   1. A statement that is nothing but a producer call — including the
+//      `(void)call(...)` spelling — discards the result outright.
+//      (`expect_ok(...)` is the blessed consume-and-assert helper and
+//      is exempt: it is deliberately not [[nodiscard]] so a bare
+//      `expect_ok(c.drain());` statement is the idiom.)
+//   2. A local variable of a status-carrying type (or `auto` bound to a
+//      producer call) that reaches the end of the function without a
+//      single further mention was produced but never consumed. Any
+//      later mention counts — returning it, branching on it, moving it
+//      into a consumer — except the bare `(void)var;` cast.
+//
+// A "producer" is any resolved callee whose declared return type names
+// Status, Reply, WriteResult or ReadResult. Unresolvable calls are not
+// guessed at.
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "analyze/checkers.h"
+#include "analyze/walk.h"
+
+namespace hetsim::analyze {
+
+namespace {
+
+const std::set<std::string> kStatusTypes = {"Status", "Reply", "WriteResult",
+                                            "ReadResult"};
+
+/// Consuming helpers that exist precisely to swallow a produced value.
+const std::set<std::string> kCheckedConsumers = {"expect_ok"};
+
+bool punct(const Token& t, const char* s) {
+  return t.kind == Tk::kPunct && t.text == s;
+}
+
+/// Does a return-type token string name a status-carrying type?
+std::string status_type_in(const std::string& ret) {
+  for (const std::string& ty : kStatusTypes) {
+    std::size_t at = ret.find(ty);
+    while (at != std::string::npos) {
+      const bool left_ok = at == 0 || !(std::isalnum(static_cast<unsigned char>(
+                                            ret[at - 1])) != 0 ||
+                                        ret[at - 1] == '_');
+      const std::size_t end = at + ty.size();
+      const bool right_ok =
+          end >= ret.size() ||
+          !(std::isalnum(static_cast<unsigned char>(ret[end])) != 0 ||
+            ret[end] == '_');
+      if (left_ok && right_ok) return ty;
+      at = ret.find(ty, at + 1);
+    }
+  }
+  return "";
+}
+
+struct TrackedVar {
+  std::string name;
+  std::string type;      // what the message should call it
+  std::size_t decl_end;  // scan for mentions after this token
+  int line = 0;
+};
+
+class StatusWalker {
+ public:
+  StatusWalker(const Resolver& resolver, std::vector<Finding>& out)
+      : r_(resolver), idx_(resolver.index()), out_(out) {}
+
+  void walk(std::size_t fid) {
+    const FunctionDef& fn = idx_.funcs[fid];
+    const SourceFile& file = idx_.files[fn.file];
+    const std::vector<Token>& t = file.tokens;
+    const LocalTypes locals = r_.collect_locals(fn);
+    std::vector<TrackedVar> tracked;
+
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      // Local declarations of status-carrying values.
+      if (t[i].kind == Tk::kIdent && i + 1 < t.size()) {
+        const bool decl_next = punct(t[i + 1], "=") || punct(t[i + 1], "{") ||
+                               punct(t[i + 1], ";") || punct(t[i + 1], ":");
+        if (decl_next) {
+          const std::string type = terminal_before(t, i);
+          if (kStatusTypes.count(type) != 0) {
+            tracked.push_back({t[i].text, type, i, t[i].line});
+            continue;
+          }
+          if (type == "auto" && punct(t[i + 1], "=")) {
+            const std::string produced = producer_after(fn, locals, i + 2);
+            if (!produced.empty()) {
+              tracked.push_back({t[i].text, produced, i, t[i].line});
+              continue;
+            }
+          }
+        }
+      }
+      // Bare-statement producer calls.
+      if (t[i].kind == Tk::kIdent && i + 1 < t.size() && punct(t[i + 1], "(")) {
+        CallSite call;
+        if (!r_.parse_call(fn, locals, i, call)) continue;
+        if (kCheckedConsumers.count(call.name) != 0) continue;
+        const std::string produced = producer_type(fn, call);
+        if (produced.empty()) continue;
+        // Expression start: back over the receiver / qualifier chain.
+        std::size_t s = call.name_at;
+        while (s >= 2 && (punct(t[s - 1], ".") || punct(t[s - 1], "->") ||
+                          punct(t[s - 1], "::")) &&
+               t[s - 2].kind == Tk::kIdent) {
+          s -= 2;
+        }
+        // Optional `(void)` cast prefix.
+        if (s >= 3 && punct(t[s - 1], ")") && t[s - 2].kind == Tk::kIdent &&
+            t[s - 2].text == "void" && punct(t[s - 3], "(")) {
+          s -= 3;
+        }
+        const bool stmt_start =
+            s == 0 || punct(t[s - 1], ";") || punct(t[s - 1], "{") ||
+            punct(t[s - 1], "}");
+        const bool stmt_end =
+            call.close + 1 < t.size() && punct(t[call.close + 1], ";");
+        if (stmt_start && stmt_end) {
+          out_.push_back({"status-flow", file.rel, t[i].line,
+                          "result of '" + call.name + "' (" + produced +
+                              ") is discarded; check or consume it "
+                              "(expect_ok(...) if failure is impossible)"});
+        }
+      }
+    }
+
+    // Mention scan for tracked locals.
+    for (const TrackedVar& var : tracked) {
+      bool consumed = false;
+      for (std::size_t i = var.decl_end + 1; i < fn.body_end; ++i) {
+        if (t[i].kind != Tk::kIdent || t[i].text != var.name) continue;
+        // `(void)var;` is not consumption.
+        if (i >= 3 && punct(t[i - 1], ")") && t[i - 2].kind == Tk::kIdent &&
+            t[i - 2].text == "void" && punct(t[i - 3], "(") &&
+            i + 1 < t.size() && punct(t[i + 1], ";")) {
+          continue;
+        }
+        consumed = true;
+        break;
+      }
+      if (!consumed) {
+        out_.push_back({"status-flow", file.rel, var.line,
+                        "'" + var.name + "' (" + var.type +
+                            ") is produced but never consumed before the "
+                            "end of the function"});
+      }
+    }
+  }
+
+ private:
+  /// Status type produced by the call, or "" when not a producer.
+  std::string producer_type(const FunctionDef& fn, const CallSite& call) {
+    for (const std::size_t c : r_.callees(fn, call)) {
+      const std::string ty = status_type_in(idx_.funcs[c].ret);
+      if (!ty.empty()) return ty;
+    }
+    return "";
+  }
+
+  /// First call at-or-after token `i` that is a producer ("" if the
+  /// initializer is not a resolvable producer call).
+  std::string producer_after(const FunctionDef& fn, const LocalTypes& locals,
+                             std::size_t i) {
+    const std::vector<Token>& t = idx_.files[fn.file].tokens;
+    for (std::size_t j = i; j < fn.body_end && j < i + 8; ++j) {
+      if (punct(t[j], ";")) break;
+      if (t[j].kind == Tk::kIdent && j + 1 < t.size() && punct(t[j + 1], "(")) {
+        CallSite call;
+        if (r_.parse_call(fn, locals, j, call)) {
+          return producer_type(fn, call);
+        }
+      }
+    }
+    return "";
+  }
+
+  const Resolver& r_;
+  const Index& idx_;
+  std::vector<Finding>& out_;
+};
+
+}  // namespace
+
+void check_status(const Index& index, std::vector<Finding>& out) {
+  const Resolver resolver(index);
+  StatusWalker walker(resolver, out);
+  for (std::size_t i = 0; i < index.funcs.size(); ++i) {
+    walker.walk(i);
+  }
+}
+
+}  // namespace hetsim::analyze

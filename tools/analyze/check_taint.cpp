@@ -1,0 +1,278 @@
+// determinism-taint — keep nondeterministic values out of
+// determinism-sensitive outputs.
+//
+// Sources: wall clocks, random generators, thread ids, host
+// parallelism, pointer values (reinterpret_cast<uintptr_t>) and the
+// iteration order of unordered containers. Taint propagates through
+// assignments, initializers and container push_back/insert; sorting a
+// container sanitizes it (order no longer host-dependent). Sinks are
+// the reproducibility-bearing outputs: TraceRecorder events, bench
+// JSON, summaries and the common::hash helpers.
+//
+// Functions whose return value derives from a source are themselves
+// sources at their call sites (two analysis rounds: round one learns
+// which functions return taint, round two reports with that knowledge).
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/checkers.h"
+#include "analyze/walk.h"
+
+namespace hetsim::analyze {
+
+namespace {
+
+const std::map<std::string, std::string> kSourceIdents = {
+    {"system_clock", "wall clock"},
+    {"steady_clock", "wall clock"},
+    {"high_resolution_clock", "wall clock"},
+    {"random_device", "hardware randomness"},
+    {"rand", "rand()"},
+    {"srand", "rand()"},
+    {"drand48", "drand48()"},
+    {"gettimeofday", "wall clock"},
+    {"clock_gettime", "wall clock"},
+    {"timespec_get", "wall clock"},
+    {"get_id", "thread id"},
+    {"hardware_concurrency", "host parallelism"}};
+
+const std::set<std::string> kSinks = {
+    "add_span",   "add_instant",    "add_counter", "name_lane",
+    "write_bench_json", "hash_bytes", "hash_combine", "hash_u64",
+    "mix64",      "summary_json"};
+
+const std::set<std::string> kAppend = {"push_back", "insert", "emplace_back",
+                                       "emplace"};
+
+bool punct(const Token& t, const char* s) {
+  return t.kind == Tk::kPunct && t.text == s;
+}
+
+class TaintWalker {
+ public:
+  TaintWalker(const Resolver& resolver,
+              const std::set<std::size_t>& returns_taint)
+      : r_(resolver), idx_(resolver.index()), returns_taint_(returns_taint) {}
+
+  /// Walk one function; report into `out` when non-null; returns true
+  /// when the function's return value derives from a source.
+  bool walk(std::size_t fid, std::vector<Finding>* out) {
+    fn_ = &idx_.funcs[fid];
+    file_ = &idx_.files[fn_->file];
+    const std::vector<Token>& t = file_->tokens;
+    locals_ = r_.collect_locals(*fn_);
+    tainted_.clear();
+    bool returns_tainted = false;
+
+    std::size_t stmt = fn_->body_begin + 1;
+    for (std::size_t i = fn_->body_begin + 1; i < fn_->body_end; ++i) {
+      if (t[i].kind == Tk::kIdent && t[i].text == "for" && i + 1 < t.size() &&
+          punct(t[i + 1], "(")) {
+        handle_range_for(i + 1);
+        continue;
+      }
+      if (t[i].kind == Tk::kIdent && i + 1 < t.size() && punct(t[i + 1], "(")) {
+        handle_call(i, out);
+      }
+      if (punct(t[i], ";") || punct(t[i], "{") || punct(t[i], "}")) {
+        stmt = i + 1;
+        continue;
+      }
+      // Top-level assignment / initialization: taint flows rhs -> lhs.
+      if (punct(t[i], "=") && i > stmt &&
+          !(i + 1 < t.size() && punct(t[i + 1], "=")) &&
+          !punct(t[i - 1], "=") && !punct(t[i - 1], "!") &&
+          !punct(t[i - 1], "<") && !punct(t[i - 1], ">")) {
+        std::size_t lhs = i;
+        while (lhs > stmt && t[lhs - 1].kind == Tk::kPunct &&
+               t[lhs - 1].text != ";" && t[lhs - 1].text != "{") {
+          --lhs;
+        }
+        if (lhs > stmt && t[lhs - 1].kind != Tk::kIdent) continue;
+        if (lhs == stmt) continue;
+        const std::string dest = t[lhs - 1].text;
+        std::size_t end = i + 1;
+        int nest = 0;
+        while (end < fn_->body_end) {
+          if (punct(t[end], "(")) ++nest;
+          if (punct(t[end], ")")) --nest;
+          if (punct(t[end], ";") && nest == 0) break;
+          ++end;
+        }
+        std::string origin;
+        if (span_origin(i + 1, end, &origin)) {
+          tainted_[dest] = origin;
+        }
+      }
+      if (t[i].kind == Tk::kIdent && t[i].text == "return") {
+        std::size_t end = i + 1;
+        while (end < fn_->body_end && !punct(t[end], ";")) ++end;
+        std::string origin;
+        if (span_origin(i + 1, end, &origin)) returns_tainted = true;
+      }
+    }
+    return returns_tainted;
+  }
+
+ private:
+  /// Taint origin of any source / tainted ident in [b, e), else "".
+  bool span_origin(std::size_t b, std::size_t e, std::string* origin) {
+    const std::vector<Token>& t = file_->tokens;
+    for (std::size_t i = b; i < e && i < t.size(); ++i) {
+      if (t[i].kind != Tk::kIdent) continue;
+      const auto src = kSourceIdents.find(t[i].text);
+      if (src != kSourceIdents.end()) {
+        *origin = src->second;
+        return true;
+      }
+      // std::time(nullptr)
+      if (t[i].text == "time" && i >= 2 && punct(t[i - 1], "::") &&
+          t[i - 2].kind == Tk::kIdent && t[i - 2].text == "std") {
+        *origin = "wall clock";
+        return true;
+      }
+      if (t[i].text == "reinterpret_cast" && i + 2 < t.size() &&
+          punct(t[i + 1], "<") &&
+          (t[i + 2].text == "uintptr_t" || t[i + 2].text == "intptr_t")) {
+        *origin = "pointer value";
+        return true;
+      }
+      const auto taint = tainted_.find(t[i].text);
+      if (taint != tainted_.end()) {
+        *origin = taint->second;
+        return true;
+      }
+      // Calls to functions known to return taint.
+      if (i + 1 < t.size() && punct(t[i + 1], "(")) {
+        CallSite call;
+        if (r_.parse_call(*fn_, locals_, i, call)) {
+          for (const std::size_t c : r_.callees(*fn_, call)) {
+            if (returns_taint_.count(c) != 0) {
+              *origin = "value of '" + call.name + "' (returns taint)";
+              return true;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  void handle_range_for(std::size_t open) {
+    const std::vector<Token>& t = file_->tokens;
+    const std::size_t close = match_paren(t, open);
+    std::size_t colon = 0;
+    int nest = 0;
+    for (std::size_t i = open + 1; i < close; ++i) {
+      if (punct(t[i], "(") || punct(t[i], "[") || punct(t[i], "{")) ++nest;
+      if (punct(t[i], ")") || punct(t[i], "]") || punct(t[i], "}")) --nest;
+      if (punct(t[i], ":") && nest == 0) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon == 0) return;
+    // Container: last ident of the range expression.
+    std::size_t ce = close;
+    while (ce > colon && t[ce - 1].kind != Tk::kIdent) --ce;
+    if (ce == colon) return;
+    const std::string cont = t[ce - 1].text;
+    std::string origin;
+    const auto it = tainted_.find(cont);
+    if (it != tainted_.end()) {
+      origin = it->second;
+    } else {
+      // Declared unordered container => iteration order is taint.
+      std::string full;
+      const auto lit = locals_.find(cont);
+      if (lit != locals_.end()) full = lit->second;
+      if (const MemberDecl* m = idx_.member(fn_->klass, cont)) {
+        full = m->type_full;
+      }
+      if (full.find("unordered") == std::string::npos) return;
+      origin = "iteration order of unordered container '" + cont + "'";
+    }
+    // Loop variables: idents between '(' and ':' that are declared
+    // there (last ident, or every ident inside a structured binding).
+    std::vector<std::string> vars;
+    bool binding = false;
+    for (std::size_t i = open + 1; i < colon; ++i) {
+      if (punct(t[i], "[")) binding = true;
+      if (punct(t[i], "]")) binding = false;
+      if (t[i].kind == Tk::kIdent && (binding || i + 1 == colon ||
+                                      punct(t[i + 1], ":"))) {
+        vars.push_back(t[i].text);
+      }
+    }
+    if (vars.empty()) {
+      // `for (auto& kv : c)` — kv directly before ':'.
+      std::size_t vi = colon;
+      while (vi > open && t[vi - 1].kind != Tk::kIdent) --vi;
+      if (vi > open) vars.push_back(t[vi - 1].text);
+    }
+    for (const std::string& v : vars) tainted_[v] = origin;
+  }
+
+  void handle_call(std::size_t i, std::vector<Finding>* out) {
+    const std::vector<Token>& t = file_->tokens;
+    CallSite call;
+    if (!r_.parse_call(*fn_, locals_, i, call)) return;
+    // Sorting sanitizes a container's order.
+    if (call.name == "sort" || call.name == "stable_sort") {
+      std::size_t ai = call.open + 1;
+      if (ai < t.size() && t[ai].kind == Tk::kIdent) {
+        tainted_.erase(t[ai].text);
+      }
+      return;
+    }
+    // Appending a tainted value taints the container.
+    if (kAppend.count(call.name) != 0 && call.has_receiver &&
+        !call.receiver.empty()) {
+      std::string origin;
+      if (span_origin(call.open + 1, call.close, &origin)) {
+        tainted_[call.receiver] = origin;
+      }
+      return;
+    }
+    if (kSinks.count(call.name) != 0 && out != nullptr) {
+      std::string origin;
+      if (span_origin(call.open + 1, call.close, &origin)) {
+        out->push_back(
+            {"determinism-taint", file_->rel, t[i].line,
+             "'" + call.name + "' receives " + origin +
+                 "; determinism-sensitive outputs must not depend on it"});
+      }
+    }
+  }
+
+  const Resolver& r_;
+  const Index& idx_;
+  const std::set<std::size_t>& returns_taint_;
+  const FunctionDef* fn_ = nullptr;
+  const SourceFile* file_ = nullptr;
+  LocalTypes locals_;
+  std::map<std::string, std::string> tainted_;
+};
+
+}  // namespace
+
+void check_taint(const Index& index, std::vector<Finding>& out) {
+  const Resolver resolver(index);
+  std::set<std::size_t> returns_taint;
+  // Round 1: learn which functions return tainted values.
+  {
+    TaintWalker walker(resolver, returns_taint);
+    for (std::size_t i = 0; i < index.funcs.size(); ++i) {
+      if (walker.walk(i, nullptr)) returns_taint.insert(i);
+    }
+  }
+  // Round 2: report with interprocedural knowledge.
+  TaintWalker walker(resolver, returns_taint);
+  for (std::size_t i = 0; i < index.funcs.size(); ++i) {
+    (void)walker.walk(i, &out);
+  }
+}
+
+}  // namespace hetsim::analyze

@@ -1,0 +1,27 @@
+// hetsim_analyze — driver: file discovery (compile_commands.json +
+// header walk), rule registry, suppression + baseline filtering, text
+// and SARIF output, and the fixture self-test mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hetsim::analyze {
+
+struct Options {
+  std::string root = ".";            // repo root; rel paths and default dirs
+  std::vector<std::string> dirs;     // scan roots under `root`; default src, tools
+  std::string compile_commands;      // optional compile_commands.json
+  std::string baseline;              // optional baseline file to read
+  std::string write_baseline;        // optional baseline file to write
+  std::string sarif;                 // optional SARIF 2.1.0 output file
+  std::string self_test_dir;         // fixture corpus => self-test mode
+  std::string golden_sarif;          // byte-compare SARIF in self-test
+  bool list_rules = false;
+};
+
+/// Run the analysis. Exit code: 0 clean, 1 findings (or self-test
+/// mismatch), 2 usage/environment error.
+int run(const Options& options);
+
+}  // namespace hetsim::analyze

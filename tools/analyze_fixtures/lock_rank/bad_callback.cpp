@@ -1,0 +1,32 @@
+// Opaque-callback fixtures: invoking a std::function (directly or via
+// an alias type) while a lock is held. The analyzer cannot see what
+// the callback does, so the invocation itself is the finding.
+
+namespace fxlock {
+
+class Notifier {
+ public:
+  using Hook = std::function<void()>;
+
+  void fire() {
+    check::LockGuard g(mu_);
+    on_event_();  // expect: lock-blocking
+  }
+
+  void fire_alias() {
+    check::LockGuard g(mu_);
+    hook_();  // expect: lock-blocking
+  }
+
+  void fire_local(std::function<void()> probe) {
+    check::LockGuard g(mu_);
+    probe();  // expect: lock-blocking
+  }
+
+ private:
+  check::RankedMutex mu_{check::LockRank::kTrace};
+  std::function<void()> on_event_;
+  Hook hook_;
+};
+
+}  // namespace fxlock

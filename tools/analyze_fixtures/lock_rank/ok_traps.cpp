@@ -1,0 +1,80 @@
+// False-positive traps for the lock checkers: every pattern here is
+// legal and must produce NO finding (the self-test fails if any line
+// in this file fires).
+
+namespace fxlock {
+
+// Store-side accessor that shares method names with the blocking
+// client API; calling it under a lock is fine.
+class LocalTable {
+ public:
+  int get(const char* key) {
+    (void)key;
+    return width_;
+  }
+
+ private:
+  int width_ = 1;
+};
+
+class QuietCache {
+ public:
+  // Guard scope ends before the blocking call.
+  void scoped_then_fetch(kvstore::Client& c) {
+    {
+      check::LockGuard g(shallow_mu_);
+      ++hits_;
+    }
+    c.get("k");
+  }
+
+  // Explicit unlock window around the round-trip, then re-lock.
+  void window(kvstore::Client& c) {
+    check::UniqueLock lk(shallow_mu_);
+    lk.unlock();
+    c.get("k");
+    lk.lock();
+    ++hits_;
+  }
+
+  // Deferred lambda: the body runs later, outside this lock.
+  void schedule(kvstore::Client& c) {
+    check::LockGuard g(deep_mu_);
+    tasks_.push_back([&c] { c.get("later"); });
+  }
+
+  // Strictly descending acquisition is the sanctioned order.
+  void ordered() {
+    check::LockGuard a(shallow_mu_);
+    check::LockGuard b(deep_mu_);
+    ++hits_;
+  }
+
+  // Condition wait holding only the waited lock.
+  void wait_alone() {
+    check::UniqueLock lk(deep_mu_);
+    cv_.wait(lk);
+  }
+
+  // Non-client receiver with a client-sounding method name.
+  void local_read() {
+    check::LockGuard g(deep_mu_);
+    table_.get("k");
+  }
+
+  // Reviewed and waived: the suppression must silence the finding.
+  void waived(kvstore::Client& c) {
+    check::LockGuard g(deep_mu_);
+    c.get("k");  // hetsim-analyze: allow(lock-blocking)
+  }
+
+ private:
+  check::RankedMutex shallow_mu_{check::LockRank::kTrace};
+  check::RankedMutex deep_mu_{check::LockRank::kStore};
+  std::condition_variable_any cv_;
+  LocalTable table_;
+  std::vector<std::function<void()>> tasks_;
+  int hits_ = 0;
+};
+
+}  // namespace fxlock

@@ -1,0 +1,18 @@
+// Token-level rule fixtures. This file's fixture-relative path starts
+// with src/common/, which switches on every dir-gated absorbed rule.
+
+namespace fxlint {
+
+std::mutex legacy_guard;  // expect: naked-mutex
+
+std::thread legacy_worker;  // expect: raw-thread
+
+int roll() { return rand(); }  // expect: nondeterminism
+
+float energy_j = 0.0F;  // expect: float-accounting
+
+void poke(kvstore::Store& store) {  // expect: direct-store
+  store.set("k", "v");
+}
+
+}  // namespace fxlint

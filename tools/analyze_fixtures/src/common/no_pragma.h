@@ -1,0 +1,9 @@
+// expect: pragma-once
+// A header that forgot its include guard pragma; the finding lands on
+// line 1.
+
+namespace fxlint {
+
+inline int answer() { return 42; }
+
+}  // namespace fxlint

@@ -1,0 +1,8 @@
+// Trap: a well-formed header. Must stay silent.
+#pragma once
+
+namespace fxlint {
+
+inline int question() { return 6 * 7; }
+
+}  // namespace fxlint

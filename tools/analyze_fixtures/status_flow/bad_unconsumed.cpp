@@ -1,0 +1,42 @@
+// status-flow fixtures: produced Status values that are discarded or
+// reach the end of the function without being consumed.
+
+namespace fxstatus {
+
+struct Status {
+  int code = 0;
+};
+
+class Journal {
+ public:
+  Status append(int v) {
+    last_ = v;
+    return Status{0};
+  }
+
+  void drop_result() {
+    append(1);  // expect: status-flow
+  }
+
+  void cast_away() {
+    (void)append(2);  // expect: status-flow
+  }
+
+  void leave_unread() {
+    const Status st = append(3);  // expect: status-flow
+  }
+
+  void auto_unread() {
+    const auto verdict = append(4);  // expect: status-flow
+  }
+
+  void voided_is_not_checked() {
+    const Status st = append(5);  // expect: status-flow
+    (void)st;
+  }
+
+ private:
+  int last_ = 0;
+};
+
+}  // namespace fxstatus

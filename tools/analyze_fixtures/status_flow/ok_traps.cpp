@@ -1,0 +1,66 @@
+// False-positive traps for status-flow: every consumption idiom here
+// is legitimate and must stay silent.
+
+namespace fxstatus {
+
+struct WriteResult {
+  int acks = 0;
+};
+
+WriteResult commit(int v);
+
+WriteResult commit(int v) {
+  return WriteResult{v};
+}
+
+void expect_ok(WriteResult r);
+
+void expect_ok(WriteResult r) {
+  (void)r;
+}
+
+class Pipeline {
+ public:
+  // Returning the produced value hands it to the caller.
+  WriteResult forward() {
+    return commit(1);
+  }
+
+  // Branching on the value is consumption.
+  void branched() {
+    const WriteResult wr = commit(2);
+    if (wr.acks == 0) {
+      ++stalls_;
+    }
+  }
+
+  // The blessed consume-and-assert helper takes the bare statement.
+  void blessed() {
+    expect_ok(commit(3));
+  }
+
+  // Moving the value into a sink is consumption.
+  void moved() {
+    WriteResult wr = commit(4);
+    sink_ = std::move(wr);
+  }
+
+  // A lambda parameter of a status type is not a produced local.
+  void inspected() {
+    const auto accept = [](const WriteResult& r) { return r.acks > 0; };
+    if (accept(commit(5))) {
+      ++stalls_;
+    }
+  }
+
+  // Reviewed and waived: the suppression must silence the finding.
+  void waived() {
+    commit(6);  // hetsim-analyze: allow(status-flow)
+  }
+
+ private:
+  WriteResult sink_;
+  int stalls_ = 0;
+};
+
+}  // namespace fxstatus

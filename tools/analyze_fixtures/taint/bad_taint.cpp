@@ -1,0 +1,66 @@
+// determinism-taint fixtures: nondeterministic values flowing into
+// reproducibility-bearing sinks (trace events, bench JSON, hashes).
+
+namespace fxtaint {
+
+struct Recorder {
+  void add_span(int lane, double begin_s, double end_s) {
+    (void)lane;
+    (void)begin_s;
+    (void)end_s;
+  }
+  void add_instant(int lane, double at_s) {
+    (void)lane;
+    (void)at_s;
+  }
+  void add_counter(int lane, double value) {
+    (void)lane;
+    (void)value;
+  }
+};
+
+class Probe {
+ public:
+  // Wall clock straight into a trace event.
+  void stamp_span() {
+    const double now_s = static_cast<double>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    rec_.add_span(0, now_s, now_s);  // expect: determinism-taint
+  }
+
+  // rand() into the bench JSON.
+  void jitter_bench() {
+    const int jitter = rand();
+    write_bench_json(path_, jitter);  // expect: determinism-taint
+  }
+
+  // Unordered-container iteration order into a hash.
+  void digest() {
+    std::uint64_t h = 0;
+    for (const auto& [key, value] : shares_) {
+      h = hash_combine(h, value);  // expect: determinism-taint
+    }
+  }
+
+  // Pointer value into a trace event.
+  void leak_pointer(const int* p) {
+    const auto addr = reinterpret_cast<uintptr_t>(p);
+    rec_.add_instant(0, static_cast<double>(addr));  // expect: determinism-taint
+  }
+
+  // Taint through a helper's return value (interprocedural round).
+  double wall_seconds() {
+    return static_cast<double>(std::time(nullptr));
+  }
+
+  void stamp_counter() {
+    rec_.add_counter(0, wall_seconds());  // expect: determinism-taint
+  }
+
+ private:
+  Recorder rec_;
+  std::string path_;
+  std::unordered_map<std::string, int> shares_;
+};
+
+}  // namespace fxtaint

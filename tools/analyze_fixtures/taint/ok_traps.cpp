@@ -1,0 +1,44 @@
+// False-positive traps for determinism-taint: sanitized, ordered, or
+// simulated values feeding sinks must stay silent.
+
+namespace fxtaint {
+
+class Auditor {
+ public:
+  // Collecting from an unordered container is fine once the result is
+  // sorted — the order is no longer host-dependent.
+  void sorted_digest() {
+    std::vector<int> loads;
+    for (const auto& [key, value] : counts_) {
+      loads.push_back(value);
+    }
+    std::sort(loads.begin(), loads.end());
+    hash_u64(loads.size());
+  }
+
+  // std::map iterates in key order; nothing nondeterministic flows.
+  void ordered_digest() {
+    for (const auto& [key, value] : ranks_) {
+      hash_combine(seed_, value);
+    }
+  }
+
+  // Virtual (simulated) time is deterministic input, not wall clock.
+  void virtual_stamp(double sim_now_s) {
+    write_bench_json(out_, sim_now_s);
+  }
+
+  // Reviewed and waived: the suppression must silence the finding.
+  void pinned() {
+    const int salt = rand();
+    mix64(salt);  // hetsim-analyze: allow(determinism-taint)
+  }
+
+ private:
+  std::unordered_map<std::string, int> counts_;
+  std::map<std::string, int> ranks_;
+  std::uint64_t seed_ = 0;
+  std::string out_;
+};
+
+}  // namespace fxtaint
