@@ -2,8 +2,13 @@
 // throughput of sketching, clustering, mining, compression, the LP
 // solver and the kvstore. These measure real wall-clock performance of
 // the library code (unlike the figure benches, which report simulated
-// cluster time).
+// cluster time). The SIMD-touched kernels additionally register one
+// variant per runnable ISA (suffix /scalar, /avx2, /neon), forced via
+// simd::ScopedIsaOverride, so a lane-vs-lane diff is one --benchmark_
+// filter away.
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "common/rng.h"
 #include "compress/lz77.h"
@@ -13,6 +18,7 @@
 #include "mining/apriori.h"
 #include "optimize/pareto.h"
 #include "par/pool.h"
+#include "simd/simd.h"
 #include "sketch/minhash.h"
 #include "stratify/kmodes.h"
 
@@ -151,6 +157,87 @@ void BM_TreePivots(benchmark::State& state) {
 }
 BENCHMARK(BM_TreePivots);
 
+// ---- per-ISA lanes of the vector layer --------------------------------------
+// Registered dynamically in main(): the ISA list depends on the host.
+
+/// The raw minhash kernel: one (a, b) permutation min-reduced over a
+/// staged run of `range(0)` items, no sketch plumbing around it.
+void BM_MinHashMinRunIsa(benchmark::State& state, simd::Isa isa) {
+  simd::ScopedIsaOverride forced(isa);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(21);
+  std::vector<std::uint64_t> items(n);
+  for (auto& x : items) x = rng.bounded(1ULL << 32);
+  const std::uint64_t a = 1 + rng.bounded(simd::kPrime61 - 1);
+  const std::uint64_t b = rng.bounded(simd::kPrime61);
+  const simd::Kernels& kern = simd::dispatch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kern.minhash_min_run(a, b, items.data(), items.size(), ~0ULL));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_SketchAllIsa(benchmark::State& state, simd::Isa isa) {
+  simd::ScopedIsaOverride forced(isa);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = n;
+  cfg.seed = 3;
+  const data::Dataset ds = data::generate_text_corpus(cfg);
+  const sketch::MinHasher h({.num_hashes = 32, .seed = 7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.sketch_all(ds.records));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_CompositeKModesIsa(benchmark::State& state, simd::Isa isa) {
+  simd::ScopedIsaOverride forced(isa);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::TextCorpusConfig cfg;
+  cfg.num_docs = n;
+  cfg.seed = 5;
+  const data::Dataset ds = data::generate_text_corpus(cfg);
+  const sketch::MinHasher h({.num_hashes = 32, .seed = 7});
+  const auto sketches = h.sketch_all(ds.records);
+  stratify::KModesConfig kcfg;
+  kcfg.num_strata = 16;
+  kcfg.max_iterations = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stratify::composite_kmodes(sketches, kcfg));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void register_isa_lanes() {
+  for (const simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (!simd::isa_supported(isa)) continue;
+    const std::string tag(simd::isa_name(isa));
+    benchmark::RegisterBenchmark(("BM_MinHashMinRunIsa/" + tag).c_str(),
+                                 BM_MinHashMinRunIsa, isa)
+        ->Arg(64)
+        ->Arg(4096);
+    benchmark::RegisterBenchmark(("BM_SketchAllIsa/" + tag).c_str(),
+                                 BM_SketchAllIsa, isa)
+        ->Arg(1000)
+        ->Arg(100000)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(("BM_CompositeKModesIsa/" + tag).c_str(),
+                                 BM_CompositeKModesIsa, isa)
+        ->Arg(1000)
+        ->UseRealTime();
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_isa_lanes();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

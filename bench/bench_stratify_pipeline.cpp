@@ -1,20 +1,29 @@
 // bench_stratify_pipeline — A/B acceptance bench for the hetsim::par
 // re-plumbing of the stratification pipeline (sketch → composite
-// k-modes → stratified sample → partition layouts).
+// k-modes → stratified sample → partition layouts), plus the
+// scalar-vs-SIMD split of the vector layer (src/simd).
 //
 // The "before" side is kept alive inside this binary: an item-major
 // scalar minhash sketcher and a linear-scan nested-vector k-modes
 // assignment step, both serial — byte-for-byte the pre-refactor
 // algorithms. The "after" side is the library's batched/unrolled,
-// flat-center, pool-parallel kernels. The bench times both ends to end,
-// cross-checks that they agree (HETSIM_CHECK aborts on any divergence,
-// including parallel-vs-serial runs of the optimized kernels), prints a
-// comparison table, and writes BENCH_stratify.json via write_bench_json
-// when HETSIM_BENCH_JSON is set.
+// flat-center, pool-parallel kernels, timed twice: once forced to the
+// scalar lane (simd::ScopedIsaOverride) and once on the host's best
+// ISA. The bench cross-checks that every leg agrees byte-for-byte
+// (HETSIM_CHECK aborts on any divergence, including parallel-vs-serial
+// and SIMD-vs-scalar runs), prints a comparison table, and writes
+// BENCH_stratify.json via write_bench_json when HETSIM_BENCH_JSON is
+// set.
 //
 // Exit status is non-zero when an acceptance gate fails:
-//   - single-threaded kernel speedups (sketch_all, composite_kmodes)
-//     must each be >= 1.3x over the serial baselines, on any host;
+//   - single-threaded scalar-lane kernel speedups (sketch_all,
+//     composite_kmodes) must each be >= 1.3x over the serial baselines,
+//     on any host — this is the guard that the scalar fallback did not
+//     regress when the SIMD layer went in;
+//   - on hosts where a vector ISA is runnable, the SIMD lane must beat
+//     the scalar lane by >= 1.5x on the minhash kernel, >= 1.2x on
+//     k-modes, and >= 1.2x end to end (skipped when scalar is already
+//     the best ISA);
 //   - the end-to-end parallel-vs-baseline speedup must be >= 3.0x, but
 //     only on hosts with >= 4 hardware threads (the parallel half of
 //     that gate is meaningless on smaller machines).
@@ -26,6 +35,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
@@ -36,6 +46,7 @@
 #include "data/generators.h"
 #include "par/pool.h"
 #include "partition/partitioner.h"
+#include "simd/simd.h"
 #include "sketch/minhash.h"
 #include "stratify/kmodes.h"
 #include "stratify/sampler.h"
@@ -298,7 +309,29 @@ struct Gate {
   double value = 0.0;
   double floor = 0.0;
   bool enforced = true;
+  std::string skip_reason;  // printed when !enforced
 };
+
+// Defeats dead-code elimination of the kernel timing loop below.
+volatile std::uint64_t g_kernel_sink = 0;
+
+/// Wall time of one lane of the raw minhash kernel: `hashes` (a, b)
+/// pairs min-reduced over a staged run of `items`. The SIMD acceptance
+/// floor is on this kernel — the sketch_all stage wraps it in item
+/// staging and record iteration that are identical across lanes and
+/// dilute the ratio.
+double time_minhash_kernel(const simd::Kernels& kern,
+                           const std::vector<std::uint64_t>& items,
+                           const std::vector<std::pair<std::uint64_t,
+                                                       std::uint64_t>>& hashes) {
+  const auto t0 = Clock::now();
+  std::uint64_t sink = ~0ULL;
+  for (const auto& [a, b] : hashes) {
+    sink ^= kern.minhash_min_run(a, b, items.data(), items.size(), ~0ULL);
+  }
+  g_kernel_sink = g_kernel_sink + sink;
+  return seconds_since(t0);
+}
 
 }  // namespace
 
@@ -333,58 +366,114 @@ int main(int argc, char** argv) {
   const par::Options serial{.pool = &serial_pool};
   const par::Options parallel{.pool = &parallel_pool};
 
-  PipelineTimes best_base, best_serial, best_parallel;
-  PipelineOutputs out_base, out_serial, out_parallel;
+  // The SIMD A/B only exists when a vector ISA is runnable here; on a
+  // scalar-only host the "simd" leg would time the identical lane twice.
+  const simd::Isa best = simd::best_isa();
+  const bool simd_runnable = best != simd::Isa::kScalar;
+
+  PipelineTimes best_base, best_scalar, best_simd, best_parallel;
+  PipelineOutputs out_base, out_scalar, out_simd, out_parallel;
   for (std::size_t rep = 0; rep < repeats; ++rep) {
-    PipelineTimes tb, ts, tp;
+    PipelineTimes tb, ts, tv, tp;
     out_base = run_baseline(ds, hasher, serial_pool, tb);
-    out_serial = run_optimized(ds, hasher, serial, ts);
-    out_parallel = run_optimized(ds, hasher, parallel, tp);
-    const auto keep_min = [](PipelineTimes& best, const PipelineTimes& t,
+    {
+      simd::ScopedIsaOverride forced(simd::Isa::kScalar);
+      out_scalar = run_optimized(ds, hasher, serial, ts);
+    }
+    {
+      simd::ScopedIsaOverride forced(best);
+      if (simd_runnable) out_simd = run_optimized(ds, hasher, serial, tv);
+      out_parallel = run_optimized(ds, hasher, parallel, tp);
+    }
+    const auto keep_min = [](PipelineTimes& best_t, const PipelineTimes& t,
                              bool first) {
-      if (first || t.total_s < best.total_s) best = t;
+      if (first || t.total_s < best_t.total_s) best_t = t;
     };
     keep_min(best_base, tb, rep == 0);
-    keep_min(best_serial, ts, rep == 0);
+    keep_min(best_scalar, ts, rep == 0);
+    if (simd_runnable) keep_min(best_simd, tv, rep == 0);
     keep_min(best_parallel, tp, rep == 0);
+  }
+  if (!simd_runnable) {
+    best_simd = best_scalar;
+    out_simd = out_scalar;
   }
 
   // Correctness gates: abort (HETSIM_CHECK) before any speedup talk if
-  // the optimized kernels changed results or parallelism leaked in.
-  check_identical(out_base, out_serial, /*check_work_ops=*/false,
-                  "baseline vs optimized-serial");
-  check_identical(out_serial, out_parallel, /*check_work_ops=*/true,
+  // the optimized kernels changed results, an ISA lane drifted, or
+  // parallelism leaked in.
+  check_identical(out_base, out_scalar, /*check_work_ops=*/false,
+                  "baseline vs optimized-scalar");
+  check_identical(out_scalar, out_simd, /*check_work_ops=*/true,
+                  "optimized scalar vs simd");
+  check_identical(out_simd, out_parallel, /*check_work_ops=*/true,
                   "optimized serial vs parallel");
 
-  const double kernel_minhash = best_base.sketch_s / best_serial.sketch_s;
-  const double kernel_kmodes = best_base.kmodes_s / best_serial.kmodes_s;
+  // Raw-kernel A/B for the SIMD minhash floor (see time_minhash_kernel).
+  double kern_scalar_s = 0.0;
+  double kern_simd_s = 0.0;
+  if (simd_runnable) {
+    common::Rng krng(43);
+    std::vector<std::uint64_t> kitems(4096);
+    for (auto& x : kitems) x = krng.bounded(1ULL << 32);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> khashes(2048);
+    for (auto& [a, b] : khashes) {
+      a = 1 + krng.bounded(simd::kPrime61 - 1);
+      b = krng.bounded(simd::kPrime61);
+    }
+    const simd::Kernels& scalar_kern = simd::kernels_for(simd::Isa::kScalar);
+    const simd::Kernels& simd_kern = simd::kernels_for(best);
+    for (std::size_t rep = 0; rep < repeats + 1; ++rep) {
+      const double s = time_minhash_kernel(scalar_kern, kitems, khashes);
+      const double v = time_minhash_kernel(simd_kern, kitems, khashes);
+      if (rep == 0 || s < kern_scalar_s) kern_scalar_s = s;
+      if (rep == 0 || v < kern_simd_s) kern_simd_s = v;
+    }
+  }
+
+  const double kernel_minhash = best_base.sketch_s / best_scalar.sketch_s;
+  const double kernel_kmodes = best_base.kmodes_s / best_scalar.kmodes_s;
+  const double simd_minhash =
+      simd_runnable ? kern_scalar_s / kern_simd_s : 1.0;
+  const double simd_sketch_all = best_scalar.sketch_s / best_simd.sketch_s;
+  const double simd_kmodes = best_scalar.kmodes_s / best_simd.kmodes_s;
+  const double simd_end_to_end = best_scalar.total_s / best_simd.total_s;
   const double end_to_end = best_base.total_s / best_parallel.total_s;
 
   std::cout << "bench_stratify_pipeline: n=" << n << " repeats=" << repeats
-            << " threads=" << threads << " hw=" << hw << "\n\n";
-  std::cout << "  stage               baseline      opt-serial    opt-parallel\n";
-  const auto row = [](const char* name, double b, double s, double p) {
-    std::printf("  %-18s %9.3fs %12.3fs %13.3fs\n", name, b, s, p);
+            << " threads=" << threads << " hw=" << hw
+            << " best_isa=" << simd::isa_name(best) << "\n\n";
+  std::cout << "  stage               baseline      opt-scalar    "
+               "opt-simd      opt-parallel\n";
+  const auto row = [](const char* name, double b, double s, double v,
+                      double p) {
+    std::printf("  %-18s %9.3fs %12.3fs %11.3fs %13.3fs\n", name, b, s, v, p);
   };
-  row("sketch_all", best_base.sketch_s, best_serial.sketch_s,
-      best_parallel.sketch_s);
-  row("composite_kmodes", best_base.kmodes_s, best_serial.kmodes_s,
-      best_parallel.kmodes_s);
-  row("end-to-end", best_base.total_s, best_serial.total_s,
+  row("sketch_all", best_base.sketch_s, best_scalar.sketch_s,
+      best_simd.sketch_s, best_parallel.sketch_s);
+  row("composite_kmodes", best_base.kmodes_s, best_scalar.kmodes_s,
+      best_simd.kmodes_s, best_parallel.kmodes_s);
+  row("end-to-end", best_base.total_s, best_scalar.total_s, best_simd.total_s,
       best_parallel.total_s);
   std::cout << "\n";
 
+  const std::string no_simd = "SKIPPED (scalar is the best ISA here)";
   const std::vector<Gate> gates{
-      {"kernel_speedup_minhash", kernel_minhash, 1.3, true},
-      {"kernel_speedup_kmodes", kernel_kmodes, 1.3, true},
-      {"end_to_end_speedup", end_to_end, 3.0, hw >= 4},
+      {"kernel_speedup_minhash", kernel_minhash, 1.3, true, ""},
+      {"kernel_speedup_kmodes", kernel_kmodes, 1.3, true, ""},
+      {"simd_speedup_minhash", simd_minhash, 1.5, simd_runnable, no_simd},
+      {"simd_speedup_kmodes", simd_kmodes, 1.2, simd_runnable, no_simd},
+      {"simd_speedup_end_to_end", simd_end_to_end, 1.2, simd_runnable,
+       no_simd},
+      {"end_to_end_speedup", end_to_end, 3.0, hw >= 4,
+       "SKIPPED (host has < 4 hardware threads)"},
   };
   bool ok = true;
   for (const auto& g : gates) {
     const bool pass = g.value >= g.floor;
     std::printf("  gate %-24s %6.2fx (floor %.1fx) %s\n", g.name.c_str(),
                 g.value, g.floor,
-                !g.enforced ? "SKIPPED (host has < 4 hardware threads)"
+                !g.enforced ? g.skip_reason.c_str()
                             : (pass ? "PASS" : "FAIL"));
     if (g.enforced && !pass) ok = false;
   }
@@ -394,17 +483,25 @@ int main(int argc, char** argv) {
       {{"records", static_cast<double>(n), "count"},
        {"threads", static_cast<double>(threads), "count"},
        {"hardware_concurrency", static_cast<double>(hw), "count"},
+       {"simd_lane_runnable", simd_runnable ? 1.0 : 0.0, "count"},
        {"baseline_serial_total", best_base.total_s, "s"},
-       {"optimized_serial_total", best_serial.total_s, "s"},
+       {"optimized_scalar_total", best_scalar.total_s, "s"},
+       {"optimized_simd_total", best_simd.total_s, "s"},
        {"optimized_parallel_total", best_parallel.total_s, "s"},
        {"baseline_sketch", best_base.sketch_s, "s"},
-       {"optimized_serial_sketch", best_serial.sketch_s, "s"},
+       {"optimized_scalar_sketch", best_scalar.sketch_s, "s"},
+       {"optimized_simd_sketch", best_simd.sketch_s, "s"},
        {"optimized_parallel_sketch", best_parallel.sketch_s, "s"},
        {"baseline_kmodes", best_base.kmodes_s, "s"},
-       {"optimized_serial_kmodes", best_serial.kmodes_s, "s"},
+       {"optimized_scalar_kmodes", best_scalar.kmodes_s, "s"},
+       {"optimized_simd_kmodes", best_simd.kmodes_s, "s"},
        {"optimized_parallel_kmodes", best_parallel.kmodes_s, "s"},
        {"kernel_speedup_minhash", kernel_minhash, "x"},
        {"kernel_speedup_kmodes", kernel_kmodes, "x"},
+       {"simd_speedup_minhash", simd_minhash, "x"},
+       {"simd_speedup_sketch_all", simd_sketch_all, "x"},
+       {"simd_speedup_kmodes", simd_kmodes, "x"},
+       {"simd_speedup_end_to_end", simd_end_to_end, "x"},
        {"end_to_end_speedup", end_to_end, "x"}});
 
   if (!ok) {

@@ -1,0 +1,106 @@
+// Monotonic bump-pointer arena for kernel scratch buffers.
+//
+// The hot kernels (sketching, k-modes) need short-lived, size-known
+// scratch arrays many times per call; going through the general-purpose
+// allocator for each one costs a lock + free-list walk per allocation
+// and scatters the buffers across the heap. An Arena hands out aligned
+// spans from one contiguous block in a few instructions, and reclaims
+// everything at once with reset().
+//
+// Lifetime rules (DESIGN.md §12):
+//   - A span is valid until the next reset() or the Arena's destruction,
+//     whichever comes first. alloc_span never invalidates earlier spans
+//     (exhausted blocks are retained, not reallocated).
+//   - reset() keeps the largest block for reuse, so a steady-state
+//     caller (e.g. one chunk of sketch_all) allocates from malloc once.
+//   - Arenas are single-threaded; parallel kernels create one arena per
+//     chunk, never share one across lanes.
+//   - Element types must be trivially destructible: reset() runs no
+//     destructors.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "check/check.h"
+
+namespace hetsim::common {
+
+class Arena {
+ public:
+  /// `initial_bytes` sizes the first block, allocated lazily on first use.
+  explicit Arena(std::size_t initial_bytes = kDefaultBlockBytes) noexcept
+      : next_block_bytes_(initial_bytes < kMinBlockBytes ? kMinBlockBytes
+                                                         : initial_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized span of `n` elements of T. T must be trivially
+  /// destructible (reset() never runs destructors); alignment up to
+  /// alignof(std::max_align_t) is honored.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena spans are reclaimed without running destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "Arena honors at most max_align_t alignment");
+    if (n == 0) return {};
+    return {static_cast<T*>(allocate(n * sizeof(T), alignof(T))), n};
+  }
+
+  /// Raw aligned allocation; `align` must be a power of two.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    HETSIM_DCHECK(align != 0 && (align & (align - 1)) == 0)
+        << ": arena alignment must be a power of two";
+    const std::size_t at = (used_ + (align - 1)) & ~(align - 1);
+    if (blocks_.empty() || at + bytes > blocks_.back().size) {
+      grow(bytes, align);
+      used_ += bytes;  // fresh block: aligned at offset 0
+      return blocks_.back().data.get();
+    }
+    used_ = at + bytes;
+    return blocks_.back().data.get() + at;
+  }
+
+  /// Invalidates every outstanding span. Keeps only the newest (largest)
+  /// block, so steady-state reuse touches malloc zero times.
+  void reset() noexcept {
+    if (blocks_.size() > 1) blocks_.erase(blocks_.begin(), blocks_.end() - 1);
+    used_ = 0;
+  }
+
+  /// Total block capacity currently held (for tests and sizing checks).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kMinBlockBytes = 256;
+  static constexpr std::size_t kDefaultBlockBytes = 8192;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t bytes, std::size_t align) {
+    // Geometric growth, and always enough for the request even when a
+    // worst-case alignment pad is needed mid-block later.
+    std::size_t want = next_block_bytes_;
+    while (want < bytes + align) want *= 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(want), want});
+    next_block_bytes_ = want * 2;
+    used_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t used_ = 0;  // bump cursor within blocks_.back()
+  std::size_t next_block_bytes_;
+};
+
+}  // namespace hetsim::common

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "common/allocation.h"
 #include "common/bytes.h"
 #include "common/error.h"
 #include "kvstore/client.h"
+#include "kvstore/codec.h"
 
 namespace hetsim::core {
 
@@ -178,7 +180,9 @@ JobReport ParetoFramework::run(Strategy strategy, const data::Dataset& dataset,
   workload.reset(p, barrier_master_);
 
   // ---- Load phase: every node pulls its records from the master and
-  // stores them locally as a packed list (pipelined both ways). ----
+  // stores them locally as ONE length-prefixed packed blob (paper
+  // section IV framing) — framed once here, never re-materialized per
+  // record afterwards. ----
   {
     std::vector<cluster::NodeTask> tasks;
     tasks.reserve(p);
@@ -190,17 +194,15 @@ JobReport ParetoFramework::run(Strategy strategy, const data::Dataset& dataset,
                                .key = "data",
                                .arg0 = static_cast<std::int64_t>(idx)});
         }
-        const std::vector<kvstore::Reply> replies =
+        std::vector<kvstore::Reply> replies =
             kvstore::expect_ok(from_master.drain());
+        std::vector<std::string> records;
+        records.reserve(replies.size());
+        for (kvstore::Reply& r : replies) records.push_back(std::move(r.blob));
         kvstore::Client& local = ctx.local();
         kvstore::expect_ok(local.execute(
             {.type = kvstore::CommandType::kDel, .key = config_.partition_key}));
-        for (const kvstore::Reply& r : replies) {
-          local.enqueue({.type = kvstore::CommandType::kRPush,
-                         .key = config_.partition_key,
-                         .value = r.blob});
-        }
-        kvstore::expect_ok(local.drain());
+        local.set(config_.partition_key, kvstore::pack_records(records));
       });
     }
     const cluster::PhaseReport load = cluster_.run_phase("load", tasks);
@@ -214,8 +216,24 @@ JobReport ParetoFramework::run(Strategy strategy, const data::Dataset& dataset,
     tasks.reserve(p);
     for (std::size_t node = 0; node < p; ++node) {
       tasks.push_back([&, node](cluster::NodeContext& ctx) {
-        // Fetch the whole partition in one get (paper section IV).
-        (void)ctx.local().lrange(config_.partition_key, 0, -1);
+        // Fetch the whole partition in one zero-copy get (paper section
+        // IV): the cursor walks the framing in place — no per-record
+        // strings — and cross-checks the count against the plan.
+        std::size_t records_seen = 0;
+        const kvstore::Client::ViewResult view = ctx.local().get_view(
+            config_.partition_key, [&](std::string_view blob) {
+              kvstore::RecordCursor cursor(blob);
+              while (!cursor.done()) {
+                (void)cursor.next();
+                ++records_seen;
+              }
+            });
+        HETSIM_CHECK(view.status == kvstore::Status::kOk && view.found)
+            << ": exec phase found no partition blob on node " << node;
+        HETSIM_CHECK(records_seen == assignment.partitions[node].size())
+            << ": partition blob on node " << node << " frames "
+            << records_seen << " records, plan says "
+            << assignment.partitions[node].size();
         workload.run(ctx, dataset, assignment.partitions[node]);
       });
     }

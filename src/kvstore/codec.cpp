@@ -50,6 +50,10 @@ std::string pack_records(std::span<const std::string> records) {
 
 std::vector<std::string> unpack_records(std::string_view blob) {
   std::vector<std::string> out;
+  // One framing pass up front sizes the vector exactly (and rejects
+  // truncated blobs before anything is materialized), so the fill loop
+  // below never reallocates.
+  out.reserve(count_records(blob));
   std::size_t at = 0;
   while (at < blob.size()) {
     const std::uint32_t len = read_u32(blob, at);
@@ -73,6 +77,16 @@ std::size_t count_records(std::string_view blob) {
     ++n;
   }
   return n;
+}
+
+std::string_view RecordCursor::next() {
+  const std::uint32_t len = read_u32(blob_, at_);
+  at_ += 4;
+  common::require<common::StoreError>(at_ + len <= blob_.size(),
+                                      "codec: truncated record body");
+  const std::string_view payload = blob_.substr(at_, len);
+  at_ += len;
+  return payload;
 }
 
 std::string encode_u32s(std::span<const std::uint32_t> values) {

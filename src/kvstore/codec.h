@@ -29,6 +29,26 @@ namespace hetsim::kvstore {
 /// Number of framed records in a blob without materializing them.
 [[nodiscard]] std::size_t count_records(std::string_view blob);
 
+/// Zero-copy forward iteration over a packed blob: each next() yields
+/// the payload as a string_view into the blob, so a partition framed
+/// once is never re-materialized per record. The blob must outlive the
+/// cursor and every view it returned (ownership rules: DESIGN.md §12).
+class RecordCursor {
+ public:
+  explicit RecordCursor(std::string_view blob) noexcept : blob_(blob) {}
+
+  [[nodiscard]] bool done() const noexcept { return at_ >= blob_.size(); }
+
+  /// Payload of the next record. Throws StoreError on truncated framing
+  /// (length prefix or body extending past the blob) — the same checks
+  /// unpack_records makes, paid lazily per record.
+  [[nodiscard]] std::string_view next();
+
+ private:
+  std::string_view blob_;
+  std::size_t at_ = 0;
+};
+
 // ---- integer vector helpers (used for pivot/item sets) -----------------
 
 /// Pack a sorted set of u32 item ids as a record payload.

@@ -1,0 +1,125 @@
+// NEON (aarch64) kernels. Compiled only on aarch64, where NEON is part
+// of the baseline ISA — no extra compile flags or runtime probing
+// needed beyond the architecture itself.
+//
+// Same exact-arithmetic decomposition as the AVX2 lane (see
+// kernels_avx2.cpp): a·(x+1)+b = a_hi·x·2^32 + a_lo·x + (a+b), each
+// product folded mod 2^61−1 with shifts, partial sums < 2^63.2 so u64
+// adds never wrap, one final fold + conditional subtract. vmull_u32
+// gives the 32×32→64 widening multiply; NEON has native unsigned
+// 64-bit compares (vcgtq_u64) so no sign-flip trick is required.
+#if defined(HETSIM_SIMD_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+
+#include "simd/kernels.h"
+#include "simd/simd.h"
+
+namespace hetsim::simd::detail {
+
+namespace {
+
+inline uint64x2_t fold_mul(uint32x2_t hi_mult, uint32x2_t lo_mult,
+                           uint32x2_t x, uint64x2_t addend, uint64x2_t p,
+                           uint64x2_t m29s32) {
+  const uint64x2_t th = vmull_u32(hi_mult, x);  // a_hi·x < 2^61
+  const uint64x2_t tl = vmull_u32(lo_mult, x);  // a_lo·x < 2^64
+  // t_hi·2^32 mod p = (t_hi >> 29) + ((t_hi << 32) & ((2^29−1) << 32))
+  uint64x2_t sum = vaddq_u64(
+      vaddq_u64(vshrq_n_u64(th, 29), vandq_u64(vshlq_n_u64(th, 32), m29s32)),
+      vaddq_u64(vshrq_n_u64(tl, 61), vandq_u64(tl, p)));
+  sum = vaddq_u64(sum, addend);
+  const uint64x2_t r = vaddq_u64(vshrq_n_u64(sum, 61), vandq_u64(sum, p));
+  // Conditional subtract: r in [0, 2p) → exact remainder in [0, p).
+  return vsubq_u64(r, vandq_u64(vcgeq_u64(r, p), p));
+}
+
+}  // namespace
+
+std::uint64_t minhash_min_run_neon(std::uint64_t a, std::uint64_t b,
+                                   const std::uint64_t* items, std::size_t n,
+                                   std::uint64_t acc) {
+  const uint32x2_t alo = vdup_n_u32(static_cast<std::uint32_t>(a));
+  const uint32x2_t ahi = vdup_n_u32(static_cast<std::uint32_t>(a >> 32));
+  const uint64x2_t addend = vdupq_n_u64(a + b);  // a·1 folded in
+  const uint64x2_t p = vdupq_n_u64(kPrime61);
+  const uint64x2_t m29s32 = vdupq_n_u64(((1ULL << 29) - 1) << 32);
+  uint64x2_t acc0 = vdupq_n_u64(~0ULL);
+  uint64x2_t acc1 = vdupq_n_u64(~0ULL);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Items are zero-extended u64 < 2^32; narrow to the even 32-bit
+    // lanes vmull_u32 consumes.
+    const uint64x2_t w0 = vld1q_u64(items + i);
+    const uint64x2_t w1 = vld1q_u64(items + i + 2);
+    const uint32x2_t x0 = vmovn_u64(w0);
+    const uint32x2_t x1 = vmovn_u64(w1);
+    const uint64x2_t v0 = fold_mul(ahi, alo, x0, addend, p, m29s32);
+    const uint64x2_t v1 = fold_mul(ahi, alo, x1, addend, p, m29s32);
+    acc0 = vbslq_u64(vcgtq_u64(acc0, v0), v0, acc0);
+    acc1 = vbslq_u64(vcgtq_u64(acc1, v1), v1, acc1);
+  }
+  const uint64x2_t accv = vbslq_u64(vcgtq_u64(acc0, acc1), acc1, acc0);
+  std::uint64_t best = std::min(
+      acc, std::min(vgetq_lane_u64(accv, 0), vgetq_lane_u64(accv, 1)));
+  for (; i < n; ++i) {
+    best = std::min(best, permute61(a, b, items[i] + 1));
+  }
+  return best;
+}
+
+std::size_t equal_count_u64_neon(const std::uint64_t* a, const std::uint64_t* b,
+                                 std::size_t n) {
+  // Accumulate each lane's all-ones compare mask negated (-1 per hit),
+  // then subtract the lane totals at the end.
+  int64x2_t neg = vdupq_n_s64(0);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(a + j), vld1q_u64(b + j));
+    neg = vaddq_s64(neg, vreinterpretq_s64_u64(eq));
+  }
+  std::size_t match = static_cast<std::size_t>(
+      -(vgetq_lane_s64(neg, 0) + vgetq_lane_s64(neg, 1)));
+  for (; j < n; ++j) {
+    if (a[j] == b[j]) ++match;
+  }
+  return match;
+}
+
+std::int64_t find_sorted_u64_neon(const std::uint64_t* vals, std::uint32_t len,
+                                  std::uint64_t want) {
+  // Same shape as the AVX2 lane: halve to a bounded window, then
+  // 4-wide equality scans with a single movemask-style reduction.
+  const std::uint64_t* base = vals;
+  std::uint32_t l = len;
+  while (l > 64) {
+    const std::uint32_t half = l / 2;
+    base += (base[half - 1] < want) ? half : 0;
+    l -= half;
+  }
+  const uint64x2_t w = vdupq_n_u64(want);
+  std::uint32_t i = 0;
+  for (; i + 4 <= l; i += 4) {
+    const uint64x2_t e0 = vceqq_u64(vld1q_u64(base + i), w);
+    const uint64x2_t e1 = vceqq_u64(vld1q_u64(base + i + 2), w);
+    // Pack each 64-bit mask into one bit: narrow to 32, shift-right
+    // accumulate gives a 4-bit mask in the low nibble.
+    const uint32x4_t both = vcombine_u32(vmovn_u64(e0), vmovn_u64(e1));
+    const std::uint64_t mask =
+        vget_lane_u64(vreinterpret_u64_u16(vshrn_n_u32(both, 16)), 0);
+    if (mask != 0) {
+      return (base - vals) + i +
+             static_cast<std::int64_t>(__builtin_ctzll(mask) / 16);
+    }
+  }
+  for (; i < l; ++i) {
+    if (base[i] == want) return (base - vals) + i;
+  }
+  return -1;
+}
+
+}  // namespace hetsim::simd::detail
+
+#endif  // HETSIM_SIMD_HAVE_NEON

@@ -1,0 +1,56 @@
+// Portable scalar kernels — the reference semantics every vector lane
+// must reproduce bit-for-bit, and the fallback on hosts with neither
+// AVX2 nor NEON.
+#include <algorithm>
+
+#include "simd/kernels.h"
+#include "simd/simd.h"
+
+namespace hetsim::simd::detail {
+
+std::uint64_t minhash_min_run_scalar(std::uint64_t a, std::uint64_t b,
+                                     const std::uint64_t* items, std::size_t n,
+                                     std::uint64_t acc) {
+  // 4 independent min accumulators break the serial min-dependency
+  // chain so the (a·x+b) mod 2^61−1 pipeline stays full (PR-3 shape).
+  std::uint64_t m0 = acc;
+  std::uint64_t m1 = ~0ULL;
+  std::uint64_t m2 = ~0ULL;
+  std::uint64_t m3 = ~0ULL;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::min(m0, permute61(a, b, items[i] + 1));
+    m1 = std::min(m1, permute61(a, b, items[i + 1] + 1));
+    m2 = std::min(m2, permute61(a, b, items[i + 2] + 1));
+    m3 = std::min(m3, permute61(a, b, items[i + 3] + 1));
+  }
+  for (; i < n; ++i) {
+    m0 = std::min(m0, permute61(a, b, items[i] + 1));
+  }
+  return std::min(std::min(m0, m1), std::min(m2, m3));
+}
+
+std::size_t equal_count_u64_scalar(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  std::size_t match = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (a[j] == b[j]) ++match;
+  }
+  return match;
+}
+
+std::int64_t find_sorted_u64_scalar(const std::uint64_t* vals,
+                                    std::uint32_t len, std::uint64_t want) {
+  if (len == 0) return -1;
+  // Branchless lower bound (conditional moves, no data-dependent
+  // branches), then one equality probe — the PR-3 k-modes inner loop.
+  const std::uint64_t* base = vals;
+  while (len > 1) {
+    const std::uint32_t half = len / 2;
+    base += (base[half - 1] < want) ? half : 0;
+    len -= half;
+  }
+  return (*base == want) ? base - vals : -1;
+}
+
+}  // namespace hetsim::simd::detail

@@ -42,40 +42,39 @@ MinHasher::MinHasher(SketchConfig config) {
 }
 
 std::uint64_t MinHasher::permute(std::uint32_t j, data::Item x) const {
-  common::require<common::ConfigError>(j < a_.size(),
-                                       "MinHasher: hash index out of range");
+  // Hot inner-loop probe (the A/B bench baselines sweep it per item):
+  // an out-of-range j is a caller bug, not user input, so the bound is
+  // a debug contract rather than a per-call throw check.
+  HETSIM_DCHECK(j < a_.size()) << ": MinHasher hash index out of range";
   const std::uint64_t h = detail::linear_permute(a_[j], b_[j], x);
   HETSIM_DCHECK_LT(h, kPrime);
   return h;
 }
 
 Sketch MinHasher::sketch(std::span<const data::Item> items) const {
+  common::Arena arena;
+  return sketch(items, arena);
+}
+
+Sketch MinHasher::sketch(std::span<const data::Item> items,
+                         common::Arena& arena) const {
   const std::size_t k = a_.size();
   Sketch sig(k, kEmptySentinel);
-  // Hash-major over item batches: for each batch the inner loop is one
-  // permutation over consecutive items, 4-wide unrolled into independent
-  // min accumulators so the serial min-dependency chain is broken and
-  // the compiler can keep the (a·x+b) mod 2^61−1 pipeline full.
+  if (items.empty()) return sig;
+  const simd::Kernels& kern = simd::dispatch();
+  // Hash-major over item tiles: each tile is staged once as
+  // zero-extended u64 lanes (what the vector kernels consume) and then
+  // swept by every permutation while it sits in L1 — one widening pass
+  // per tile instead of one per (item, hash) pair.
+  auto staged =
+      arena.alloc_span<std::uint64_t>(std::min(items.size(), kItemBatch));
   for (std::size_t base = 0; base < items.size(); base += kItemBatch) {
-    const std::size_t limit = std::min(items.size(), base + kItemBatch);
+    const std::size_t len = std::min(items.size() - base, kItemBatch);
+    for (std::size_t i = 0; i < len; ++i) {
+      staged[i] = items[base + i];
+    }
     for (std::size_t j = 0; j < k; ++j) {
-      const std::uint64_t a = a_[j];
-      const std::uint64_t b = b_[j];
-      std::uint64_t m0 = sig[j];
-      std::uint64_t m1 = kEmptySentinel;
-      std::uint64_t m2 = kEmptySentinel;
-      std::uint64_t m3 = kEmptySentinel;
-      std::size_t i = base;
-      for (; i + 4 <= limit; i += 4) {
-        m0 = std::min(m0, detail::linear_permute(a, b, items[i]));
-        m1 = std::min(m1, detail::linear_permute(a, b, items[i + 1]));
-        m2 = std::min(m2, detail::linear_permute(a, b, items[i + 2]));
-        m3 = std::min(m3, detail::linear_permute(a, b, items[i + 3]));
-      }
-      for (; i < limit; ++i) {
-        m0 = std::min(m0, detail::linear_permute(a, b, items[i]));
-      }
-      sig[j] = std::min(std::min(m0, m1), std::min(m2, m3));
+      sig[j] = kern.minhash_min_run(a_[j], b_[j], staged.data(), len, sig[j]);
     }
   }
   return sig;
@@ -83,18 +82,27 @@ Sketch MinHasher::sketch(std::span<const data::Item> items) const {
 
 std::vector<Sketch> MinHasher::sketch_all(
     const std::vector<data::Record>& records, const par::Options& par) const {
-  return par::resolve(par).parallel_map<Sketch>(
+  std::vector<Sketch> out(records.size());
+  par::resolve(par).parallel_for(
       records.size(), par::chunk_or(par, kRecordChunk),
-      [&](std::size_t i) { return sketch(records[i].items); });
+      [&](std::size_t begin, std::size_t end) {
+        // One arena per chunk (never shared across lanes); reset()
+        // between records keeps the staging buffer's block hot, so the
+        // steady state allocates only the output sketches.
+        common::Arena arena;
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = sketch(records[i].items, arena);
+          arena.reset();
+        }
+      });
+  return out;
 }
 
 double MinHasher::estimate_jaccard(const Sketch& a, const Sketch& b) {
   common::require<common::ConfigError>(a.size() == b.size() && !a.empty(),
                                        "estimate_jaccard: size mismatch");
-  std::size_t match = 0;
-  for (std::size_t j = 0; j < a.size(); ++j) {
-    if (a[j] == b[j]) ++match;
-  }
+  const std::size_t match =
+      simd::dispatch().equal_count_u64(a.data(), b.data(), a.size());
   return static_cast<double>(match) / static_cast<double>(a.size());
 }
 

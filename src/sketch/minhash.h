@@ -15,9 +15,11 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "data/dataset.h"
 #include "data/itemset.h"
 #include "par/pool.h"
+#include "simd/simd.h"
 
 namespace hetsim::sketch {
 
@@ -25,22 +27,17 @@ namespace detail {
 
 /// Mersenne prime 2^61 - 1: (a*x + b) mod p reduces with shifts only and
 /// a*x fits in __uint128_t for a, x < p.
-inline constexpr std::uint64_t kSketchPrime = (1ULL << 61) - 1;
+inline constexpr std::uint64_t kSketchPrime = simd::kPrime61;
 
 /// h_{a,b}(x) = (a·(x+1) + b) mod 2^61−1 — the single definition of the
-/// permutation arithmetic; MinHasher::permute and the sketch kernels
-/// both call it, so the two can never drift. The +1 keeps item 0 out of
-/// the multiplier's kernel. Folds twice: any value < p² reduces below
-/// 2p after one fold.
+/// permutation arithmetic, now hosted in simd::permute61 so every ISA
+/// lane (AVX2, NEON, scalar) and MinHasher::permute funnel through one
+/// formula and can never drift. The +1 keeps item 0 out of the
+/// multiplier's kernel.
 inline constexpr std::uint64_t linear_permute(std::uint64_t a,
                                               std::uint64_t b,
                                               std::uint64_t x) noexcept {
-  const __uint128_t v = static_cast<__uint128_t>(a) * (x + 1) + b;
-  const auto lo = static_cast<std::uint64_t>(v) & kSketchPrime;
-  const auto hi = static_cast<std::uint64_t>(v >> 61);
-  std::uint64_t r = lo + hi;
-  if (r >= kSketchPrime) r -= kSketchPrime;
-  return r;
+  return simd::permute61(a, b, x + 1);
 }
 
 }  // namespace detail
@@ -65,8 +62,15 @@ class MinHasher {
 
   /// Sketch a normalized item set. Empty sets sketch to all-sentinel
   /// (they compare equal to each other, Jaccard 1). Hash-major over item
-  /// batches with a 4-wide unrolled permutation kernel.
+  /// batches through the simd::dispatch() min-run kernel; results are
+  /// byte-identical on every ISA lane.
   [[nodiscard]] Sketch sketch(std::span<const data::Item> items) const;
+
+  /// Same, staging scratch in `arena` (spans released by the caller's
+  /// reset()). The fast path for sketch_all, which reuses one arena per
+  /// record chunk so steady state touches malloc only for the output.
+  [[nodiscard]] Sketch sketch(std::span<const data::Item> items,
+                              common::Arena& arena) const;
 
   /// Sketch every record of a dataset (row i = record i), fanned out
   /// over `par` in record chunks. Results are identical for every

@@ -1,11 +1,14 @@
 #include "stratify/kmodes.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "common/hash.h"
 #include "common/rng.h"
+#include "simd/simd.h"
 
 namespace hetsim::stratify {
 
@@ -57,11 +60,14 @@ CenterIndex build_index(
 
 /// Per-center matched-attribute counts of point `sig`, accumulated into
 /// `score` (caller-provided, one slot per center, zeroed here). The
-/// inner search is a branchless lower-bound (conditional moves, no
-/// data-dependent branches), so attribute lookups pipeline. Work
-/// metering lives with the caller — one scoring pass abstractly
+/// per-attribute probe goes through `kern.find_sorted_u64` — callers
+/// hoist the dispatch() table out of their point loops — which on
+/// vector ISAs replaces the serially-dependent cmov search with wide
+/// equality scans over the (typically short) per-attribute segment.
+/// Work metering lives with the caller — one scoring pass abstractly
 /// considers index.values.size() candidates.
 void match_scores(const sketch::Sketch& sig, const CenterIndex& index,
+                  const simd::Kernels& kern,
                   std::vector<std::uint32_t>& score) {
   std::fill(score.begin(), score.end(), 0u);
   const std::uint64_t* const vals = index.values.data();
@@ -69,17 +75,10 @@ void match_scores(const sketch::Sketch& sig, const CenterIndex& index,
   const std::uint32_t* const coff = index.center_offsets.data();
   const std::uint32_t* const cids = index.center_ids.data();
   for (std::size_t j = 0; j < sig.size(); ++j) {
-    const std::uint64_t want = sig[j];
-    std::uint32_t len = off[j + 1] - off[j];
-    if (len == 0) continue;
-    const std::uint64_t* base = vals + off[j];
-    while (len > 1) {
-      const std::uint32_t half = len / 2;
-      base += (base[half - 1] < want) ? half : 0;
-      len -= half;
-    }
-    if (*base == want) {
-      const auto p = static_cast<std::uint32_t>(base - vals);
+    const std::int64_t hit =
+        kern.find_sorted_u64(vals + off[j], off[j + 1] - off[j], sig[j]);
+    if (hit >= 0) {
+      const auto p = off[j] + static_cast<std::uint32_t>(hit);
       for (std::uint32_t t = coff[p]; t < coff[p + 1]; ++t) ++score[cids[t]];
     }
   }
@@ -109,7 +108,7 @@ struct UpdateScratch {
 /// selected composite values are deterministic regardless of probe
 /// order.
 void update_center(const std::vector<sketch::Sketch>& sketches,
-                   const std::vector<std::uint32_t>& members,
+                   std::span<const std::uint32_t> members,
                    std::uint32_t composite_l,
                    std::vector<std::vector<std::uint64_t>>& center,
                    UpdateScratch& scratch, std::uint64_t& ops) {
@@ -212,6 +211,11 @@ Stratification composite_kmodes(const std::vector<sketch::Sketch>& sketches,
 
   par::ThreadPool& pool = par::resolve(config.par);
   const std::size_t chunk = par::chunk_or(config.par, 1024);
+  // One dispatch resolution for the whole solve: every chunk of every
+  // iteration probes through the same kernel table.
+  const simd::Kernels& kern = simd::dispatch();
+  // Scratch for the serial update step, reused across iterations.
+  common::Arena arena;
 
   std::vector<std::uint32_t> assignment(n, UINT32_MAX);
   for (std::uint32_t iter = 0; iter < config.max_iterations; ++iter) {
@@ -233,7 +237,7 @@ Stratification composite_kmodes(const std::vector<sketch::Sketch>& sketches,
           local.ops = (end - begin) * values_per_point;
           std::vector<std::uint32_t> score(num_strata);
           for (std::size_t i = begin; i < end; ++i) {
-            match_scores(sketches[i], index, score);
+            match_scores(sketches[i], index, kern, score);
             std::uint32_t best_c = 0;
             std::uint32_t best_score = 0;
             for (std::uint32_t c = 0; c < num_strata; ++c) {
@@ -272,16 +276,31 @@ Stratification composite_kmodes(const std::vector<sketch::Sketch>& sketches,
     // Update step: stays serial — it is O(n·k_attr) against the
     // assignment step's O(n·k_attr·strata·log L), and the per-stratum
     // frequency maps would need a merge tree to parallelize safely.
-    std::vector<std::vector<std::uint32_t>> members(num_strata);
+    // Member lists are a counting sort into one flat arena span (stable,
+    // so each stratum lists its points in ascending order exactly like
+    // the per-stratum vectors it replaces) — no num_strata heap vectors
+    // reallocated every iteration.
+    auto offsets = arena.alloc_span<std::uint32_t>(num_strata + 1);
+    auto cursor = arena.alloc_span<std::uint32_t>(num_strata);
+    auto flat = arena.alloc_span<std::uint32_t>(n);
+    std::fill(offsets.begin(), offsets.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) ++offsets[assignment[i] + 1];
+    for (std::uint32_t c = 0; c < num_strata; ++c) {
+      offsets[c + 1] += offsets[c];
+      cursor[c] = offsets[c];
+    }
     for (std::size_t i = 0; i < n; ++i) {
-      members[assignment[i]].push_back(static_cast<std::uint32_t>(i));
+      flat[cursor[assignment[i]]++] = static_cast<std::uint32_t>(i);
     }
     UpdateScratch scratch;
     for (std::uint32_t c = 0; c < num_strata; ++c) {
-      if (members[c].empty()) continue;  // keep the old center
-      update_center(sketches, members[c], config.composite_l, centers[c],
+      const std::span<const std::uint32_t> members =
+          flat.subspan(offsets[c], offsets[c + 1] - offsets[c]);
+      if (members.empty()) continue;  // keep the old center
+      update_center(sketches, members, config.composite_l, centers[c],
                     scratch, out.work_ops);
     }
+    arena.reset();
   }
 
   out.assignment = std::move(assignment);

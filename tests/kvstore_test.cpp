@@ -2,10 +2,13 @@
 // pipelined client cost accounting, and the INCR-based barrier.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "kvstore/barrier.h"
 #include "kvstore/client.h"
 #include "kvstore/codec.h"
@@ -141,6 +144,92 @@ TEST(Codec, U64VectorRoundTrip) {
   EXPECT_EQ(decode_u64s(encode_u64s(values)), values);
 }
 
+TEST(Codec, CursorOverEmptyBlobIsImmediatelyDone) {
+  RecordCursor cursor{std::string_view{}};
+  EXPECT_TRUE(cursor.done());
+  EXPECT_TRUE(unpack_records({}).empty());
+  EXPECT_EQ(count_records({}), 0u);
+}
+
+TEST(Codec, CursorYieldsZeroLengthRecords) {
+  const std::vector<std::string> records{"", "mid", ""};
+  const std::string blob = pack_records(records);
+  RecordCursor cursor{blob};
+  EXPECT_EQ(cursor.next(), "");
+  EXPECT_EQ(cursor.next(), "mid");
+  EXPECT_EQ(cursor.next(), "");
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(Codec, CursorThrowsOnTruncatedLengthPrefix) {
+  // Two bytes cannot hold the 4-byte length prefix.
+  const std::string blob{"\x05\x00", 2};
+  RecordCursor cursor{blob};
+  EXPECT_FALSE(cursor.done());
+  EXPECT_THROW((void)cursor.next(), common::StoreError);
+}
+
+TEST(Codec, CursorThrowsOnTruncatedBody) {
+  std::string blob = frame_record("abcdef");
+  blob.resize(blob.size() - 2);
+  RecordCursor cursor{blob};
+  EXPECT_THROW((void)cursor.next(), common::StoreError);
+}
+
+TEST(Codec, CursorViewsAliasTheBlob) {
+  const std::string blob = pack_records(std::vector<std::string>{"abc", "de"});
+  RecordCursor cursor{blob};
+  const std::string_view first = cursor.next();
+  EXPECT_GE(first.data(), blob.data());
+  EXPECT_LE(first.data() + first.size(), blob.data() + blob.size());
+}
+
+TEST(Codec, PackCursorUnpackPropertyOnRandomRecords) {
+  common::Rng rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::string> records(rng.bounded(20));
+    for (std::string& r : records) {
+      r.resize(rng.bounded(200));
+      for (char& c : r) c = static_cast<char>(rng.bounded(256));
+    }
+    const std::string blob = pack_records(records);
+    // The three read paths must agree exactly: count, cursor, unpack.
+    EXPECT_EQ(count_records(blob), records.size());
+    std::vector<std::string> via_cursor;
+    RecordCursor cursor{blob};
+    while (!cursor.done()) via_cursor.emplace_back(cursor.next());
+    EXPECT_EQ(via_cursor, records);
+    EXPECT_EQ(unpack_records(blob), records);
+  }
+}
+
+TEST(Store, VisitGetObservesValueWithoutCopy) {
+  Store s;
+  s.set("k", "payload");
+  std::string seen;
+  EXPECT_TRUE(s.visit_get("k", [&](std::string_view v) { seen = v; }));
+  EXPECT_EQ(seen, "payload");
+  bool called = false;
+  EXPECT_FALSE(s.visit_get("missing", [&](std::string_view) { called = true; }));
+  EXPECT_FALSE(called);
+}
+
+TEST(Store, VisitGetTypeMismatchThrows) {
+  Store s;
+  (void)s.rpush("list", "x");
+  EXPECT_THROW((void)s.visit_get("list", [](std::string_view) {}),
+               common::StoreError);
+}
+
+TEST(Store, ValueSizeReportsWithoutCountingAnOp) {
+  Store s;
+  s.set("k", "12345");
+  const std::uint64_t ops_before = s.stats().ops;
+  EXPECT_EQ(s.value_size("k"), 5u);
+  EXPECT_EQ(s.value_size("missing"), std::nullopt);
+  EXPECT_EQ(s.stats().ops, ops_before);
+}
+
 class ClientTest : public ::testing::Test {
  protected:
   net::Fabric fabric_{2};
@@ -166,6 +255,34 @@ TEST_F(ClientTest, EveryImmediateOpCostsARoundTrip) {
   const net::LinkStats st = fabric_.stats(0, 1);
   EXPECT_EQ(st.round_trips, 2u);
   EXPECT_EQ(st.messages, 2u);
+  EXPECT_GT(c.consumed_time(), 0.0);
+}
+
+TEST_F(ClientTest, GetViewChargesExactlyWhatGetWould) {
+  store_.set("k", std::string(4096, 'x'));
+  Client copying(fabric_, 0, 1, store_);
+  (void)copying.get("k");
+  Client viewing(fabric_, 0, 1, store_);
+  std::size_t seen = 0;
+  const Client::ViewResult view =
+      viewing.get_view("k", [&](std::string_view v) { seen = v.size(); });
+  EXPECT_EQ(view.status, Status::kOk);
+  EXPECT_TRUE(view.found);
+  EXPECT_EQ(seen, 4096u);
+  // Zero-copy is a memory optimization, not a simulated-network one:
+  // the charged wire time must match the materializing GET to the bit.
+  EXPECT_DOUBLE_EQ(viewing.consumed_time(), copying.consumed_time());
+}
+
+TEST_F(ClientTest, GetViewMissingKeyReportsNotFound) {
+  Client c(fabric_, 0, 1, store_);
+  bool called = false;
+  const Client::ViewResult view =
+      c.get_view("missing", [&](std::string_view) { called = true; });
+  EXPECT_EQ(view.status, Status::kOk);
+  EXPECT_FALSE(view.found);
+  EXPECT_FALSE(called);
+  // The null bulk reply still crosses the simulated wire.
   EXPECT_GT(c.consumed_time(), 0.0);
 }
 
