@@ -17,10 +17,18 @@
 // makespan inflation, and records rescued — the robustness story in
 // one table.
 //
-// Exit status is non-zero when byte-identity or the overhead gate
-// fails, so CI can run the bench as an acceptance check.
+// A second section covers the serving path (DESIGN.md §13): the
+// deadline-budget + circuit-breaker machinery must be free when
+// nothing fails (virtual time identical, < 2% wall overhead), and
+// under a flapping replica the breaker's shedding must keep the
+// per-op p99 within 3x the fault-free baseline with zero records
+// lost. Counters and the survival table land in BENCH_chaos.json.
+//
+// Exit status is non-zero when byte-identity or any overhead/survival
+// gate fails, so CI can run the bench as an acceptance check.
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <iostream>
 #include <memory>
 #include <numeric>
@@ -30,6 +38,7 @@
 #include "bench/harness.h"
 #include "common/table.h"
 #include "fault/fault.h"
+#include "ha/group.h"
 #include "runtime/runtime.h"
 
 namespace {
@@ -95,6 +104,76 @@ double median_wall_s(const data::Dataset& dataset, std::uint32_t partitions,
   samples.reserve(static_cast<std::size_t>(reps));
   for (int i = 0; i < reps; ++i) {
     samples.push_back(run_once(dataset, partitions, plan, seed).wall_s);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// ---- serving path: deadline budget + breaker ---------------------------
+
+struct ServeResult {
+  std::vector<double> latencies;  // virtual seconds per put
+  std::size_t ok_puts = 0;
+  std::size_t lost = 0;  // acked keys the read path cannot produce
+  double virtual_s = 0.0;
+  double wall_s = 0.0;
+  ha::RouterStats stats;
+};
+
+/// Drive `ops` replicated puts (then read every key back) through a
+/// 4-node group. Per-op latency is the group's virtual-time delta, so
+/// the p99 is deterministic and host-speed independent.
+ServeResult serve_once(const fault::FaultPlan* plan, bool breaker_on,
+                       std::size_t ops) {
+  ha::NodeGroupConfig cfg;
+  cfg.nodes = 4;
+  cfg.breaker.enabled = breaker_on;
+  ha::NodeGroup group(cfg);
+  if (plan != nullptr) group.set_fault(*plan);
+  ha::Client& client = group.client(0);
+
+  ServeResult r;
+  r.latencies.reserve(ops);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::string key = "bk" + std::to_string(i);
+    const std::string value = "v" + std::to_string(i * 2654435761ULL);
+    const double before = group.consumed_time();
+    const ha::WriteResult wr = client.put(key, value);
+    r.latencies.push_back(group.consumed_time() - before);
+    if (wr.status == kvstore::Status::kOk) ++r.ok_puts;
+  }
+  // Zero-records-lost sweep: every acknowledged key must still be
+  // readable with the acknowledged bytes through the replicated read
+  // path (shedding sheds load, not data).
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::string key = "bk" + std::to_string(i);
+    const std::string value = "v" + std::to_string(i * 2654435761ULL);
+    const ha::ReadResult rr = client.get(key);
+    if (rr.reply.status != kvstore::Status::kOk || !rr.reply.ok ||
+        rr.reply.blob != value) {
+      ++r.lost;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.virtual_s = group.consumed_time();
+  r.stats = group.router().stats();
+  return r;
+}
+
+double p99_of(std::vector<double> lat) {
+  std::sort(lat.begin(), lat.end());
+  const std::size_t idx = (lat.size() * 99) / 100;
+  return lat[std::min(idx, lat.size() - 1)];
+}
+
+double median_serve_wall_s(const fault::FaultPlan* plan, bool breaker_on,
+                           std::size_t ops, int reps) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    samples.push_back(serve_once(plan, breaker_on, ops).wall_s);
   }
   std::sort(samples.begin(), samples.end());
   return samples[samples.size() / 2];
@@ -186,5 +265,97 @@ int main() {
                      static_cast<double>(faulty.summary.kv_retries), "count"});
 
   bench::write_bench_json("fault", metrics);
+
+  // ---- serving path: breaker must be free when nothing fails ---------
+  std::vector<bench::BenchMetric> chaos_metrics;
+  const std::size_t serve_ops = 800;
+  std::cout << "\nserving path — 4-node group, replication 2, " << serve_ops
+            << " puts + full read-back\n\n";
+
+  const ServeResult plain = serve_once(nullptr, /*breaker_on=*/false,
+                                       serve_ops);
+  const ServeResult armed = serve_once(nullptr, /*breaker_on=*/true,
+                                       serve_ops);
+  const bool virt_identical = plain.virtual_s == armed.virtual_s;
+  std::cout << "fault-free virtual time, breaker off vs on: "
+            << (virt_identical ? "identical" : "MISMATCH") << " ("
+            << common::format_double(armed.virtual_s, 6) << " s)\n";
+  chaos_metrics.push_back(
+      {"breaker_virtual_identical", virt_identical ? 1.0 : 0.0, "bool"});
+  if (!virt_identical) ok = false;
+
+  const double serve_off =
+      median_serve_wall_s(nullptr, /*breaker_on=*/false, serve_ops, reps);
+  const double serve_on =
+      median_serve_wall_s(nullptr, /*breaker_on=*/true, serve_ops, reps);
+  const double serve_overhead_pct =
+      100.0 * (serve_on - serve_off) / serve_off;
+  std::cout << "fault-free wall time: breaker off "
+            << common::format_double(serve_off, 4) << " s, on "
+            << common::format_double(serve_on, 4) << " s, overhead "
+            << common::format_double(serve_overhead_pct, 2)
+            << "% (gate: < 2%)\n";
+  chaos_metrics.push_back(
+      {"breaker_overhead_pct", serve_overhead_pct, "%"});
+  if (serve_overhead_pct >= 2.0) {
+    std::cout << "FAIL: deadline+breaker overhead " << serve_overhead_pct
+              << "% breaches the 2% gate\n";
+    ok = false;
+  }
+
+  // ---- chaos survival: flapping replica, breaker shedding ------------
+  fault::FaultPlan flapping;
+  flapping.seed = 29;
+  flapping.stores[1].error_prob = 1.0;
+  const ServeResult shed = serve_once(&flapping, /*breaker_on=*/true,
+                                      serve_ops);
+
+  const double p99_clean = p99_of(armed.latencies);
+  const double p99_shed = p99_of(shed.latencies);
+  const double p99_ratio = p99_shed / p99_clean;
+
+  common::Table survival({"configuration", "ok puts", "p99 (virtual s)",
+                          "lost", "shed", "opens", "probes"});
+  const auto srow = [&](const char* name, const ServeResult& r) {
+    survival.add_row({name, std::to_string(r.ok_puts),
+                      common::format_double(p99_of(r.latencies), 6),
+                      std::to_string(r.lost), std::to_string(r.stats.shed),
+                      std::to_string(r.stats.breaker_opens),
+                      std::to_string(r.stats.breaker_probes)});
+  };
+  srow("fault-free", armed);
+  srow("flapping replica (store 1 errors)", shed);
+  std::cout << '\n';
+  survival.print(std::cout, "chaos survival on the serving path");
+  std::cout << "p99 inflation under flapping replica: "
+            << common::format_double(p99_ratio, 2) << "x (gate: < 3x)\n";
+
+  if (shed.lost != 0) {
+    std::cout << "FAIL: flapping-replica run lost " << shed.lost
+              << " record(s)\n";
+    ok = false;
+  }
+  if (p99_ratio >= 3.0) {
+    std::cout << "FAIL: p99 inflation " << p99_ratio
+              << "x breaches the 3x gate\n";
+    ok = false;
+  }
+
+  chaos_metrics.push_back({"p99_fault_free", p99_clean, "s"});
+  chaos_metrics.push_back({"p99_flapping", p99_shed, "s"});
+  chaos_metrics.push_back({"p99_inflation", p99_ratio, "x"});
+  chaos_metrics.push_back(
+      {"records_lost", static_cast<double>(shed.lost), "count"});
+  chaos_metrics.push_back(
+      {"ok_puts_flapping", static_cast<double>(shed.ok_puts), "count"});
+  chaos_metrics.push_back(
+      {"shed", static_cast<double>(shed.stats.shed), "count"});
+  chaos_metrics.push_back(
+      {"breaker_opens", static_cast<double>(shed.stats.breaker_opens),
+       "count"});
+  chaos_metrics.push_back(
+      {"breaker_probes", static_cast<double>(shed.stats.breaker_probes),
+       "count"});
+  bench::write_bench_json("chaos", chaos_metrics);
   return ok ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 //       --slowdown 2.5,1,1,1 --trace_out job.trace.json  (one line)
 //   ./build/examples/hetsim_cli run-job --workload text
 //       --fault_plan examples/fault_plan.json             (one line)
+//   ./build/examples/hetsim_cli chaos --seed 1 --trials 200
+//   ./build/examples/hetsim_cli chaos --replay examples/repro_1_0_x.json
 //
 // Workloads: text (SON+Apriori on the RCV1 analogue), tree (FREQT
 // subtree mining on the SwissProt analogue), graph (BV webgraph
@@ -23,10 +25,12 @@
 #include <memory>
 #include <sstream>
 
+#include "chaos/chaos.h"
 #include "common/args.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "fault/fault.h"
+#include "kvstore/client.h"
 #include "core/compression_workload.h"
 #include "core/framework.h"
 #include "core/mining_workload.h"
@@ -91,7 +95,7 @@ std::vector<core::Strategy> parse_strategies(const std::string& name) {
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   common::require<common::ConfigError>(static_cast<bool>(in),
-                                       "cannot read fault plan: " + path);
+                                       "cannot read file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
@@ -140,6 +144,10 @@ int run_job_main(int argc, const char* const* argv) {
   args.add_int("replication",
                "record copies kept via the HA shard router (1 = single\n"
                "      master; >= 2 survives node loss incl. the master)", 1);
+  args.add_string("retry_policy",
+                  "JSON kvstore retry policy for every node connection\n"
+                  "      (keys: max_attempts, base_backoff_s, max_backoff_s,\n"
+                  "      attempt_timeout_s, deadline_s, jitter_seed)", "");
   if (!args.parse(argc, argv, std::cerr)) return 2;
 
   const std::vector<core::Strategy> strategies =
@@ -151,7 +159,12 @@ int run_job_main(int argc, const char* const* argv) {
                      args.get_double("support"));
   const auto partitions =
       static_cast<std::uint32_t>(args.get_int("partitions"));
-  cluster::Cluster cluster(cluster::standard_cluster(partitions));
+  cluster::ClusterOptions options;
+  const std::string retry_path = args.get_string("retry_policy");
+  if (!retry_path.empty()) {
+    options.retry = kvstore::RetryPolicy::from_json_text(read_file(retry_path));
+  }
+  cluster::Cluster cluster(cluster::standard_cluster(partitions), options);
   const energy::GreenEnergyEstimator energy =
       energy::GreenEnergyEstimator::standard(72);
 
@@ -193,9 +206,72 @@ int run_job_main(int argc, const char* const* argv) {
   return 0;
 }
 
+int chaos_main(int argc, const char* const* argv) {
+  common::ArgParser args(
+      "hetsim_cli chaos",
+      "seeded chaos search over the HA/runtime stack; on a violation,\n"
+      "shrinks the fault plan to a minimal committable reproducer");
+  args.add_int("seed", "chaos seed (same seed => byte-identical trials)", 1);
+  args.add_int("trials", "trials to run", 200);
+  args.add_int("nodes", "victim cluster size", 4);
+  args.add_int("job_cadence",
+               "run the (expensive) runtime job victim every Nth trial\n"
+               "      (0 = never)", 8);
+  args.add_string("out", "directory for repro_*.json (empty = don't write)",
+                  "examples");
+  args.add_flag("log", "print the per-trial log (byte-identical per seed)");
+  args.add_string("replay",
+                  "replay a repro_*.json instead of searching; exits 0 iff\n"
+                  "      the recorded violation still reproduces", "");
+  if (!args.parse(argc, argv, std::cerr)) return 2;
+
+  const std::string replay_path = args.get_string("replay");
+  if (!replay_path.empty()) {
+    const chaos::Violation v = chaos::replay_file(replay_path);
+    if (v.violated) {
+      std::cout << "reproduced: " << chaos::victim_name(v.victim) << " "
+                << v.invariant << " — " << v.detail << '\n';
+      return 0;
+    }
+    std::cout << "did not reproduce (fixed, or a stale repro)\n";
+    return 1;
+  }
+
+  chaos::SearchConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  config.trials = static_cast<std::uint64_t>(args.get_int("trials"));
+  config.grammar.nodes = static_cast<std::size_t>(args.get_int("nodes"));
+  config.job_cadence = static_cast<std::uint64_t>(args.get_int("job_cadence"));
+  config.out_dir = args.get_string("out");
+  const chaos::SearchReport report = chaos::run_search(config);
+  if (args.get_flag("log")) std::cout << report.trial_log;
+  std::cout << "trials: " << report.trials_run << "/" << config.trials << '\n';
+  if (!report.violated) {
+    std::cout << "no invariant violation found\n";
+    return 0;
+  }
+  std::cout << "VIOLATION: " << chaos::victim_name(report.violation.victim)
+            << " " << report.violation.invariant << " — "
+            << report.violation.detail << '\n'
+            << "shrunk to " << report.shrunk.size() << " event(s)\n";
+  if (!report.repro_path.empty()) {
+    std::cout << "repro: " << report.repro_path << '\n'
+              << "replay: " << report.replay_command << '\n';
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "chaos") == 0) {
+    try {
+      return chaos_main(argc - 1, argv + 1);
+    } catch (const std::exception& e) {
+      std::cerr << "hetsim_cli chaos: " << e.what() << '\n';
+      return 2;
+    }
+  }
   if (argc > 1 && std::strcmp(argv[1], "run-job") == 0) {
     try {
       return run_job_main(argc - 1, argv + 1);

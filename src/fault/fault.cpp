@@ -4,8 +4,14 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "fault/test_hooks.h"
 
 namespace hetsim::fault {
+
+TestHooks& test_hooks() noexcept {
+  static TestHooks hooks;
+  return hooks;
+}
 
 namespace {
 

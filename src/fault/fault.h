@@ -177,4 +177,9 @@ class FaultInjector {
 
 [[nodiscard]] std::string_view store_fault_name(StoreFault f);
 
+/// Serialize a plan to JSON text that re-parses to an equal plan via
+/// FaultPlan::from_json_text. Only non-default knobs are emitted, so the
+/// output never trips the parser's no-op stanza rejection.
+[[nodiscard]] std::string plan_to_json(const FaultPlan& plan);
+
 }  // namespace hetsim::fault

@@ -7,10 +7,18 @@
 //             "spike_prob": 0.01, "spike_latency_s": 0.005,
 //             "partitions": [{"a": 0, "b": 2, "after_round_trips": 100}]},
 //     "stores": [{"host": 1, "error_prob": 0.01, "stall_prob": 0.01,
-//                 "stall_s": 0.2, "crash_at_op": 0}],
+//                 "stall_s": 0.2, "crash_at_op": 7}],
 //     "nodes": [{"node": 3, "fail_stop_at_s": 12.5,
-//                "slowdown_factor": 1.0}]
+//                "slowdown_factor": 1.5}]
 //   }
+//
+// No-op stanzas are rejected, not silently accepted: an empty "net"
+// object, an empty "stores"/"nodes"/"partitions" array, a stores[] or
+// nodes[] entry that names a host but sets no fault knob, and an
+// explicit "crash_at_op": 0 (which would mean "never") are all typos
+// in practice — the chaos generator (src/chaos) never emits them, so a
+// hand-written plan containing one is a plan that does not do what its
+// author thought.
 #include <initializer_list>
 #include <string>
 
@@ -61,12 +69,22 @@ HostId get_host(const JsonValue& obj, std::string_view key) {
   return static_cast<HostId>(i);
 }
 
+/// A section that is present but configures nothing is a typo, not a
+/// no-op.
+void reject_empty(bool empty, std::string_view what) {
+  common::require<common::ConfigError>(
+      !empty, "FaultPlan: " + std::string(what) +
+                  " is present but sets no fault — remove it or configure "
+                  "at least one knob");
+}
+
 NetFaults parse_net(const JsonValue& obj, std::vector<LinkPartition>& parts) {
   common::require<common::ConfigError>(obj.is_object(),
                                        "FaultPlan: 'net' must be an object");
   reject_unknown_keys(obj, "net",
                       {"drop_prob", "drop_request_lost_fraction",
                        "spike_prob", "spike_latency_s", "partitions"});
+  reject_empty(obj.object.empty(), "'net' (empty object)");
   NetFaults net;
   net.drop_prob = get_double(obj, "drop_prob", net.drop_prob);
   net.drop_request_lost_fraction = get_double(
@@ -75,12 +93,22 @@ NetFaults parse_net(const JsonValue& obj, std::vector<LinkPartition>& parts) {
   net.spike_latency_s =
       get_double(obj, "spike_latency_s", net.spike_latency_s);
   if (const JsonValue* arr = obj.find("partitions")) {
+    reject_empty(arr->as_array("partitions").empty(),
+                 "'net.partitions' (empty array)");
     for (const JsonValue& e : arr->as_array("partitions")) {
       common::require<common::ConfigError>(
           e.is_object(), "FaultPlan: each partition must be an object");
       reject_unknown_keys(e, "partitions[]", {"a", "b", "after_round_trips"});
-      parts.push_back({get_host(e, "a"), get_host(e, "b"),
-                       get_u64(e, "after_round_trips", 0)});
+      const HostId a = get_host(e, "a");
+      const HostId b = get_host(e, "b");
+      // validate() rejects this too, but at parse time we can say which
+      // entry is the zero-length (loopback) link.
+      common::require<common::ConfigError>(
+          a != b, "FaultPlan: partitions[] entry {a: " + std::to_string(a) +
+                      ", b: " + std::to_string(b) +
+                      "} severs a loopback link (a zero-length partition "
+                      "can never fire)");
+      parts.push_back({a, b, get_u64(e, "after_round_trips", 0)});
     }
   }
   return net;
@@ -103,6 +131,7 @@ FaultPlan FaultPlan::from_json(const JsonValue& doc) {
     plan.net = parse_net(*v, plan.partitions);
   }
   if (const JsonValue* v = doc.find("stores")) {
+    reject_empty(v->as_array("stores").empty(), "'stores' (empty array)");
     for (const JsonValue& e : v->as_array("stores")) {
       common::require<common::ConfigError>(
           e.is_object(), "FaultPlan: each stores[] entry must be an object");
@@ -114,6 +143,16 @@ FaultPlan FaultPlan::from_json(const JsonValue& doc) {
           plan.stores.count(host) == 0,
           "FaultPlan: duplicate stores[] entry for host " +
               std::to_string(host));
+      reject_empty(e.object.size() <= 1,
+                   "stores[] entry for host " + std::to_string(host) +
+                       " (no fault knob)");
+      if (const JsonValue* c = e.find("crash_at_op")) {
+        common::require<common::ConfigError>(
+            c->as_int("crash_at_op") != 0,
+            "FaultPlan: stores[] host " + std::to_string(host) +
+                " sets crash_at_op: 0, which means 'never' — omit the key "
+                "to disable the crash, or use >= 1");
+      }
       StoreFaults f;
       f.error_prob = get_double(e, "error_prob", f.error_prob);
       f.stall_prob = get_double(e, "stall_prob", f.stall_prob);
@@ -123,6 +162,7 @@ FaultPlan FaultPlan::from_json(const JsonValue& doc) {
     }
   }
   if (const JsonValue* v = doc.find("nodes")) {
+    reject_empty(v->as_array("nodes").empty(), "'nodes' (empty array)");
     for (const JsonValue& e : v->as_array("nodes")) {
       common::require<common::ConfigError>(
           e.is_object(), "FaultPlan: each nodes[] entry must be an object");
@@ -133,6 +173,9 @@ FaultPlan FaultPlan::from_json(const JsonValue& doc) {
           plan.nodes.count(node) == 0,
           "FaultPlan: duplicate nodes[] entry for node " +
               std::to_string(node));
+      reject_empty(e.object.size() <= 1,
+                   "nodes[] entry for node " + std::to_string(node) +
+                       " (no fault knob)");
       NodeFaults f;
       f.fail_stop_at_s = get_double(e, "fail_stop_at_s", f.fail_stop_at_s);
       f.slowdown_factor =
@@ -146,6 +189,87 @@ FaultPlan FaultPlan::from_json(const JsonValue& doc) {
 
 FaultPlan FaultPlan::from_json_text(std::string_view text) {
   return from_json(common::parse_json(text));
+}
+
+std::string plan_to_json(const FaultPlan& plan) {
+  // Only non-default knobs are emitted, so the output always re-parses
+  // under the strict no-op rejection above: round_trip(from_json) holds
+  // for every valid plan, including generated ones.
+  common::JsonWriter w;
+  w.begin_object();
+  w.field("seed", plan.seed);
+  const NetFaults def_net;
+  const bool net_knobs = plan.net.drop_prob != def_net.drop_prob ||
+                         plan.net.drop_request_lost_fraction !=
+                             def_net.drop_request_lost_fraction ||
+                         plan.net.spike_prob != def_net.spike_prob ||
+                         plan.net.spike_latency_s != def_net.spike_latency_s;
+  if (net_knobs || !plan.partitions.empty()) {
+    w.key("net").begin_object();
+    if (plan.net.drop_prob != def_net.drop_prob) {
+      w.field("drop_prob", plan.net.drop_prob);
+    }
+    if (plan.net.drop_request_lost_fraction !=
+        def_net.drop_request_lost_fraction) {
+      w.field("drop_request_lost_fraction",
+              plan.net.drop_request_lost_fraction);
+    }
+    if (plan.net.spike_prob != def_net.spike_prob) {
+      w.field("spike_prob", plan.net.spike_prob);
+    }
+    if (plan.net.spike_latency_s != def_net.spike_latency_s) {
+      w.field("spike_latency_s", plan.net.spike_latency_s);
+    }
+    if (!plan.partitions.empty()) {
+      w.key("partitions").begin_array();
+      for (const LinkPartition& p : plan.partitions) {
+        w.begin_object();
+        w.field("a", static_cast<std::uint64_t>(p.a));
+        w.field("b", static_cast<std::uint64_t>(p.b));
+        if (p.after_round_trips != 0) {
+          w.field("after_round_trips", p.after_round_trips);
+        }
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  if (!plan.stores.empty()) {
+    w.key("stores").begin_array();
+    const StoreFaults def_store;
+    for (const auto& [host, f] : plan.stores) {
+      w.begin_object();
+      w.field("host", static_cast<std::uint64_t>(host));
+      if (f.error_prob != def_store.error_prob) {
+        w.field("error_prob", f.error_prob);
+      }
+      if (f.stall_prob != def_store.stall_prob) {
+        w.field("stall_prob", f.stall_prob);
+      }
+      if (f.stall_s != def_store.stall_s) w.field("stall_s", f.stall_s);
+      if (f.crash_at_op != 0) w.field("crash_at_op", f.crash_at_op);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (!plan.nodes.empty()) {
+    w.key("nodes").begin_array();
+    for (const auto& [node, f] : plan.nodes) {
+      w.begin_object();
+      w.field("node", static_cast<std::uint64_t>(node));
+      if (f.fail_stop_at_s >= 0.0) {
+        w.field("fail_stop_at_s", f.fail_stop_at_s);
+      }
+      if (f.slowdown_factor != 1.0) {
+        w.field("slowdown_factor", f.slowdown_factor);
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace hetsim::fault

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "fault/test_hooks.h"
+
 namespace hetsim::ha {
 
 using kvstore::Command;
@@ -29,10 +31,34 @@ Client::Client(ShardRouter& router, ClientProvider provider,
       observer_(std::move(observer)) {}
 
 WriteResult Client::fan_out(std::string_view key, const Command& cmd) {
+  const bool skip_last = fault::test_hooks().fanout_skip_last_replica;
+  const std::vector<HostId> route = router_.route(key);
   WriteResult out;
-  for (const HostId target : router_.route(key)) {
+  out.routed = route.size();
+  // One deadline for the whole logical write, shared across replicas:
+  // initialized lazily from the first replica connection's policy.
+  double budget = -1.0;
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    const HostId target = route[i];
+    if (skip_last && route.size() > 1 && i + 1 == route.size()) {
+      // Planted bug (fault::TestHooks): quietly under-replicate by one
+      // copy — neither attempted nor expired, breaking conservation.
+      continue;
+    }
+    kvstore::Client& conn = provider_(target);
+    if (budget < 0.0) budget = conn.retry_policy().deadline_s;
+    if (budget <= 0.0) {
+      ++out.expired;
+      continue;
+    }
     ++out.attempted;
-    const Reply reply = provider_(target).execute(cmd);
+    const double before = conn.consumed_time();
+    const Reply reply = conn.execute(cmd, budget);
+    // Clamp at zero: an overdrawn budget must read as exhausted,
+    // not as the lazy-init sentinel (which would grant a fresh
+    // deadline to the next replica).
+    budget = std::max(0.0, budget - (conn.consumed_time() - before));
+    router_.note_op_outcome(target, reply.status == Status::kOk);
     if (reply.status == Status::kOk) {
       ++out.acked;
       if (observer_) observer_(target, cmd);
@@ -48,12 +74,46 @@ ReadResult Client::read_with_fallback(std::string_view key,
                                       const Command& cmd) {
   ReadResult out;
   bool first = true;
+  bool served = false;
+  double budget = -1.0;
+  std::vector<HostId> tried;
   for (const HostId target : router_.live_preference(key)) {
-    out.reply = provider_(target).execute(cmd);
+    kvstore::Client& conn = provider_(target);
+    if (budget < 0.0) budget = conn.retry_policy().deadline_s;
+    if (budget <= 0.0) break;
+    const double before = conn.consumed_time();
+    out.reply = conn.execute(cmd, budget);
+    budget = std::max(0.0, budget - (conn.consumed_time() - before));
+    router_.note_op_outcome(target, out.reply.status == Status::kOk);
     out.served_by = target;
     out.fallback = !first;
-    if (!should_fall_back(out.reply.status) && out.reply.ok) break;
+    tried.push_back(target);
+    if (!should_fall_back(out.reply.status) && out.reply.ok) {
+      served = true;
+      break;
+    }
     first = false;
+  }
+  if (!served) {
+    // Last resort: replicas the breaker shed out of the walk. A key
+    // whose only surviving copy sits on a flapping node must still be
+    // readable — shedding sheds load, not data.
+    for (const HostId target :
+         router_.live_preference(key, /*ignore_breaker=*/true)) {
+      if (std::find(tried.begin(), tried.end(), target) != tried.end()) {
+        continue;
+      }
+      kvstore::Client& conn = provider_(target);
+      if (budget < 0.0) budget = conn.retry_policy().deadline_s;
+      if (budget <= 0.0) break;
+      const double before = conn.consumed_time();
+      out.reply = conn.execute(cmd, budget);
+      budget = std::max(0.0, budget - (conn.consumed_time() - before));
+      router_.note_op_outcome(target, out.reply.status == Status::kOk);
+      out.served_by = target;
+      out.fallback = true;
+      if (!should_fall_back(out.reply.status) && out.reply.ok) break;
+    }
   }
   router_.note_read(out.fallback);
   return out;
@@ -90,27 +150,47 @@ ReadResult Client::counter(std::string_view key) {
 
 std::vector<WriteResult> Client::put_many(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
+  const bool skip_last = fault::test_hooks().fanout_skip_last_replica;
   std::vector<WriteResult> results(pairs.size());
   // Group (pair index, command) per replica target; std::map iterates
   // targets in ascending order so every run charges the fabric in the
   // same sequence.
   std::map<HostId, std::vector<std::size_t>> per_target;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    for (const HostId target : router_.route(pairs[i].first)) {
-      per_target[target].push_back(i);
-      ++results[i].attempted;
+    const std::vector<HostId> route = router_.route(pairs[i].first);
+    results[i].routed = route.size();
+    for (std::size_t r = 0; r < route.size(); ++r) {
+      if (skip_last && route.size() > 1 && r + 1 == route.size()) {
+        // Planted bug (fault::TestHooks): last replica silently dropped.
+        continue;
+      }
+      per_target[route[r]].push_back(i);
     }
   }
+  // One deadline budget for the whole batched fan-out, spent target by
+  // target in ascending HostId order; targets whose turn comes after
+  // the budget is gone count every grouped write as expired.
+  double budget = -1.0;
   for (const auto& [target, indices] : per_target) {
     kvstore::Client& client = provider_(target);
+    if (budget < 0.0) budget = client.retry_policy().deadline_s;
+    if (budget <= 0.0) {
+      for (const std::size_t i : indices) ++results[i].expired;
+      continue;
+    }
+    const double before = client.consumed_time();
     for (const std::size_t i : indices) {
+      ++results[i].attempted;
       client.enqueue(Command{CommandType::kSet, pairs[i].first,
                              pairs[i].second, 0, 0});
     }
-    const std::vector<Reply> replies = client.drain();
+    const std::vector<Reply> replies = client.drain(budget);
+    budget = std::max(0.0, budget - (client.consumed_time() - before));
+    bool all_ok = true;
     for (std::size_t r = 0; r < indices.size(); ++r) {
       const std::size_t i = indices[r];
       const Status s = replies[r].status;
+      all_ok = all_ok && s == Status::kOk;
       if (s == Status::kOk) {
         ++results[i].acked;
         if (observer_) {
@@ -121,6 +201,7 @@ std::vector<WriteResult> Client::put_many(
         results[i].status = better_status(results[i].status, s);
       }
     }
+    router_.note_op_outcome(target, all_ok);
   }
   for (WriteResult& res : results) {
     if (res.acked > 0) res.status = Status::kOk;
@@ -148,13 +229,17 @@ std::vector<ReadResult> Client::get_many(
       client.enqueue(Command{CommandType::kGet, keys[i], "", 0, 0});
     }
     const std::vector<Reply> replies = client.drain();
+    bool all_ok = true;
     for (std::size_t r = 0; r < indices.size(); ++r) {
+      all_ok = all_ok && replies[r].status == Status::kOk;
       results[indices[r]].reply = replies[r];
       results[indices[r]].served_by = target;
     }
+    router_.note_op_outcome(target, all_ok);
   }
   // Fallback rounds: any key its primary could not serve walks the rest
-  // of its preference order individually.
+  // of its preference order individually — ignoring the breaker, since
+  // by now we are hunting for the data wherever it survives.
   for (std::size_t i = 0; i < keys.size(); ++i) {
     ReadResult& res = results[i];
     const bool primary_ok =
@@ -163,11 +248,19 @@ std::vector<ReadResult> Client::get_many(
       router_.note_read(false);
       continue;
     }
-    const std::vector<HostId> pref = router_.live_preference(keys[i]);
+    const std::vector<HostId> pref =
+        router_.live_preference(keys[i], /*ignore_breaker=*/true);
+    double budget = -1.0;
     for (const HostId target : pref) {
       if (target == res.served_by) continue;  // primary already failed
-      res.reply = provider_(target).execute(
-          Command{CommandType::kGet, keys[i], "", 0, 0});
+      kvstore::Client& conn = provider_(target);
+      if (budget < 0.0) budget = conn.retry_policy().deadline_s;
+      if (budget <= 0.0) break;
+      const double before = conn.consumed_time();
+      res.reply = conn.execute(
+          Command{CommandType::kGet, keys[i], "", 0, 0}, budget);
+      budget = std::max(0.0, budget - (conn.consumed_time() - before));
+      router_.note_op_outcome(target, res.reply.status == Status::kOk);
       res.served_by = target;
       res.fallback = true;
       if (!should_fall_back(res.reply.status) && res.reply.ok) break;

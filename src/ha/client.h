@@ -15,6 +15,15 @@
 // cluster::NodeContext connections inside the runtime and over a
 // self-contained NodeGroup in tests. All per-replica retry/backoff
 // stays inside kvstore::Client; this layer only sequences replicas.
+//
+// Deadline budget: one logical op gets ONE deadline (the connection
+// policy's deadline_s), shared across its whole replica sequence — each
+// replica op is charged against the remaining budget (via the budgeted
+// kvstore::Client::execute overload), and replicas whose turn comes
+// after the budget is spent are counted as `expired` instead of
+// silently burning another full per-replica deadline. Every per-replica
+// outcome is also reported to the router's circuit breaker
+// (note_op_outcome), which sheds flapping replicas from future routes.
 #pragma once
 
 #include <functional>
@@ -42,12 +51,21 @@ using WriteObserver =
 [[nodiscard]] bool should_fall_back(kvstore::Status s);
 
 /// Aggregated outcome of a replicated write.
+///
+/// Replica conservation: every replica the router returned is accounted
+/// for exactly once — `attempted + expired == routed` — which is one of
+/// the chaos harness's global invariants (a silently skipped replica is
+/// how under-replication bugs hide).
 struct WriteResult {
   /// kOk when >= 1 replica acked; otherwise the least severe failure
   /// observed (the closest the write came to landing).
   kvstore::Status status = kvstore::Status::kUnavailable;
   std::size_t acked = 0;      // replicas that returned kOk
-  std::size_t attempted = 0;  // live replicas the write was sent to
+  std::size_t attempted = 0;  // replicas the write was actually sent to
+  std::size_t routed = 0;     // replicas the router returned for the key
+  /// Replicas skipped because the fan-out's deadline budget was already
+  /// exhausted when their turn came.
+  std::size_t expired = 0;
 };
 
 /// Outcome of a replicated read.

@@ -22,7 +22,7 @@ NodeGroup::NodeGroup(NodeGroupConfig config)
     : config_(config),
       fabric_(static_cast<std::uint32_t>(config.nodes), config.remote),
       router_(ShardMap(make_members(config.nodes), config.shard),
-              config.election_seed) {
+              config.election_seed, config.breaker) {
   common::require<common::ConfigError>(config.nodes >= 1,
                                        "NodeGroup: need at least one node");
   stores_.reserve(config.nodes);
@@ -88,6 +88,12 @@ Client& NodeGroup::client(HostId self) {
 
 ElectionRecord NodeGroup::crash(HostId node, double at_s) {
   check_node(node);
+  // Fail-stop first, then wipe: a crashed store must refuse traffic
+  // (Client::execute times out against it), not serve an empty keyspace
+  // — otherwise the window between the crash and the election handing
+  // its arcs away could mint zombie acks for writes that no live
+  // replica holds.
+  stores_[node]->fail_stop();
   stores_[node]->flush_all();
   return router_.mark_down(node, at_s);
 }
@@ -101,6 +107,7 @@ void NodeGroup::checkpoint(HostId node) {
 NodeGroup::RejoinReport NodeGroup::rejoin(HostId node) {
   check_node(node);
   RejoinReport report;
+  stores_[node]->restart();
   report.recovery = recover(*stores_[node], snapshots_[node], oplogs_[node]);
   router_.mark_up(node);
   // Close the gap (writes accepted while down) peer by peer: for each

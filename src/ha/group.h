@@ -43,6 +43,7 @@ struct NodeGroupConfig {
   kvstore::RetryPolicy retry{};
   net::LinkSpec remote{};
   RepairConfig repair{};
+  BreakerConfig breaker{};
 };
 
 class NodeGroup {

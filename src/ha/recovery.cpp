@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/test_hooks.h"
+
 namespace hetsim::ha {
 
 std::uint64_t OpLog::append(kvstore::Command cmd) {
@@ -56,7 +58,15 @@ RecoveryReport recover(kvstore::Store& store, const Snapshot& snapshot,
   restore_snapshot(store, snapshot);
   report.snapshot_seq = snapshot.seq;
   report.snapshot_keys = snapshot.entries.size();
+  bool skip_first = fault::test_hooks().recovery_skip_first_replay;
   for (const LogEntry& entry : log.tail(snapshot.seq)) {
+    if (skip_first) {
+      // Planted bug (fault::TestHooks): replay off-by-one — the first
+      // post-snapshot entry is dropped, so the recovered store silently
+      // misses one acknowledged write.
+      skip_first = false;
+      continue;
+    }
     // An acknowledged write must re-apply cleanly against the state it
     // originally applied to; a replay that reports no effect is
     // divergence (torn snapshot, reordered or corrupted log) and must

@@ -45,6 +45,30 @@ struct RouterStats {
   /// Per-replica write attempts that did not come back kOk (divergence
   /// that anti-entropy repair later reconciles).
   std::uint64_t write_failures = 0;
+  /// Times a breaker-open node was shed from a route walk (its slot
+  /// went to a healthy ring successor instead).
+  std::uint64_t shed = 0;
+  /// Transitions of any node's breaker from closed to open.
+  std::uint64_t breaker_opens = 0;
+  /// Half-open probes admitted into a walk after a cooldown expired.
+  std::uint64_t breaker_probes = 0;
+};
+
+/// Per-node circuit breaker + load-shedding admission (DESIGN.md §13).
+/// Consecutive per-replica op failures (reported by ha::Client via
+/// note_op_outcome) open a node's breaker; an open node is shed from
+/// route walks — its slot extends to the next healthy node in ring
+/// preference order — so a flapping replica stops burning the caller's
+/// deadline budget. After `cooldown_routes` walk decisions the breaker
+/// goes half-open and admits the node as a probe: one success closes
+/// it, one failure re-arms the cooldown. All counts are of deterministic
+/// simulator events, so breaker decisions replay byte-identically.
+struct BreakerConfig {
+  bool enabled = true;
+  /// Consecutive failed replica ops that open the breaker.
+  std::size_t failure_threshold = 3;
+  /// Route walks an open breaker sheds before admitting a probe.
+  std::uint64_t cooldown_routes = 256;
 };
 
 class ShardRouter {
@@ -52,7 +76,8 @@ class ShardRouter {
   /// `election_seed` feeds the failover ballots; keep it distinct from
   /// the shard-map seed so placement and elections are independent
   /// streams.
-  ShardRouter(ShardMap map, std::uint64_t election_seed);
+  ShardRouter(ShardMap map, std::uint64_t election_seed,
+              BreakerConfig breaker = {});
 
   [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
 
@@ -62,9 +87,11 @@ class ShardRouter {
   [[nodiscard]] std::vector<HostId> route(std::string_view key) const;
 
   /// Every live node in the key's preference order (for exhaustive read
-  /// fallback past the nominal replica set).
+  /// fallback past the nominal replica set). With `ignore_breaker` the
+  /// walk admits breaker-open nodes too — the read path's last resort
+  /// when every unshed replica missed.
   [[nodiscard]] std::vector<HostId> live_preference(
-      std::string_view key) const;
+      std::string_view key, bool ignore_breaker = false) const;
 
   /// Heartbeat loss: mark the node dead and, if any peer survives, run
   /// the seeded election promoting a successor for its shards. Returns
@@ -87,19 +114,40 @@ class ShardRouter {
   void note_read(bool fallback);
   void note_write(std::uint64_t failed_replicas);
 
+  /// Per-replica op outcome from the serving path; drives the breaker.
+  void note_op_outcome(HostId node, bool ok);
+  [[nodiscard]] bool breaker_open(HostId node) const;
+  [[nodiscard]] const BreakerConfig& breaker_config() const noexcept {
+    return breaker_;
+  }
+
  private:
+  /// Breaker state for one node. `opened_at_walk` is the value of the
+  /// walk counter when the breaker (re-)opened; cooldown is measured in
+  /// walks, not wall time, so it is deterministic by construction.
+  struct NodeBreaker {
+    std::size_t consecutive_failures = 0;
+    bool open = false;
+    std::uint64_t opened_at_walk = 0;
+  };
+
   [[nodiscard]] std::size_t index_of(HostId node) const;
-  /// route()/live_preference() body; mu_ must be held.
+  /// route()/live_preference() body; mu_ must be held. Advances the walk
+  /// counter and applies breaker shedding unless `ignore_breaker`.
   [[nodiscard]] std::vector<HostId> live_walk_locked(
-      std::string_view key, std::size_t count) const HETSIM_REQUIRES(mu_);
+      std::string_view key, std::size_t count,
+      bool ignore_breaker) const HETSIM_REQUIRES(mu_);
 
   ShardMap map_;
   std::uint64_t election_seed_;
+  BreakerConfig breaker_;
   mutable check::RankedMutex mu_{check::LockRank::kHa, "ha::ShardRouter"};
   // parallel to map_.nodes()
   std::vector<char> down_ HETSIM_GUARDED_BY(mu_);
+  mutable std::vector<NodeBreaker> breakers_ HETSIM_GUARDED_BY(mu_);
+  mutable std::uint64_t walks_ HETSIM_GUARDED_BY(mu_) = 0;
   std::vector<ElectionRecord> elections_ HETSIM_GUARDED_BY(mu_);
-  RouterStats stats_ HETSIM_GUARDED_BY(mu_);
+  mutable RouterStats stats_ HETSIM_GUARDED_BY(mu_);
 };
 
 }  // namespace hetsim::ha

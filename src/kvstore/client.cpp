@@ -86,12 +86,7 @@ Client::Client(net::Fabric& fabric, net::HostId self, net::HostId target,
                   (static_cast<std::uint64_t>(self) << 32U) ^ target) {
   common::require<common::ConfigError>(pipeline_width >= 1,
                                        "Client: pipeline width must be >= 1");
-  common::require<common::ConfigError>(
-      retry_.max_attempts >= 1, "Client: retry max_attempts must be >= 1");
-  common::require<common::ConfigError>(
-      retry_.base_backoff_s >= 0.0 && retry_.max_backoff_s >= 0.0 &&
-          retry_.attempt_timeout_s > 0.0 && retry_.deadline_s > 0.0,
-      "Client: retry policy durations must be positive");
+  retry_.validate();
 }
 
 bool Client::faults_active() const noexcept {
@@ -170,6 +165,20 @@ Reply apply_command(Store& store, const Command& cmd) {
 Reply Client::apply(const Command& cmd) { return apply_command(store_, cmd); }
 
 Reply Client::execute(const Command& cmd) {
+  return execute(cmd, retry_.deadline_s);
+}
+
+Reply Client::execute(const Command& cmd, double budget_s) {
+  const double deadline_s = std::min(budget_s, retry_.deadline_s);
+  if (deadline_s <= 0.0) {
+    // Caller's budget already spent: fail without touching the wire so
+    // the exhausted deadline is not overdrawn.
+    fabric_.note_failure();
+    Reply failed;
+    failed.status = Status::kUnavailable;
+    return failed;
+  }
+  if (store_.is_down()) return execute_down(cmd, deadline_s);
   if (!faults_active()) {
     // Fault-free fast path: unchanged arithmetic, so runs without an
     // injector (or with an empty plan) stay byte-identical to the
@@ -182,10 +191,42 @@ Reply Client::execute(const Command& cmd) {
                    req + rsp);
     return reply;
   }
-  return execute_with_faults(cmd);
+  return execute_with_faults(cmd, deadline_s);
 }
 
-Reply Client::execute_with_faults(const Command& cmd) {
+Reply Client::execute_down(const Command& cmd, double deadline_s) {
+  // A fail-stopped store never answers: the command is never applied
+  // (no zombie acks from a crashed replica) and each attempt waits out
+  // the full attempt timeout, exactly like a lost request.
+  const std::size_t req = request_bytes(cmd);
+  double elapsed = 0.0;
+  for (std::size_t attempt = 1;; ++attempt) {
+    fabric_.note_attempt();
+    sim_time_ += retry_.attempt_timeout_s;
+    elapsed += retry_.attempt_timeout_s;
+    fabric_.record(self_, target_, 1, 1, req);
+    if (!idempotent(cmd.type)) {
+      fabric_.note_timeout();
+      fabric_.note_failure();
+      Reply failed;
+      failed.status = Status::kTimeout;
+      return failed;
+    }
+    if (attempt >= retry_.max_attempts || elapsed >= deadline_s) {
+      fabric_.note_timeout();
+      fabric_.note_failure();
+      Reply failed;
+      failed.status = Status::kUnavailable;
+      return failed;
+    }
+    fabric_.note_retry();
+    const double wait = backoff_s(attempt);
+    sim_time_ += wait;
+    elapsed += wait;
+  }
+}
+
+Reply Client::execute_with_faults(const Command& cmd, double deadline_s) {
   const std::size_t req = request_bytes(cmd);
   double elapsed = 0.0;
   Status last = Status::kError;
@@ -253,7 +294,7 @@ Reply Client::execute_with_faults(const Command& cmd) {
       failed.status = Status::kTimeout;
       return failed;
     }
-    if (attempt >= retry_.max_attempts || elapsed >= retry_.deadline_s) {
+    if (attempt >= retry_.max_attempts || elapsed >= deadline_s) {
       if (last == Status::kTimeout) fabric_.note_timeout();
       fabric_.note_failure();
       Reply failed;
@@ -283,12 +324,11 @@ std::optional<std::string> Client::get(std::string_view key) {
 Client::ViewResult Client::get_view(
     std::string_view key,
     const std::function<void(std::string_view)>& visitor) {
-  if (faults_active()) {
+  if (faults_active() || store_.is_down()) {
     // Fault paths can drop, stall and retry the round trip; only the
     // materialized execute() knows how to charge those. Zero-copy is a
     // fast path, not a second fault semantics.
-    Reply r = execute_with_faults(
-        {.type = CommandType::kGet, .key = std::string(key)});
+    Reply r = execute({.type = CommandType::kGet, .key = std::string(key)});
     if (r.status == Status::kOk && r.ok) visitor(r.blob);
     return {r.status, r.status == Status::kOk && r.ok};
   }
@@ -349,13 +389,27 @@ std::int64_t Client::counter(std::string_view key) {
 
 void Client::enqueue(Command cmd) {
   queue_.push_back(std::move(cmd));
-  if (queue_.size() >= pipeline_width_) flush_queue();
+  if (queue_.size() >= pipeline_width_) flush_queue(retry_.deadline_s);
 }
 
-void Client::flush_queue() {
+void Client::flush_queue(double deadline_s) {
   if (queue_.empty()) return;
+  if (deadline_s <= 0.0) {
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      Reply failed;
+      failed.status = Status::kUnavailable;
+      pending_replies_.push_back(std::move(failed));
+    }
+    queue_.clear();
+    fabric_.note_failure();
+    return;
+  }
+  if (store_.is_down()) {
+    flush_queue_down(deadline_s);
+    return;
+  }
   if (faults_active()) {
-    flush_queue_with_faults();
+    flush_queue_with_faults(deadline_s);
     return;
   }
   std::vector<std::size_t> payloads;
@@ -373,7 +427,46 @@ void Client::flush_queue() {
   queue_.clear();
 }
 
-void Client::flush_queue_with_faults() {
+void Client::flush_queue_down(double deadline_s) {
+  // Same semantics as execute_down(), batched: the pipeline fails as a
+  // unit, nothing is applied, each attempt burns the attempt timeout.
+  const std::size_t n = queue_.size();
+  bool batch_idempotent = true;
+  std::size_t req_total = 0;
+  for (const Command& cmd : queue_) {
+    batch_idempotent = batch_idempotent && idempotent(cmd.type);
+    req_total += request_bytes(cmd);
+  }
+  double elapsed = 0.0;
+  for (std::size_t attempt = 1;; ++attempt) {
+    fabric_.note_attempt();
+    sim_time_ += retry_.attempt_timeout_s;
+    elapsed += retry_.attempt_timeout_s;
+    fabric_.record(self_, target_, n, 1, req_total);
+    const bool give_up =
+        !batch_idempotent || attempt >= retry_.max_attempts ||
+        elapsed >= deadline_s;
+    if (give_up) {
+      const Status status =
+          batch_idempotent ? Status::kUnavailable : Status::kTimeout;
+      for (std::size_t i = 0; i < n; ++i) {
+        Reply failed;
+        failed.status = status;
+        pending_replies_.push_back(std::move(failed));
+      }
+      queue_.clear();
+      fabric_.note_timeout();
+      fabric_.note_failure();
+      return;
+    }
+    fabric_.note_retry();
+    const double wait = backoff_s(attempt);
+    sim_time_ += wait;
+    elapsed += wait;
+  }
+}
+
+void Client::flush_queue_with_faults(double deadline_s) {
   // A pipelined batch is ONE round trip (that is the point of
   // pipelining), so it gets one network draw and one store-interaction
   // draw per attempt, and fails or succeeds as a unit.
@@ -458,7 +551,7 @@ void Client::flush_queue_with_faults() {
       fail_batch(Status::kTimeout, /*timed_out=*/true);
       return;
     }
-    if (attempt >= retry_.max_attempts || elapsed >= retry_.deadline_s) {
+    if (attempt >= retry_.max_attempts || elapsed >= deadline_s) {
       fail_batch(Status::kUnavailable, last == Status::kTimeout);
       return;
     }
@@ -469,8 +562,10 @@ void Client::flush_queue_with_faults() {
   }
 }
 
-std::vector<Reply> Client::drain() {
-  flush_queue();
+std::vector<Reply> Client::drain() { return drain(retry_.deadline_s); }
+
+std::vector<Reply> Client::drain(double budget_s) {
+  flush_queue(std::min(budget_s, retry_.deadline_s));
   std::vector<Reply> out = std::move(pending_replies_);
   pending_replies_.clear();
   return out;

@@ -19,6 +19,10 @@
 #include "kvstore/store.h"
 #include "net/fabric.h"
 
+namespace hetsim::common {
+struct JsonValue;
+}  // namespace hetsim::common
+
 namespace hetsim::fault {
 class FaultInjector;
 }  // namespace hetsim::fault
@@ -94,6 +98,17 @@ struct RetryPolicy {
   double attempt_timeout_s = 0.1;
   double deadline_s = 2.0;
   std::uint64_t jitter_seed = 9177;
+
+  /// Throws common::ConfigError when any knob is out of range (same
+  /// checks the Client constructor applies).
+  void validate() const;
+
+  /// Parse from a JSON object / JSON text. Absent keys keep their
+  /// defaults; unknown keys and an empty object are rejected (typos
+  /// fail loudly, like fault::FaultPlan::from_json). Throws
+  /// common::ConfigError on malformed input.
+  [[nodiscard]] static RetryPolicy from_json(const common::JsonValue& doc);
+  [[nodiscard]] static RetryPolicy from_json_text(std::string_view text);
 };
 
 /// Thrown by expect_ok() and the typed convenience wrappers when an
@@ -130,6 +145,13 @@ class Client {
   /// Executes with retries when faults are active; check Reply::status
   /// (or wrap in expect_ok) — a non-kOk reply carries no payload.
   [[nodiscard]] Reply execute(const Command& cmd);
+  /// Deadline-budgeted execute: retries stop once `budget_s` simulated
+  /// seconds have been consumed by this call, so a nested retry loop
+  /// (ha::Client fan-out, runtime ingest) respects its caller's
+  /// remaining budget instead of the fixed policy deadline. The
+  /// effective wall is min(budget_s, retry.deadline_s); a non-positive
+  /// budget fails immediately with kUnavailable at zero cost.
+  [[nodiscard]] Reply execute(const Command& cmd, double budget_s);
 
   // Typed wrappers: these check status internally and throw
   // UnavailableError when the operation ultimately failed, since their
@@ -173,6 +195,10 @@ class Client {
   /// last drain (including auto-flushed ones), in order. Under faults a
   /// failed batch yields one reply per command with the failure status.
   [[nodiscard]] std::vector<Reply> drain();
+  /// Deadline-budgeted drain: the final flush respects `budget_s` like
+  /// execute(cmd, budget_s). Replies already buffered by auto-flushes
+  /// are returned regardless.
+  [[nodiscard]] std::vector<Reply> drain(double budget_s);
 
   /// Simulated seconds consumed by this client's traffic so far.
   [[nodiscard]] double consumed_time() const noexcept { return sim_time_; }
@@ -190,10 +216,15 @@ class Client {
   [[nodiscard]] static std::size_t request_bytes(const Command& cmd);
   [[nodiscard]] static std::size_t response_bytes(const Command& cmd,
                                                   const Reply& reply);
-  void flush_queue();
+  void flush_queue(double deadline_s);
   [[nodiscard]] bool faults_active() const noexcept;
-  [[nodiscard]] Reply execute_with_faults(const Command& cmd);
-  void flush_queue_with_faults();
+  [[nodiscard]] Reply execute_with_faults(const Command& cmd,
+                                          double deadline_s);
+  void flush_queue_with_faults(double deadline_s);
+  /// A fail-stopped store never replies: each attempt burns the full
+  /// attempt timeout, like a lost request.
+  [[nodiscard]] Reply execute_down(const Command& cmd, double deadline_s);
+  void flush_queue_down(double deadline_s);
   /// Backoff before retry number `retry` (1-based), jittered.
   [[nodiscard]] double backoff_s(std::size_t retry);
 

@@ -1,0 +1,87 @@
+// RetryPolicy JSON IO. Schema (all fields optional, unknown keys
+// rejected so typos fail loudly; an empty object is a typo too):
+//
+//   {
+//     "max_attempts": 4,
+//     "base_backoff_s": 2e-3,
+//     "max_backoff_s": 0.25,
+//     "attempt_timeout_s": 0.1,
+//     "deadline_s": 2.0,
+//     "jitter_seed": 9177
+//   }
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "kvstore/client.h"
+
+namespace hetsim::kvstore {
+
+namespace {
+
+using common::JsonValue;
+
+double get_double(const JsonValue& obj, std::string_view key,
+                  double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v == nullptr ? fallback : v->as_double(key);
+}
+
+}  // namespace
+
+void RetryPolicy::validate() const {
+  common::require<common::ConfigError>(
+      max_attempts >= 1, "RetryPolicy: max_attempts must be >= 1");
+  common::require<common::ConfigError>(
+      base_backoff_s >= 0.0 && max_backoff_s >= 0.0,
+      "RetryPolicy: backoff durations must be >= 0");
+  common::require<common::ConfigError>(
+      attempt_timeout_s > 0.0 && deadline_s > 0.0,
+      "RetryPolicy: attempt_timeout_s and deadline_s must be > 0");
+}
+
+RetryPolicy RetryPolicy::from_json(const JsonValue& doc) {
+  common::require<common::ConfigError>(
+      doc.is_object(), "RetryPolicy: document must be a JSON object");
+  static constexpr std::string_view kKnown[] = {
+      "max_attempts",      "base_backoff_s", "max_backoff_s",
+      "attempt_timeout_s", "deadline_s",     "jitter_seed"};
+  for (const auto& [key, value] : doc.object) {
+    (void)value;
+    bool ok = false;
+    for (const std::string_view k : kKnown) ok = ok || key == k;
+    common::require<common::ConfigError>(
+        ok, "RetryPolicy: unknown key '" + key + "'");
+  }
+  common::require<common::ConfigError>(
+      !doc.object.empty(),
+      "RetryPolicy: empty object sets nothing — configure at least one "
+      "knob or omit --retry_policy for the defaults");
+  RetryPolicy p;
+  if (const JsonValue* v = doc.find("max_attempts")) {
+    const std::int64_t n = v->as_int("max_attempts");
+    common::require<common::ConfigError>(
+        n >= 1, "RetryPolicy: max_attempts must be >= 1");
+    p.max_attempts = static_cast<std::size_t>(n);
+  }
+  p.base_backoff_s = get_double(doc, "base_backoff_s", p.base_backoff_s);
+  p.max_backoff_s = get_double(doc, "max_backoff_s", p.max_backoff_s);
+  p.attempt_timeout_s =
+      get_double(doc, "attempt_timeout_s", p.attempt_timeout_s);
+  p.deadline_s = get_double(doc, "deadline_s", p.deadline_s);
+  if (const JsonValue* v = doc.find("jitter_seed")) {
+    const std::int64_t s = v->as_int("jitter_seed");
+    common::require<common::ConfigError>(
+        s >= 0, "RetryPolicy: jitter_seed must be >= 0");
+    p.jitter_seed = static_cast<std::uint64_t>(s);
+  }
+  p.validate();
+  return p;
+}
+
+RetryPolicy RetryPolicy::from_json_text(std::string_view text) {
+  return from_json(common::parse_json(text));
+}
+
+}  // namespace hetsim::kvstore

@@ -158,6 +158,21 @@ void Store::flush_all() {
   data_.clear();
 }
 
+void Store::fail_stop() {
+  check::LockGuard lock(mu_);
+  down_ = true;
+}
+
+void Store::restart() {
+  check::LockGuard lock(mu_);
+  down_ = false;
+}
+
+bool Store::is_down() const {
+  check::LockGuard lock(mu_);
+  return down_;
+}
+
 std::vector<std::string> Store::keys() const {
   check::LockGuard lock(mu_);
   std::vector<std::string> out;

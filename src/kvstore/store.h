@@ -76,6 +76,17 @@ class Store {
   void flush_all();
   [[nodiscard]] StoreStats stats() const;
 
+  // ---- fail-stop lifecycle (src/ha crash/rejoin) ---------------------
+  // A fail-stopped store refuses client traffic: Client::execute /
+  // drain time out against it instead of applying commands, so a
+  // crashed replica can never hand out zombie acks between the crash
+  // and the router noticing. Direct Store methods keep working — they
+  // model control-plane access (recovery restores onto the store
+  // after restart()), not the serving path.
+  void fail_stop();
+  void restart();
+  [[nodiscard]] bool is_down() const;
+
   // ---- replication / repair surface (src/ha) -------------------------
   // The HA layer snapshots stores, replays op logs onto them and
   // reconciles diverged replicas; all three need a stable, enumerable
@@ -103,6 +114,7 @@ class Store {
   mutable check::RankedMutex mu_{check::LockRank::kStore, "kvstore::Store"};
   std::map<std::string, Value, std::less<>> data_ HETSIM_GUARDED_BY(mu_);
   mutable std::uint64_t ops_ HETSIM_GUARDED_BY(mu_) = 0;
+  bool down_ HETSIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hetsim::kvstore

@@ -1,0 +1,252 @@
+// hetsim::chaos — determinism of the search, and the mutation-style
+// self-test: the harness must FIND each seeded bug fixture
+// (fault::TestHooks), shrink it to a <= 2-event reproducer, and the
+// reproducer must replay to the same violation (and pass once the bug
+// is gone).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "fault/fault.h"
+#include "fault/test_hooks.h"
+
+namespace {
+
+using namespace hetsim;
+
+chaos::SearchConfig quick_config(std::uint64_t seed = 1,
+                                 std::uint64_t trials = 200) {
+  chaos::SearchConfig config;
+  config.seed = seed;
+  config.trials = trials;
+  config.out_dir = "";  // tests write repros explicitly where they want them
+  return config;
+}
+
+// ---- grammar ---------------------------------------------------------------
+
+TEST(ChaosGrammar, EventDrawsArePureFunctionsOfSeedAndTrial) {
+  const chaos::Grammar g;
+  for (std::uint64_t trial = 0; trial < 32; ++trial) {
+    const auto a = chaos::generate_events(7, trial, g);
+    const auto b = chaos::generate_events(7, trial, g);
+    EXPECT_EQ(chaos::events_json(a), chaos::events_json(b));
+    EXPECT_GE(a.size(), g.min_events);
+    EXPECT_LE(a.size(), g.max_events);
+  }
+  // Different seeds explore different plans.
+  EXPECT_NE(chaos::events_json(chaos::generate_events(7, 0, g)),
+            chaos::events_json(chaos::generate_events(8, 0, g)));
+}
+
+TEST(ChaosGrammar, EventsStayInsideTheBudget) {
+  const chaos::Grammar g;
+  for (std::uint64_t trial = 0; trial < 64; ++trial) {
+    for (const chaos::Event& e : chaos::generate_events(3, trial, g)) {
+      EXPECT_LT(e.host, g.nodes);
+      EXPECT_LE(e.p, g.max_prob);
+      EXPECT_LE(e.factor, g.max_slowdown);
+      if (e.kind == chaos::EventKind::kPartition) {
+        EXPECT_NE(e.host, e.peer);
+        EXPECT_LT(e.peer, g.nodes);
+      }
+      if (e.kind == chaos::EventKind::kStoreCrash) {
+        EXPECT_GE(e.count, 1u);
+      }
+    }
+  }
+}
+
+TEST(ChaosGrammar, EventJsonRoundTrips) {
+  const chaos::Grammar g;
+  const auto events = chaos::generate_events(11, 5, g);
+  const std::string json = chaos::events_json(events);
+  const auto parsed = chaos::events_from_json(common::parse_json(json));
+  EXPECT_EQ(chaos::events_json(parsed), json);
+}
+
+TEST(ChaosGrammar, PlanSeedIgnoresTheEventList) {
+  // A shrunk subset must replay the same injector streams: the plan
+  // seed depends only on (seed, trial).
+  const chaos::Grammar g;
+  const auto events = chaos::generate_events(9, 3, g);
+  const auto full = chaos::events_to_plan(9, 3, events);
+  const auto empty = chaos::events_to_plan(9, 3, {});
+  EXPECT_EQ(full.seed, empty.seed);
+  EXPECT_NE(full.seed, chaos::events_to_plan(9, 4, events).seed);
+}
+
+TEST(ChaosGrammar, PlanMergeTakesTheUnionOfFaults) {
+  chaos::Event a;
+  a.kind = chaos::EventKind::kStoreError;
+  a.host = 1;
+  a.p = 0.05;
+  chaos::Event b = a;
+  b.p = 0.09;
+  chaos::Event crash1;
+  crash1.kind = chaos::EventKind::kStoreCrash;
+  crash1.host = 1;
+  crash1.count = 20;
+  chaos::Event crash2 = crash1;
+  crash2.count = 7;
+  const auto plan = chaos::events_to_plan(1, 0, {a, b, crash1, crash2});
+  EXPECT_DOUBLE_EQ(plan.stores.at(1).error_prob, 0.09);  // max survives
+  EXPECT_EQ(plan.stores.at(1).crash_at_op, 7u);          // earliest crash
+}
+
+// ---- clean search ----------------------------------------------------------
+
+TEST(ChaosSearch, CleanStackPassesAndTheTrialLogIsByteIdentical) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const chaos::SearchReport a = chaos::run_search(quick_config(seed));
+    const chaos::SearchReport b = chaos::run_search(quick_config(seed));
+    EXPECT_FALSE(a.violated) << a.violation.invariant << ": "
+                             << a.violation.detail;
+    EXPECT_EQ(a.trials_run, 200u);
+    EXPECT_FALSE(a.trial_log.empty());
+    EXPECT_EQ(a.trial_log, b.trial_log);
+  }
+}
+
+// ---- repro round-trip ------------------------------------------------------
+
+TEST(ChaosRepro, JsonRoundTripsAndEmbedsAValidFaultPlan) {
+  chaos::ReproCase repro;
+  repro.chaos_seed = 5;
+  repro.trial = 17;
+  repro.victim = chaos::Victim::kChurn;
+  repro.invariant = "replica-conservation";
+  repro.events = chaos::generate_events(5, 17, repro.grammar);
+  const std::string json = chaos::repro_json(repro);
+  const chaos::ReproCase back = chaos::repro_from_json_text(json);
+  EXPECT_EQ(back.chaos_seed, repro.chaos_seed);
+  EXPECT_EQ(back.trial, repro.trial);
+  EXPECT_EQ(back.victim, repro.victim);
+  EXPECT_EQ(back.invariant, repro.invariant);
+  EXPECT_EQ(back.grammar.nodes, repro.grammar.nodes);
+  EXPECT_EQ(chaos::events_json(back.events),
+            chaos::events_json(repro.events));
+  // The embedded plan is itself a parseable fault plan.
+  const common::JsonValue doc = common::parse_json(json);
+  ASSERT_NE(doc.find("plan"), nullptr);
+  EXPECT_NO_THROW((void)fault::FaultPlan::from_json(*doc.find("plan")));
+}
+
+TEST(ChaosRepro, RejectsUnknownVictimAndMissingKeys) {
+  EXPECT_THROW((void)chaos::repro_from_json_text("{}"),
+               common::ConfigError);
+  EXPECT_THROW(
+      (void)chaos::repro_from_json_text(
+          R"({"chaos_seed": 1, "trial": 0, "victim": "toaster",
+              "invariant": "x", "events": []})"),
+      common::ConfigError);
+}
+
+// ---- mutation self-test ----------------------------------------------------
+
+struct Fixture {
+  const char* name;
+  fault::TestHooks hooks;
+  chaos::Victim victim;
+  const char* invariant;
+};
+
+std::vector<Fixture> fixtures() {
+  std::vector<Fixture> out;
+  {
+    Fixture f{};
+    f.name = "recovery_skip_first_replay";
+    f.hooks.recovery_skip_first_replay = true;
+    f.victim = chaos::Victim::kRecovery;
+    f.invariant = "recovery-divergence";
+    out.push_back(f);
+  }
+  {
+    Fixture f{};
+    f.name = "router_pin_dead_primary";
+    f.hooks.router_pin_dead_primary = true;
+    f.victim = chaos::Victim::kChurn;
+    f.invariant = "routes-dead-node";
+    out.push_back(f);
+  }
+  {
+    Fixture f{};
+    f.name = "fanout_skip_last_replica";
+    f.hooks.fanout_skip_last_replica = true;
+    f.victim = chaos::Victim::kChurn;
+    f.invariant = "replica-conservation";
+    out.push_back(f);
+  }
+  return out;
+}
+
+TEST(ChaosMutation, FindsAndShrinksEverySeededBugFixture) {
+  for (const Fixture& fixture : fixtures()) {
+    SCOPED_TRACE(fixture.name);
+    fault::ScopedTestHooks guard(fixture.hooks);
+    chaos::SearchConfig config = quick_config();
+    config.out_dir = ::testing::TempDir();
+    const chaos::SearchReport report = chaos::run_search(config);
+    ASSERT_TRUE(report.violated) << "fixture not found in "
+                                 << report.trials_run << " trials";
+    EXPECT_EQ(report.violation.victim, fixture.victim);
+    EXPECT_EQ(report.violation.invariant, fixture.invariant);
+    // The whole point of shrinking: a minimal, committable reproducer.
+    EXPECT_LE(report.shrunk.size(), 2u);
+    ASSERT_FALSE(report.repro_path.empty());
+    EXPECT_NE(report.replay_command.find("chaos --replay"),
+              std::string::npos);
+
+    // The written artifact replays to the same violation while the bug
+    // is in...
+    const chaos::Violation again = chaos::replay_file(report.repro_path);
+    EXPECT_TRUE(again.violated);
+    EXPECT_EQ(again.invariant, fixture.invariant);
+    {
+      // ...and passes once it is fixed (hooks off).
+      fault::ScopedTestHooks fixed(fault::TestHooks{});
+      const chaos::Violation healthy = chaos::replay_file(report.repro_path);
+      EXPECT_FALSE(healthy.violated) << healthy.detail;
+    }
+    std::remove(report.repro_path.c_str());
+  }
+}
+
+TEST(ChaosMutation, ShrinkingIsDeterministic) {
+  fault::TestHooks hooks;
+  hooks.router_pin_dead_primary = true;
+  fault::ScopedTestHooks guard(hooks);
+  const chaos::SearchConfig config = quick_config();
+  const chaos::SearchReport report = chaos::run_search(config);
+  ASSERT_TRUE(report.violated);
+  // Re-deriving the shrink from the same trial yields the same minimum.
+  const auto events = chaos::generate_events(
+      config.seed, report.trials_run - 1, config.grammar);
+  const auto a = chaos::shrink_events(events, report.violation,
+                                      config.grammar, config.seed,
+                                      report.trials_run - 1);
+  const auto b = chaos::shrink_events(events, report.violation,
+                                      config.grammar, config.seed,
+                                      report.trials_run - 1);
+  EXPECT_EQ(chaos::events_json(a), chaos::events_json(b));
+  EXPECT_EQ(chaos::events_json(a), chaos::events_json(report.shrunk));
+}
+
+TEST(ChaosMutation, MutationRunsAreByteIdenticalToo) {
+  fault::TestHooks hooks;
+  hooks.fanout_skip_last_replica = true;
+  fault::ScopedTestHooks guard(hooks);
+  const chaos::SearchReport a = chaos::run_search(quick_config());
+  const chaos::SearchReport b = chaos::run_search(quick_config());
+  EXPECT_EQ(a.trial_log, b.trial_log);
+  EXPECT_EQ(chaos::events_json(a.shrunk), chaos::events_json(b.shrunk));
+}
+
+}  // namespace

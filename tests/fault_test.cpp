@@ -81,6 +81,71 @@ TEST(FaultPlanJson, RejectsOutOfRangeKnobs) {
       common::ConfigError);
 }
 
+TEST(FaultPlanJson, RejectsNoOpStanzasThatWouldSilentlyInjectNothing) {
+  // An empty 'net' object, an empty array, or an entry with no fault
+  // knob is almost always a typo'd plan; all of them fail loudly.
+  EXPECT_THROW((void)FaultPlan::from_json_text(R"({"net": {}})"),
+               common::ConfigError);
+  EXPECT_THROW(
+      (void)FaultPlan::from_json_text(R"({"net": {"partitions": []}})"),
+      common::ConfigError);
+  EXPECT_THROW((void)FaultPlan::from_json_text(R"({"stores": []})"),
+               common::ConfigError);
+  EXPECT_THROW((void)FaultPlan::from_json_text(R"({"nodes": []})"),
+               common::ConfigError);
+  EXPECT_THROW((void)FaultPlan::from_json_text(R"({"stores": [{"host": 1}]})"),
+               common::ConfigError);
+  EXPECT_THROW((void)FaultPlan::from_json_text(R"({"nodes": [{"node": 2}]})"),
+               common::ConfigError);
+}
+
+TEST(FaultPlanJson, RejectsExplicitCrashAtOpZero) {
+  // crash_at_op counts interactions 1-based; 0 is the "disabled"
+  // sentinel, so writing it explicitly is a contradiction.
+  EXPECT_THROW((void)FaultPlan::from_json_text(
+                   R"({"stores": [{"host": 1, "crash_at_op": 0}]})"),
+               common::ConfigError);
+}
+
+TEST(FaultPlanJson, ZeroDurationPartitionSeversTheLinkFromTheFirstTrip) {
+  const FaultPlan plan = FaultPlan::from_json_text(
+      R"({"net": {"partitions": [{"a": 0, "b": 2}]}})");
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_EQ(plan.partitions[0].after_round_trips, 0u);
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.on_round_trip(0, 2).partitioned);
+}
+
+TEST(FaultPlanJson, PlanToJsonRoundTripsThroughTheStrictParser) {
+  const FaultPlan plan = FaultPlan::from_json_text(kFullPlanJson);
+  const std::string json = fault::plan_to_json(plan);
+  const FaultPlan back = FaultPlan::from_json_text(json);
+  EXPECT_EQ(back.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(back.net.drop_prob, plan.net.drop_prob);
+  EXPECT_DOUBLE_EQ(back.net.spike_latency_s, plan.net.spike_latency_s);
+  ASSERT_EQ(back.partitions.size(), plan.partitions.size());
+  EXPECT_EQ(back.partitions[0].after_round_trips,
+            plan.partitions[0].after_round_trips);
+  ASSERT_EQ(back.stores.count(1), 1u);
+  EXPECT_EQ(back.stores.at(1).crash_at_op, plan.stores.at(1).crash_at_op);
+  EXPECT_DOUBLE_EQ(back.stores.at(1).stall_s, plan.stores.at(1).stall_s);
+  ASSERT_EQ(back.nodes.size(), plan.nodes.size());
+  EXPECT_DOUBLE_EQ(back.nodes.at(3).fail_stop_at_s, 12.5);
+  EXPECT_DOUBLE_EQ(back.nodes.at(5).slowdown_factor, 1.5);
+  // Serializing again is a fixed point.
+  EXPECT_EQ(fault::plan_to_json(back), json);
+}
+
+TEST(FaultPlanJson, EmptyPlanSerializesToJustTheSeed) {
+  FaultPlan plan;
+  plan.seed = 9;
+  // Only non-default knobs are emitted, so even a fault-free plan's
+  // output re-parses under the no-op stanza rejection above.
+  const FaultPlan back = FaultPlan::from_json_text(fault::plan_to_json(plan));
+  EXPECT_EQ(back.seed, 9u);
+  EXPECT_TRUE(back.empty());
+}
+
 // ---- FaultInjector determinism ---------------------------------------------
 
 TEST(FaultInjector, EmptyPlanIsDisabled) {

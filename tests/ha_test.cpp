@@ -369,6 +369,142 @@ TEST(HaClient, FallbackPolicyCoversEveryTransportStatus) {
 
 // ---- NodeGroup: the stack end to end ---------------------------------------
 
+// ---- circuit breaker + load shedding ---------------------------------------
+
+TEST(Breaker, OpensAfterConsecutiveFailuresAndShedsFromWalks) {
+  ShardRouter router(ShardMap(iota_nodes(4), {.replication = 2, .seed = 4}),
+                     /*election_seed=*/17,
+                     {.failure_threshold = 3, .cooldown_routes = 1000});
+  const std::string key = "payload:42";
+  const HostId primary = router.route(key)[0];
+  router.note_op_outcome(primary, false);
+  router.note_op_outcome(primary, false);
+  EXPECT_FALSE(router.breaker_open(primary));  // threshold not reached
+  router.note_op_outcome(primary, false);
+  EXPECT_TRUE(router.breaker_open(primary));
+  EXPECT_EQ(router.stats().breaker_opens, 1u);
+
+  // Shed from the walk: the slot extends to a healthy successor.
+  const std::vector<HostId> shed_route = router.live_preference(key);
+  for (const HostId node : shed_route) EXPECT_NE(node, primary);
+  EXPECT_GT(router.stats().shed, 0u);
+  // ...but the last-resort walk still reaches it (sheds load, not data).
+  const std::vector<HostId> all =
+      router.live_preference(key, /*ignore_breaker=*/true);
+  EXPECT_EQ(all[0], primary);
+
+  // A success anywhere resets only that node's streak; an intervening
+  // success on the broken node is impossible while shed, so mark_up is
+  // the operator's reset.
+  router.mark_up(primary);
+  EXPECT_FALSE(router.breaker_open(primary));
+}
+
+TEST(Breaker, HalfOpenProbeClosesOnSuccessAndReArmsOnFailure) {
+  ShardRouter router(ShardMap(iota_nodes(4), {.replication = 2, .seed = 4}),
+                     /*election_seed=*/17,
+                     {.failure_threshold = 1, .cooldown_routes = 2});
+  const std::string key = "payload:7";
+  const HostId primary = router.route(key)[0];
+  router.note_op_outcome(primary, false);
+  ASSERT_TRUE(router.breaker_open(primary));
+
+  // Burn the cooldown with walk decisions, then the next walk admits
+  // the node as a probe.
+  (void)router.live_preference(key);
+  (void)router.live_preference(key);
+  const std::vector<HostId> probe_walk = router.live_preference(key);
+  EXPECT_EQ(probe_walk[0], primary);
+  EXPECT_GE(router.stats().breaker_probes, 1u);
+
+  // Probe fails: re-armed, shed again.
+  router.note_op_outcome(primary, false);
+  EXPECT_TRUE(router.breaker_open(primary));
+  EXPECT_NE(router.live_preference(key)[0], primary);
+
+  // Next probe succeeds: breaker closes for good.
+  (void)router.live_preference(key);
+  (void)router.live_preference(key);
+  (void)router.live_preference(key);
+  router.note_op_outcome(primary, true);
+  EXPECT_FALSE(router.breaker_open(primary));
+  EXPECT_EQ(router.live_preference(key)[0], primary);
+}
+
+TEST(Breaker, AvailabilityFloorKeepsServingWhenEveryReplicaIsOpen) {
+  ShardRouter router(ShardMap(iota_nodes(3), {.replication = 3, .seed = 4}),
+                     /*election_seed=*/17,
+                     {.failure_threshold = 1, .cooldown_routes = 1000});
+  for (HostId node = 0; node < 3; ++node) {
+    router.note_op_outcome(node, false);
+    EXPECT_TRUE(router.breaker_open(node));
+  }
+  // All breakers open: shedding everything would turn an overload
+  // control into an outage, so the walk falls back to the shed set.
+  const std::vector<HostId> route = router.live_preference("k");
+  EXPECT_FALSE(route.empty());
+}
+
+TEST(Breaker, FlappingReplicaIsShedAndWritesKeepLanding) {
+  // End to end through the NodeGroup: an always-erroring replica opens
+  // its breaker after a few puts; later puts stop burning retry budget
+  // against it (writes keep succeeding on the healthy replicas).
+  NodeGroupConfig config{.nodes = 4, .shard = {.replication = 2, .seed = 31}};
+  NodeGroup group(config);
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.stores[1].error_prob = 1.0;
+  group.set_fault(plan);
+  std::size_t ok = 0;
+  for (int i = 0; i < 40; ++i) {
+    const ha::WriteResult res =
+        group.client(0).put("k" + std::to_string(i), "v");
+    EXPECT_EQ(res.attempted + res.expired, res.routed);
+    if (res.status == kvstore::Status::kOk) ++ok;
+  }
+  EXPECT_EQ(ok, 40u);
+  EXPECT_TRUE(group.router().breaker_open(1));
+  EXPECT_GT(group.router().stats().breaker_opens, 0u);
+  EXPECT_GT(group.router().stats().shed, 0u);
+}
+
+// ---- fan-out deadline budget -----------------------------------------------
+
+TEST(DeadlineBudget, OneLogicalOpSharesOneDeadlineAcrossReplicas) {
+  // A dead primary must not let each subsequent replica re-up a full
+  // per-replica deadline: the fan-out charges everything against one
+  // budget, and replicas whose turn comes too late count as expired.
+  NodeGroupConfig config{.nodes = 4, .shard = {.replication = 2, .seed = 31}};
+  config.retry.max_attempts = 50;
+  config.retry.deadline_s = 0.3;
+  config.retry.attempt_timeout_s = 0.1;
+  config.breaker.enabled = false;  // isolate the budget from shedding
+  NodeGroup group(config);
+  const std::string key = "object:3";
+  const HostId primary = group.router().route(key)[0];
+  group.store(primary).fail_stop();  // dead store the router can't see
+
+  const double before = group.consumed_time();
+  const ha::WriteResult res = group.client(0).put(key, "v");
+  EXPECT_EQ(res.routed, 2u);
+  EXPECT_EQ(res.attempted, 1u);  // the primary burned the whole budget
+  EXPECT_EQ(res.expired, 1u);    // the replica's turn came too late
+  EXPECT_NE(res.status, kvstore::Status::kOk);
+  // ~3 attempts x 0.1 s, nowhere near 2 deadlines.
+  EXPECT_LT(group.consumed_time() - before, 0.55);
+}
+
+TEST(DeadlineBudget, WriteResultConservationHoldsUnderCrashes) {
+  NodeGroup group({.nodes = 4, .shard = {.replication = 2, .seed = 31}});
+  (void)group.crash(2, 0.1);
+  for (int i = 0; i < 32; ++i) {
+    const ha::WriteResult res =
+        group.client(0).put("c" + std::to_string(i), "v");
+    EXPECT_EQ(res.attempted + res.expired, res.routed) << "put " << i;
+    EXPECT_EQ(res.status, kvstore::Status::kOk);
+  }
+}
+
 TEST(NodeGroup, PutFansOutToEveryReplicaAndFeedsTheirOpLogs) {
   NodeGroup group({.nodes = 4, .shard = {.replication = 2, .seed = 31}});
   const std::string key = "object:7";

@@ -339,6 +339,113 @@ TEST_F(ClientTest, PipelinedRepliesPreserveOrder) {
   EXPECT_EQ(replies[2].integer, 3);
 }
 
+// ---- RetryPolicy JSON ------------------------------------------------------
+
+TEST(RetryPolicyJson, ParsesAllKnobsAndKeepsDefaultsForAbsentOnes) {
+  const RetryPolicy full = RetryPolicy::from_json_text(
+      R"({"max_attempts": 6, "base_backoff_s": 0.001, "max_backoff_s": 0.5,
+          "attempt_timeout_s": 0.05, "deadline_s": 1.5, "jitter_seed": 3})");
+  EXPECT_EQ(full.max_attempts, 6u);
+  EXPECT_DOUBLE_EQ(full.base_backoff_s, 0.001);
+  EXPECT_DOUBLE_EQ(full.max_backoff_s, 0.5);
+  EXPECT_DOUBLE_EQ(full.attempt_timeout_s, 0.05);
+  EXPECT_DOUBLE_EQ(full.deadline_s, 1.5);
+  EXPECT_EQ(full.jitter_seed, 3u);
+
+  const RetryPolicy partial =
+      RetryPolicy::from_json_text(R"({"deadline_s": 0.25})");
+  EXPECT_DOUBLE_EQ(partial.deadline_s, 0.25);
+  EXPECT_EQ(partial.max_attempts, RetryPolicy{}.max_attempts);
+  EXPECT_DOUBLE_EQ(partial.attempt_timeout_s, RetryPolicy{}.attempt_timeout_s);
+}
+
+TEST(RetryPolicyJson, RejectsUnknownKeysAndEmptyObjects) {
+  EXPECT_THROW((void)RetryPolicy::from_json_text(R"({"deadline": 1})"),
+               common::ConfigError);
+  EXPECT_THROW((void)RetryPolicy::from_json_text(R"({})"),
+               common::ConfigError);
+  EXPECT_THROW((void)RetryPolicy::from_json_text("[]"), common::ConfigError);
+}
+
+TEST(RetryPolicyJson, RejectsOutOfRangeKnobs) {
+  EXPECT_THROW((void)RetryPolicy::from_json_text(R"({"max_attempts": 0})"),
+               common::ConfigError);
+  EXPECT_THROW((void)RetryPolicy::from_json_text(R"({"deadline_s": 0})"),
+               common::ConfigError);
+  EXPECT_THROW(
+      (void)RetryPolicy::from_json_text(R"({"attempt_timeout_s": -1})"),
+      common::ConfigError);
+  EXPECT_THROW((void)RetryPolicy::from_json_text(R"({"base_backoff_s": -0.1})"),
+               common::ConfigError);
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(bad.validate(), common::ConfigError);
+}
+
+// ---- fail-stop stores and deadline budgets ---------------------------------
+
+TEST_F(ClientTest, FailStoppedStoreTimesOutInsteadOfServing) {
+  Client c(fabric_, 0, 1, store_);
+  c.set("before", "v");
+  store_.fail_stop();
+  EXPECT_TRUE(store_.is_down());
+  // Idempotent command: retried to exhaustion, never applied.
+  const Reply set = c.execute(
+      {.type = CommandType::kSet, .key = "after", .value = "v"});
+  EXPECT_EQ(set.status, Status::kUnavailable);
+  // Non-idempotent command: ambiguous loss, no retry — one timeout.
+  const Reply push = c.execute(
+      {.type = CommandType::kRPush, .key = "l", .value = "e"});
+  EXPECT_EQ(push.status, Status::kTimeout);
+  store_.restart();
+  EXPECT_FALSE(store_.is_down());
+  // Nothing leaked through while the store was down; control-plane data
+  // survives a fail-stop (the wipe is the HA layer's crash semantics).
+  EXPECT_FALSE(store_.exists("after"));
+  EXPECT_FALSE(store_.exists("l"));
+  EXPECT_EQ(c.get("before"), "v");
+}
+
+TEST_F(ClientTest, EveryDownStoreAttemptBurnsTheAttemptTimeout) {
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  Client c(fabric_, 0, 1, store_, 64, nullptr, retry);
+  store_.fail_stop();
+  const double before = c.consumed_time();
+  (void)c.execute({.type = CommandType::kSet, .key = "k", .value = "v"});
+  // Three attempts, each a full attempt timeout against the corpse.
+  EXPECT_GE(c.consumed_time() - before, 3 * retry.attempt_timeout_s);
+}
+
+TEST_F(ClientTest, BudgetedExecuteCapsTheDeadline) {
+  RetryPolicy retry;
+  retry.max_attempts = 100;
+  retry.deadline_s = 2.0;
+  retry.attempt_timeout_s = 0.1;
+  Client c(fabric_, 0, 1, store_, 64, nullptr, retry);
+  store_.fail_stop();
+  const Reply r = c.execute(
+      {.type = CommandType::kSet, .key = "k", .value = "v"}, /*budget_s=*/0.35);
+  EXPECT_EQ(r.status, Status::kUnavailable);
+  // The op respected the caller's budget, not the policy's 2 s deadline.
+  EXPECT_LT(c.consumed_time(), 0.8);
+}
+
+TEST_F(ClientTest, NonPositiveBudgetFailsImmediatelyAtZeroCost) {
+  Client c(fabric_, 0, 1, store_);
+  const Reply r = c.execute(
+      {.type = CommandType::kSet, .key = "k", .value = "v"}, /*budget_s=*/0.0);
+  EXPECT_EQ(r.status, Status::kUnavailable);
+  EXPECT_DOUBLE_EQ(c.consumed_time(), 0.0);
+  EXPECT_FALSE(store_.exists("k"));
+
+  c.enqueue({.type = CommandType::kSet, .key = "q", .value = "v"});
+  const auto replies = c.drain(/*budget_s=*/-1.0);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].status, Status::kUnavailable);
+  EXPECT_FALSE(store_.exists("q"));
+}
+
 TEST(Barrier, SingleThreadEpochsAdvance) {
   Store s;
   Barrier b(s, "test", 1);

@@ -14,8 +14,8 @@
 //      into a consumer — except the bare `(void)var;` cast.
 //
 // A "producer" is any resolved callee whose declared return type names
-// Status, Reply, WriteResult or ReadResult. Unresolvable calls are not
-// guessed at.
+// Status, Reply, WriteResult, ReadResult or the runtime's JobStatus.
+// Unresolvable calls are not guessed at.
 #include <algorithm>
 #include <cctype>
 #include <string>
@@ -29,7 +29,7 @@ namespace hetsim::analyze {
 namespace {
 
 const std::set<std::string> kStatusTypes = {"Status", "Reply", "WriteResult",
-                                            "ReadResult"};
+                                            "ReadResult", "JobStatus"};
 
 /// Consuming helpers that exist precisely to swallow a produced value.
 const std::set<std::string> kCheckedConsumers = {"expect_ok"};

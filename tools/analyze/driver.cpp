@@ -34,8 +34,8 @@ constexpr RuleInfo kRules[] = {
      "no blocking operation (kvstore/fabric traffic, barrier or condition "
      "waits, sleeps, joins, opaque callbacks) while a lock is held"},
     {"status-flow",
-     "kvstore Status/Reply and ha WriteResult/ReadResult values must be "
-     "consumed, not discarded or left unread"},
+     "kvstore Status/Reply, ha WriteResult/ReadResult and runtime JobStatus "
+     "values must be consumed, not discarded or left unread"},
     {"determinism-taint",
      "wall-clock, random, thread-id, pointer and unordered-iteration values "
      "must not reach trace events, bench JSON or common::hash inputs"},

@@ -40,3 +40,34 @@ class Journal {
 };
 
 }  // namespace fxstatus
+
+// The runtime's job outcome is a must-check type too: a silently
+// dropped JobStatus hides degraded and data-unavailable runs.
+namespace fxjob {
+
+enum class JobStatus { kOk, kDegraded, kDataUnavailable };
+
+class Scheduler {
+ public:
+  JobStatus classify() {
+    return ticks_++ == 0 ? JobStatus::kOk : JobStatus::kDegraded;
+  }
+
+  void fire_and_forget() {
+    classify();  // expect: status-flow
+  }
+
+  void classified_but_never_read() {
+    const JobStatus outcome = classify();  // expect: status-flow
+  }
+
+  int consumed_is_fine() {
+    const JobStatus outcome = classify();
+    return outcome == JobStatus::kOk ? 0 : 1;
+  }
+
+ private:
+  int ticks_ = 0;
+};
+
+}  // namespace fxjob
