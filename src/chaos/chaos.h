@@ -24,9 +24,15 @@
 //             * recovery-replay-failed: no replayed op reports a lost
 //               effect.
 //   job       a small replicated runtime::JobRuntime run (every
-//             job_cadence-th trial; it is the expensive victim).
+//             job_cadence-th trial; it is the expensive victim). The
+//             victim takes the generated plan verbatim — the full fault
+//             grammar, not a node-faults-only subset.
+//             * no-escaping-error: JobRuntime::run never lets an
+//               exception escape for a well-formed plan; every fault
+//               lands as a typed JobStatus instead.
 //             * work-lost: unless the run reports kDataUnavailable,
-//               every ingested record was processed.
+//               every ingested record was processed or accounted as
+//               dropped.
 //             * negative-energy: dirty/green energy tallies are >= 0.
 //
 // On a violation the search delta-debug-shrinks the event list to a
@@ -60,7 +66,8 @@ namespace hetsim::chaos {
 enum class EventKind : std::uint8_t {
   kNetDrop,       // p: round-trip drop probability
   kNetSpike,      // p: spike probability, seconds: spike latency
-  kPartition,     // host<->peer severed after `count` round trips
+  kPartition,     // host<->peer severed after `count` round trips,
+                  // healing after `heal` further consults (0 = never)
   kStoreError,    // p: injected error-reply probability on `host`
   kStoreStall,    // p: stall probability, seconds: stall on `host`
   kStoreCrash,    // `host` down after `count` interactions (count >= 1)
@@ -78,6 +85,8 @@ struct Event {
   double seconds = 0.0;
   double factor = 1.0;      // kNodeSlowdown only
   std::uint64_t count = 0;  // kPartition / kStoreCrash
+  std::uint64_t heal = 0;   // kPartition: heals after this many further
+                            // consults of the severed link (0 = never)
 };
 
 /// Bounds of the event draws — the fault "budget" a trial may spend.

@@ -83,6 +83,9 @@ std::vector<Event> generate_events(std::uint64_t seed, std::uint64_t trial,
         e.peer = static_cast<fault::HostId>(draw.below(g.nodes - 1));
         if (e.peer >= e.host) ++e.peer;
         e.count = draw.below(g.max_partition_trips + 1);
+        // Half the partitions heal so retry-under-deadline paths get
+        // exercised; the rest stay severed for the whole trial.
+        e.heal = draw.below(2) == 0 ? 0 : 1 + draw.below(g.max_partition_trips);
         break;
       case EventKind::kStoreError:
         e.p = draw.uniform() * g.max_prob;
@@ -125,7 +128,7 @@ fault::FaultPlan events_to_plan(std::uint64_t seed, std::uint64_t trial,
             std::max(plan.net.spike_latency_s, e.seconds);
         break;
       case EventKind::kPartition:
-        plan.partitions.push_back({e.host, e.peer, e.count});
+        plan.partitions.push_back({e.host, e.peer, e.count, e.heal});
         break;
       case EventKind::kStoreError: {
         auto& f = plan.stores[e.host];
@@ -180,6 +183,7 @@ std::string events_json(const std::vector<Event>& events) {
         w.field("host", static_cast<std::uint64_t>(e.host))
             .field("peer", static_cast<std::uint64_t>(e.peer))
             .field("count", e.count);
+        if (e.heal != 0) w.field("heal", e.heal);
         break;
       case EventKind::kStoreError:
         w.field("host", static_cast<std::uint64_t>(e.host)).field("p", e.p);
@@ -243,6 +247,9 @@ std::vector<Event> events_from_json(const common::JsonValue& arr) {
     }
     if (const common::JsonValue* f = v.find("count")) {
       e.count = static_cast<std::uint64_t>(f->as_int("count"));
+    }
+    if (const common::JsonValue* f = v.find("heal")) {
+      e.heal = static_cast<std::uint64_t>(f->as_int("heal"));
     }
     events.push_back(e);
   }

@@ -117,7 +117,10 @@ RoundTripFault FaultInjector::on_round_trip(HostId src, HostId dst) {
         const auto it = link_trips_.find({dst, src});
         other = it == link_trips_.end() ? 0 : it->second;
       }
-      if (trip + other >= p.after_round_trips) {
+      const std::uint64_t total = trip + other;
+      if (total >= p.after_round_trips &&
+          (p.heals_after_round_trips == 0 ||
+           total < p.after_round_trips + p.heals_after_round_trips)) {
         out.partitioned = true;
         return out;
       }

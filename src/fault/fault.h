@@ -65,12 +65,17 @@ struct NetFaults {
   double spike_latency_s = 0.0;
 };
 
-/// Permanently severs the (a, b) link (both directions) after the first
-/// `after_round_trips` round trips on it have been served.
+/// Severs the (a, b) link (both directions) after the first
+/// `after_round_trips` round trips on it have been served. The
+/// partition heals after a further `heals_after_round_trips` consults
+/// of the severed link (0 = never heals). Consults keep advancing the
+/// link counter while the link is severed — a retry loop that keeps
+/// knocking is exactly what makes healing reachable deterministically.
 struct LinkPartition {
   HostId a = 0;
   HostId b = 0;
   std::uint64_t after_round_trips = 0;
+  std::uint64_t heals_after_round_trips = 0;
 };
 
 /// Per-host kvstore server faults.
@@ -116,7 +121,8 @@ struct FaultPlan {
 
 /// What the injector decided for one network round trip.
 struct RoundTripFault {
-  /// Link permanently severed (counts as a drop; never heals).
+  /// Link currently severed (counts as a drop; heals only when the
+  /// partition declares heals_after_round_trips).
   bool partitioned = false;
   /// This round trip was lost.
   bool dropped = false;

@@ -5,7 +5,8 @@
 //     "seed": 42,
 //     "net": {"drop_prob": 0.02, "drop_request_lost_fraction": 0.5,
 //             "spike_prob": 0.01, "spike_latency_s": 0.005,
-//             "partitions": [{"a": 0, "b": 2, "after_round_trips": 100}]},
+//             "partitions": [{"a": 0, "b": 2, "after_round_trips": 100,
+//                             "heals_after_round_trips": 40}]},
 //     "stores": [{"host": 1, "error_prob": 0.01, "stall_prob": 0.01,
 //                 "stall_s": 0.2, "crash_at_op": 7}],
 //     "nodes": [{"node": 3, "fail_stop_at_s": 12.5,
@@ -98,7 +99,9 @@ NetFaults parse_net(const JsonValue& obj, std::vector<LinkPartition>& parts) {
     for (const JsonValue& e : arr->as_array("partitions")) {
       common::require<common::ConfigError>(
           e.is_object(), "FaultPlan: each partition must be an object");
-      reject_unknown_keys(e, "partitions[]", {"a", "b", "after_round_trips"});
+      reject_unknown_keys(
+          e, "partitions[]",
+          {"a", "b", "after_round_trips", "heals_after_round_trips"});
       const HostId a = get_host(e, "a");
       const HostId b = get_host(e, "b");
       // validate() rejects this too, but at parse time we can say which
@@ -108,7 +111,8 @@ NetFaults parse_net(const JsonValue& obj, std::vector<LinkPartition>& parts) {
                       ", b: " + std::to_string(b) +
                       "} severs a loopback link (a zero-length partition "
                       "can never fire)");
-      parts.push_back({a, b, get_u64(e, "after_round_trips", 0)});
+      parts.push_back({a, b, get_u64(e, "after_round_trips", 0),
+                       get_u64(e, "heals_after_round_trips", 0)});
     }
   }
   return net;
@@ -228,6 +232,9 @@ std::string plan_to_json(const FaultPlan& plan) {
         w.field("b", static_cast<std::uint64_t>(p.b));
         if (p.after_round_trips != 0) {
           w.field("after_round_trips", p.after_round_trips);
+        }
+        if (p.heals_after_round_trips != 0) {
+          w.field("heals_after_round_trips", p.heals_after_round_trips);
         }
         w.end_object();
       }

@@ -1,5 +1,7 @@
 #include "runtime/dag.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace hetsim::runtime {
@@ -26,12 +28,34 @@ std::string phase_kind_name(PhaseKind kind) {
   return "?";
 }
 
+std::string_view job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kDegraded:
+      return "degraded";
+    case JobStatus::kDataUnavailable:
+      return "data-unavailable";
+  }
+  return "?";
+}
+
+JobStatus worse_job_status(JobStatus a, JobStatus b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
 void PhaseDag::add(Phase phase) {
   for (const Phase& existing : phases_) {
     common::require<common::ConfigError>(
         existing.name != phase.name,
         "PhaseDag: duplicate phase name '" + phase.name + "'");
   }
+  common::require<common::ConfigError>(
+      phase.max_attempts >= 1,
+      "PhaseDag: phase '" + phase.name + "' needs max_attempts >= 1");
+  common::require<common::ConfigError>(
+      phase.retry_budget_s >= 0.0,
+      "PhaseDag: phase '" + phase.name + "' retry budget < 0");
   phases_.push_back(std::move(phase));
 }
 
@@ -78,15 +102,102 @@ std::vector<std::size_t> PhaseDag::topological_order() const {
   return order;
 }
 
-void PhaseDag::run(TraceRecorder& trace,
-                   const std::function<double()>& clock) const {
+DagReport PhaseDag::run(TraceRecorder& trace,
+                        const std::function<double()>& clock) const {
+  const std::size_t n = phases_.size();
+  DagReport report;
+  std::vector<char> failed(n, 0);
+  const auto index_of = [&](const std::string& name) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (phases_[i].name == name) return i;
+    }
+    return n;  // topological_order() already rejected dangling deps
+  };
   for (const std::size_t i : topological_order()) {
     const Phase& p = phases_[i];
+    const std::string category = "phase." + phase_kind_name(p.kind);
+
+    bool dep_failed = false;
+    for (const std::string& dep : p.deps) {
+      const std::size_t d = index_of(dep);
+      if (d < n && failed[d] != 0) dep_failed = true;
+    }
+    if (dep_failed) {
+      // A failed phase poisons its transitive dependents: their inputs
+      // never materialized. Skipping (instead of aborting the walk)
+      // lets independent branches still run to completion.
+      failed[i] = 1;
+      trace.add_instant("phase-skipped", category, TraceRecorder::kRuntimeLane,
+                        clock());
+      continue;
+    }
+
     const double start = clock();
-    if (p.body) p.body();
-    trace.add_span(p.name, "phase." + phase_kind_name(p.kind),
-                   TraceRecorder::kRuntimeLane, start, clock() - start);
+    const std::size_t attempts = std::max<std::size_t>(1, p.max_attempts);
+    PhaseResult result = PhaseResult::ok();
+    std::size_t attempt = 0;
+    for (;;) {
+      PhaseAttempt at;
+      at.attempt = attempt;
+      at.last = attempt + 1 >= attempts ||
+                (p.retry_budget_s > 0.0 && clock() - start >= p.retry_budget_s);
+      if (p.body) {
+        // Backstop only: the contract is that bodies return their
+        // faults. Anything typed that still escapes (a helper deep in
+        // the phase) is folded into the same retry/exhaust machinery
+        // instead of unwinding out of the job.
+        try {
+          result = p.body(at);
+        } catch (const common::Error& e) {
+          result = PhaseResult::transient(e.what());
+        }
+      } else {
+        result = PhaseResult::ok();
+      }
+      if (result.completed && !result.retry) break;
+      ++attempt;
+      const bool budget_left =
+          p.retry_budget_s <= 0.0 || clock() - start < p.retry_budget_s;
+      if (attempt >= attempts || !budget_left) {
+        result.completed = false;
+        break;
+      }
+      ++report.phase_retries;
+      trace.add_instant("phase-retry", category, TraceRecorder::kRuntimeLane,
+                        clock(), {{"attempt", static_cast<double>(attempt)}});
+    }
+
+    if (result.completed) {
+      report.status = worse_job_status(report.status, result.floor);
+      // Fault-free phases keep the historical arg-free span shape, so
+      // clean traces stay byte-identical with pre-PhaseResult runs.
+      if (attempt == 0 && result.floor == JobStatus::kOk) {
+        trace.add_span(p.name, category, TraceRecorder::kRuntimeLane, start,
+                       clock() - start);
+      } else {
+        trace.add_span(
+            p.name, category, TraceRecorder::kRuntimeLane, start,
+            clock() - start,
+            {{"attempts", static_cast<double>(attempt + 1)},
+             {"status", static_cast<double>(result.floor)}});
+      }
+    } else {
+      failed[i] = 1;
+      report.status = worse_job_status(report.status, p.on_exhausted);
+      if (report.failed_phase.empty()) {
+        report.failed_phase = p.name;
+        report.failure_detail = result.detail;
+      }
+      trace.add_instant("phase-failed", category, TraceRecorder::kRuntimeLane,
+                        clock(),
+                        {{"attempts", static_cast<double>(attempt)}});
+      trace.add_span(p.name, category, TraceRecorder::kRuntimeLane, start,
+                     clock() - start,
+                     {{"attempts", static_cast<double>(attempt)},
+                      {"failed", 1.0}});
+    }
   }
+  return report;
 }
 
 }  // namespace hetsim::runtime

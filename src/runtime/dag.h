@@ -7,11 +7,20 @@
 // cycles, no dangling dependencies, no duplicate names), a single place
 // to record per-phase spans into the trace, and room for future
 // non-linear jobs (independent branches, speculative phases).
+//
+// Fault domains (DESIGN.md §14): each phase body returns a typed
+// PhaseResult instead of throwing, so a store/net/node fault inside a
+// phase is contained to that phase. The DAG retries transient failures
+// under a per-phase attempt cap and virtual-time budget, skips the
+// dependents of an exhausted phase, and folds every phase's status
+// floor into one JobStatus for the job — an exception never escapes a
+// well-formed plan.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/trace.h"
@@ -32,12 +41,100 @@ enum class PhaseKind : std::uint8_t {
 
 [[nodiscard]] std::string phase_kind_name(PhaseKind kind);
 
+/// Typed job outcome, replacing the old throw-on-fault behaviour.
+/// Ordered by severity so outcomes aggregate with worse_job_status().
+enum class JobStatus : std::uint8_t {
+  /// Every record was processed on the planned path.
+  kOk,
+  /// Every record was still processed, but only by surviving a fault:
+  /// node loss rescues, replica-fallback reads, phase retries.
+  kDegraded,
+  /// Records were provably lost (canonical copies unreachable with no
+  /// replica to fall back to); the job finished what it could.
+  kDataUnavailable,
+};
+
+[[nodiscard]] std::string_view job_status_name(JobStatus s);
+
+/// The more severe of two job outcomes: kOk < kDegraded <
+/// kDataUnavailable. Folds per-phase floors into the job's status.
+[[nodiscard]] JobStatus worse_job_status(JobStatus a, JobStatus b);
+
+/// What a phase body learns about the attempt it is running.
+struct PhaseAttempt {
+  /// 0-based attempt number (0 = first run, >= 1 = retry).
+  std::size_t attempt = 0;
+  /// True when no further retry remains (attempt cap or budget): the
+  /// body must resolve to a terminal outcome — degrade, drop, or fall
+  /// back — because returning transient() fails the phase.
+  bool last = false;
+};
+
+/// Typed outcome of one phase attempt. Phase bodies return this
+/// instead of throwing: faults propagate as data, not control flow.
+struct PhaseResult {
+  /// The phase reached a usable end state (its outputs are valid for
+  /// dependent phases).
+  bool completed = true;
+  /// Transient failure: re-run the phase if attempts/budget remain.
+  bool retry = false;
+  /// Floor this attempt imposes on the job's final status.
+  JobStatus floor = JobStatus::kOk;
+  /// Human-readable failure/degradation cause (trace + summary).
+  std::string detail;
+
+  [[nodiscard]] static PhaseResult ok() { return {}; }
+  [[nodiscard]] static PhaseResult degraded(std::string detail) {
+    return {.completed = true,
+            .retry = false,
+            .floor = JobStatus::kDegraded,
+            .detail = std::move(detail)};
+  }
+  [[nodiscard]] static PhaseResult data_unavailable(std::string detail) {
+    return {.completed = true,
+            .retry = false,
+            .floor = JobStatus::kDataUnavailable,
+            .detail = std::move(detail)};
+  }
+  [[nodiscard]] static PhaseResult transient(std::string detail) {
+    return {.completed = false,
+            .retry = true,
+            .floor = JobStatus::kOk,
+            .detail = std::move(detail)};
+  }
+};
+
 struct Phase {
   std::string name;
   PhaseKind kind = PhaseKind::kExecute;
   /// Names of phases that must complete before this one starts.
   std::vector<std::string> deps;
-  std::function<void()> body;
+  /// Phase body; a null body completes trivially. Must not throw for
+  /// any well-formed input — faults come back as PhaseResult. (A
+  /// common::Error that does escape is contained by the DAG and
+  /// treated as a transient failure, but that path is a backstop, not
+  /// the contract.)
+  std::function<PhaseResult(const PhaseAttempt&)> body;
+  /// Attempts allowed before the phase is exhausted (>= 1).
+  std::size_t max_attempts = 1;
+  /// Virtual-seconds budget across all attempts of this phase; once
+  /// exceeded no further retry is granted. 0 = attempts-only.
+  double retry_budget_s = 0.0;
+  /// Status floor applied when the phase exhausts its attempts (its
+  /// dependents are skipped either way).
+  JobStatus on_exhausted = JobStatus::kDataUnavailable;
+};
+
+/// What PhaseDag::run learned about the job.
+struct DagReport {
+  /// Worst floor across completed phases and exhausted phases.
+  JobStatus status = JobStatus::kOk;
+  /// Attempt re-runs granted across all phases.
+  std::size_t phase_retries = 0;
+  /// First phase that exhausted its attempts ("" = none).
+  std::string failed_phase;
+  /// Detail of that phase's final attempt.
+  std::string failure_detail;
 };
 
 class PhaseDag {
@@ -55,8 +152,13 @@ class PhaseDag {
 
   /// Run every phase body in topological order. Each phase is recorded
   /// as a span on the runtime lane, with start/end read from `clock`
-  /// (virtual seconds).
-  void run(TraceRecorder& trace, const std::function<double()>& clock) const;
+  /// (virtual seconds). Transient failures retry within the phase's
+  /// attempt cap and budget ("phase-retry" instants); an exhausted
+  /// phase fails ("phase-failed"), its transitive dependents are
+  /// skipped ("phase-skipped"), and the walk continues with the
+  /// independent remainder of the DAG.
+  DagReport run(TraceRecorder& trace,
+                const std::function<double()>& clock) const;
 
  private:
   std::vector<Phase> phases_;

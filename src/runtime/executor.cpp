@@ -183,7 +183,31 @@ void PhaseExecutor::worker(std::uint32_t node) {
       // hand_off) carries the happens-before edge to whichever thread is
       // admitted next.
       lk.unlock();
-      runner_(ctx, chunk);
+      try {
+        runner_(ctx, chunk);
+      } catch (const common::Error&) {
+        // A typed fault inside the chunk body (workload kvstore traffic
+        // that exhausted its retries) is contained to this node: the
+        // chunk goes back to the queue in order, the partial compute
+        // and network time it burned are charged, and the node
+        // fail-stops — the heartbeat machinery then rescues its queue
+        // exactly like an injected fail-stop. Anything not typed
+        // (logic errors) still reaches the catch below and fails the
+        // run loudly.
+        lk.lock();
+        for (auto it = chunk.rbegin(); it != chunk.rend(); ++it) {
+          queue.push_front(*it);
+        }
+        const double units = ctx.meter().units() - s.units_seen[node];
+        s.units_seen[node] = ctx.meter().units();
+        s.clock[node] +=
+            cluster_.options().work_rate.seconds(units, ctx.node().speed) *
+            s.slowdown[node];
+        sync_network(node);
+        s.dead[node] = 1;
+        hand_off_locked(lk);
+        return;
+      }
       lk.lock();
       const double units = ctx.meter().units() - s.units_seen[node];
       s.units_seen[node] = ctx.meter().units();

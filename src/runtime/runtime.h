@@ -26,6 +26,7 @@
 #include "estimator/progressive.h"
 #include "ha/router.h"
 #include "optimize/pareto.h"
+#include "runtime/dag.h"
 #include "runtime/replan.h"
 #include "runtime/trace.h"
 #include "sketch/minhash.h"
@@ -72,21 +73,17 @@ struct JobSpec {
   /// degrades instead of failing: orphan rescues re-pull payloads from
   /// surviving replicas. Must be <= the cluster size.
   std::size_t replication = 1;
+  /// Attempts granted to each retryable phase (ingest, stratify,
+  /// estimate, partition) before it is exhausted and the job degrades.
+  /// Retries run at phase boundaries against recovered state, so a
+  /// mid-phase store crash or an unhealed partition re-runs only that
+  /// phase. Must be >= 1.
+  std::size_t phase_max_attempts = 3;
+  /// Virtual-seconds budget shared by all retries of one phase; once a
+  /// phase has burned this much clock it gets no further attempt.
+  /// 0 = attempts-only (no deadline).
+  double phase_retry_budget_s = 0.0;
 };
-
-/// Typed job outcome, replacing the old throw-on-master-loss behaviour.
-enum class JobStatus : std::uint8_t {
-  /// All nodes survived and every record was processed.
-  kOk,
-  /// Nodes were lost but every record was still processed (rescued from
-  /// the data master or, with replication >= 2, from replicas).
-  kDegraded,
-  /// The canonical data copies became unreachable (master lost without
-  /// replication); the job finished what it could, the rest is gone.
-  kDataUnavailable,
-};
-
-[[nodiscard]] std::string_view job_status_name(JobStatus s);
 
 /// Per-job summary, exported alongside the trace.
 struct JobSummary {
@@ -131,6 +128,21 @@ struct JobSummary {
   std::uint64_t kv_retries = 0;
   std::uint64_t kv_timeouts = 0;
   std::uint64_t kv_failures = 0;
+
+  // ---- phase fault domains (PhaseResult plumbing) --------------------
+  /// Whole-phase re-runs granted by the DAG after transient faults.
+  std::size_t phase_retries = 0;
+  /// First phase that exhausted its attempts ("" = none). Its
+  /// dependents were skipped; `status` carries the typed outcome.
+  std::string failed_phase;
+  /// Why that phase gave up (last attempt's detail).
+  std::string failure_detail;
+  /// Records dropped from the plan because no live replica could serve
+  /// them (implies kDataUnavailable; excluded from `processed`).
+  std::size_t records_dropped = 0;
+  /// Non-kOk kvstore replies the phases absorbed without failing the
+  /// job (degraded writes, staging losses, sketch-upload drops).
+  std::uint64_t tolerated_kv_failures = 0;
 
   // ---- replication (spec.replication >= 2) ---------------------------
   /// Acknowledged per-replica record copies written at ingest.

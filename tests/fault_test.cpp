@@ -107,6 +107,23 @@ TEST(FaultPlanJson, RejectsExplicitCrashAtOpZero) {
                common::ConfigError);
 }
 
+TEST(FaultPlanJson, PartitionHealRoundTrips) {
+  const FaultPlan plan = FaultPlan::from_json_text(
+      R"({"net": {"partitions": [{"a": 1, "b": 3, "after_round_trips": 10,
+                                  "heals_after_round_trips": 25}]}})");
+  ASSERT_EQ(plan.partitions.size(), 1u);
+  EXPECT_EQ(plan.partitions[0].after_round_trips, 10u);
+  EXPECT_EQ(plan.partitions[0].heals_after_round_trips, 25u);
+  const FaultPlan back = FaultPlan::from_json_text(fault::plan_to_json(plan));
+  ASSERT_EQ(back.partitions.size(), 1u);
+  EXPECT_EQ(back.partitions[0].heals_after_round_trips, 25u);
+  // A permanent partition omits the heal key entirely.
+  FaultPlan forever;
+  forever.partitions.push_back({0, 2, 4});
+  EXPECT_EQ(fault::plan_to_json(forever).find("heals_after_round_trips"),
+            std::string::npos);
+}
+
 TEST(FaultPlanJson, ZeroDurationPartitionSeversTheLinkFromTheFirstTrip) {
   const FaultPlan plan = FaultPlan::from_json_text(
       R"({"net": {"partitions": [{"a": 0, "b": 2}]}})");
@@ -214,6 +231,22 @@ TEST(FaultInjector, PartitionSeversLinkAfterBudgetBothDirectionsCounted) {
   EXPECT_TRUE(inj.on_round_trip(1, 0).partitioned);   // never heals
   // Unrelated links are unaffected.
   EXPECT_FALSE(inj.on_round_trip(0, 2).partitioned);
+}
+
+TEST(FaultInjector, PartitionHealsAfterTheConfiguredConsults) {
+  FaultPlan plan;
+  plan.partitions.push_back({0, 1, 2, 3});  // sever after 2, heal 3 later
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.on_round_trip(0, 1).partitioned);  // total served: 1
+  EXPECT_FALSE(inj.on_round_trip(1, 0).partitioned);  // 2
+  // Severed: consults keep advancing the counter while the link is
+  // down — a retry loop that keeps knocking reaches the heal point.
+  EXPECT_TRUE(inj.on_round_trip(0, 1).partitioned);
+  EXPECT_TRUE(inj.on_round_trip(0, 1).partitioned);
+  EXPECT_TRUE(inj.on_round_trip(1, 0).partitioned);
+  // Healed, both directions, and it stays healed.
+  EXPECT_FALSE(inj.on_round_trip(0, 1).partitioned);
+  EXPECT_FALSE(inj.on_round_trip(1, 0).partitioned);
 }
 
 TEST(FaultInjector, CrashAtOpTakesTheStoreDownForever) {
@@ -649,6 +682,85 @@ TEST(FaultyFabricJob, RetriesAreAccountedInTheSummary) {
   EXPECT_EQ(std::accumulate(summary.processed.begin(),
                             summary.processed.end(), std::size_t{0}),
             dataset.size());
+}
+
+// ---- byzantine store/net faults through the phase DAG ----------------------
+
+TEST(ByzantineJob, StoreErrorDuringIngestReportsDataUnavailable) {
+  const data::Dataset dataset = small_corpus();
+  // The master's store rejects every interaction. Without replication
+  // there is nowhere else to put the data: ingest exhausts its phase
+  // attempts and the job finishes with a typed status — no exception
+  // escapes JobRuntime::run.
+  FaultPlan plan;
+  plan.stores[0].error_prob = 1.0;
+  runtime::JobSummary summary;
+  EXPECT_NO_THROW(summary = run_job(dataset, &plan));
+  EXPECT_EQ(summary.status, runtime::JobStatus::kDataUnavailable);
+  EXPECT_EQ(summary.failed_phase, "ingest");
+  EXPECT_FALSE(summary.failure_detail.empty());
+  EXPECT_GT(summary.phase_retries, 0u);
+  // The summary is still clean and serializable: nothing was processed,
+  // nothing pretends to have been.
+  EXPECT_EQ(std::accumulate(summary.processed.begin(),
+                            summary.processed.end(), std::size_t{0}),
+            0u);
+  EXPECT_FALSE(summary_json(summary).empty());
+}
+
+TEST(ByzantineJob, StoreStallWithReplicationServesFromReplicas) {
+  const data::Dataset dataset = small_corpus();
+  // Every op on the master's store stalls past the attempt timeout:
+  // the canonical list never completes, but replicated writes acked on
+  // the survivors let the partition phase re-pull every shard through
+  // the replica walk. Degraded, with zero records lost.
+  FaultPlan plan;
+  plan.stores[0].stall_prob = 1.0;
+  plan.stores[0].stall_s = 1.0;
+  runtime::JobSpec spec = fast_spec();
+  spec.replication = 2;
+  runtime::JobSummary summary;
+  EXPECT_NO_THROW(summary = run_job(dataset, &plan, nullptr, spec));
+  EXPECT_EQ(summary.status, runtime::JobStatus::kDegraded);
+  EXPECT_GT(summary.replica_rescued_records, 0u);
+  EXPECT_EQ(summary.records_dropped, 0u);
+  EXPECT_EQ(std::accumulate(summary.processed.begin(),
+                            summary.processed.end(), std::size_t{0}),
+            dataset.size());
+}
+
+TEST(ByzantineJob, HealingPartitionLetsAPhaseRetrySucceed) {
+  const data::Dataset dataset = small_corpus();
+  // The 0<->2 link is severed from the first trip and heals after a
+  // window sized to outlast the kv client's in-attempt retries — the
+  // PHASE has to fail once and come back before traffic flows again.
+  FaultPlan plan;
+  plan.partitions.push_back({0, 2, 0, 10});
+  runtime::JobSummary summary;
+  EXPECT_NO_THROW(summary = run_job(dataset, &plan));
+  EXPECT_GT(summary.phase_retries, 0u);
+  EXPECT_EQ(summary.status, runtime::JobStatus::kOk);
+  EXPECT_EQ(std::accumulate(summary.processed.begin(),
+                            summary.processed.end(), std::size_t{0}),
+            dataset.size());
+}
+
+TEST(ByzantineJob, DegradedStoreFaultTracesAreByteIdentical) {
+  const data::Dataset dataset = small_corpus();
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.stores[0].stall_prob = 1.0;
+  plan.stores[0].stall_s = 1.0;
+  plan.net.drop_prob = 0.01;
+  runtime::JobSpec spec = fast_spec();
+  spec.replication = 2;
+  std::string a;
+  std::string b;
+  const runtime::JobSummary first = run_job(dataset, &plan, &a, spec);
+  (void)run_job(dataset, &plan, &b, spec);
+  EXPECT_EQ(first.status, runtime::JobStatus::kDegraded);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
 }
 
 // ---- no-work-lost invariant (death tests) ----------------------------------

@@ -63,31 +63,179 @@ JobSpec fast_spec() {
 
 // ---- PhaseDag --------------------------------------------------------------
 
+/// Phase body that completes cleanly, for wiring-shape tests.
+std::function<PhaseResult(const PhaseAttempt&)> counting_body(int& slot,
+                                                              int& ran) {
+  return [&slot, &ran](const PhaseAttempt&) {
+    slot = ran++;
+    return PhaseResult::ok();
+  };
+}
+
 TEST(PhaseDag, TopologicalOrderRespectsDependencies) {
   PhaseDag dag;
   int ran = 0;
   int a_at = -1, b_at = -1, c_at = -1;
-  dag.add({"c", PhaseKind::kExecute, {"b"}, [&] { c_at = ran++; }});
-  dag.add({"a", PhaseKind::kIngest, {}, [&] { a_at = ran++; }});
-  dag.add({"b", PhaseKind::kStratify, {"a"}, [&] { b_at = ran++; }});
+  dag.add({"c", PhaseKind::kExecute, {"b"}, counting_body(c_at, ran)});
+  dag.add({"a", PhaseKind::kIngest, {}, counting_body(a_at, ran)});
+  dag.add({"b", PhaseKind::kStratify, {"a"}, counting_body(b_at, ran)});
   TraceRecorder trace;
-  dag.run(trace, [] { return 0.0; });
+  const DagReport report = dag.run(trace, [] { return 0.0; });
   EXPECT_LT(a_at, b_at);
   EXPECT_LT(b_at, c_at);
   EXPECT_EQ(ran, 3);
-  // One span per phase, categorized by kind.
+  EXPECT_EQ(report.status, JobStatus::kOk);
+  EXPECT_EQ(report.phase_retries, 0u);
+  EXPECT_TRUE(report.failed_phase.empty());
+  // One span per phase, categorized by kind; clean phases carry no
+  // args (byte-compatible with pre-PhaseResult traces).
   EXPECT_EQ(trace.events().size(), 3u);
   EXPECT_EQ(trace.events()[0].category, "phase.ingest");
+  EXPECT_TRUE(trace.events()[0].args.empty());
 }
 
 TEST(PhaseDag, DeclarationOrderBreaksTies) {
   PhaseDag dag;
   std::vector<std::string> order;
-  dag.add({"y", PhaseKind::kExecute, {}, [&] { order.push_back("y"); }});
-  dag.add({"x", PhaseKind::kExecute, {}, [&] { order.push_back("x"); }});
+  const auto note = [&order](std::string name) {
+    return [&order, name](const PhaseAttempt&) {
+      order.push_back(name);
+      return PhaseResult::ok();
+    };
+  };
+  dag.add({"y", PhaseKind::kExecute, {}, note("y")});
+  dag.add({"x", PhaseKind::kExecute, {}, note("x")});
   TraceRecorder trace;
-  dag.run(trace, [] { return 0.0; });
+  (void)dag.run(trace, [] { return 0.0; });
   EXPECT_EQ(order, (std::vector<std::string>{"y", "x"}));
+}
+
+TEST(PhaseDag, TransientFailureRetriesUpToAttemptCap) {
+  PhaseDag dag;
+  std::vector<std::size_t> attempts_seen;
+  std::vector<bool> last_seen;
+  Phase ph;
+  ph.name = "flaky";
+  ph.kind = PhaseKind::kIngest;
+  ph.max_attempts = 3;
+  ph.body = [&](const PhaseAttempt& at) {
+    attempts_seen.push_back(at.attempt);
+    last_seen.push_back(at.last);
+    return at.attempt < 2 ? PhaseResult::transient("not yet")
+                          : PhaseResult::ok();
+  };
+  dag.add(std::move(ph));
+  TraceRecorder trace;
+  const DagReport report = dag.run(trace, [] { return 0.0; });
+  EXPECT_EQ(report.status, JobStatus::kOk);
+  EXPECT_EQ(report.phase_retries, 2u);
+  EXPECT_TRUE(report.failed_phase.empty());
+  EXPECT_EQ(attempts_seen, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(last_seen, (std::vector<bool>{false, false, true}));
+  EXPECT_EQ(trace.count("phase-retry"), 2u);
+}
+
+TEST(PhaseDag, ExhaustedPhaseSkipsDependentsAndFloorsStatus) {
+  PhaseDag dag;
+  int downstream_runs = 0;
+  int independent_runs = 0;
+  Phase doomed;
+  doomed.name = "doomed";
+  doomed.kind = PhaseKind::kIngest;
+  doomed.max_attempts = 2;
+  doomed.on_exhausted = JobStatus::kDataUnavailable;
+  doomed.body = [](const PhaseAttempt&) {
+    return PhaseResult::transient("store down");
+  };
+  dag.add(std::move(doomed));
+  dag.add({"dependent", PhaseKind::kExecute, {"doomed"},
+           [&](const PhaseAttempt&) {
+             ++downstream_runs;
+             return PhaseResult::ok();
+           }});
+  dag.add({"independent", PhaseKind::kForecast, {},
+           [&](const PhaseAttempt&) {
+             ++independent_runs;
+             return PhaseResult::ok();
+           }});
+  TraceRecorder trace;
+  const DagReport report = dag.run(trace, [] { return 0.0; });
+  EXPECT_EQ(report.status, JobStatus::kDataUnavailable);
+  EXPECT_EQ(report.failed_phase, "doomed");
+  EXPECT_EQ(report.failure_detail, "store down");
+  EXPECT_EQ(downstream_runs, 0);
+  EXPECT_EQ(independent_runs, 1);
+  EXPECT_EQ(trace.count("phase-failed"), 1u);
+  EXPECT_EQ(trace.count("phase-skipped"), 1u);
+}
+
+TEST(PhaseDag, RetryBudgetDeniesFurtherAttempts) {
+  PhaseDag dag;
+  double now = 0.0;
+  std::size_t runs = 0;
+  Phase ph;
+  ph.name = "slow";
+  ph.kind = PhaseKind::kPartition;
+  ph.max_attempts = 10;
+  ph.retry_budget_s = 5.0;
+  ph.on_exhausted = JobStatus::kDegraded;
+  ph.body = [&](const PhaseAttempt&) {
+    ++runs;
+    now += 3.0;  // each attempt burns 3 virtual seconds
+    return PhaseResult::transient("still failing");
+  };
+  dag.add(std::move(ph));
+  TraceRecorder trace;
+  const DagReport report = dag.run(trace, [&] { return now; });
+  // Attempt 1 ends at 3s (< 5s budget: retry granted), attempt 2 ends
+  // at 6s (budget spent: no third attempt).
+  EXPECT_EQ(runs, 2u);
+  EXPECT_EQ(report.status, JobStatus::kDegraded);
+  EXPECT_EQ(report.failed_phase, "slow");
+}
+
+TEST(PhaseDag, DegradedFloorAggregatesAcrossPhases) {
+  PhaseDag dag;
+  dag.add({"a", PhaseKind::kIngest, {}, [](const PhaseAttempt&) {
+             return PhaseResult::degraded("replica fallback");
+           }});
+  dag.add({"b", PhaseKind::kExecute, {"a"}, [](const PhaseAttempt&) {
+             return PhaseResult::ok();
+           }});
+  TraceRecorder trace;
+  const DagReport report = dag.run(trace, [] { return 0.0; });
+  EXPECT_EQ(report.status, JobStatus::kDegraded);
+  EXPECT_TRUE(report.failed_phase.empty());
+}
+
+TEST(PhaseDag, EscapedTypedExceptionIsContainedAsTransient) {
+  PhaseDag dag;
+  std::size_t runs = 0;
+  Phase ph;
+  ph.name = "thrower";
+  ph.kind = PhaseKind::kExecute;
+  ph.max_attempts = 2;
+  ph.on_exhausted = JobStatus::kDataUnavailable;
+  ph.body = [&](const PhaseAttempt&) -> PhaseResult {
+    ++runs;
+    throw common::Error("helper deep in the phase threw");
+  };
+  dag.add(std::move(ph));
+  TraceRecorder trace;
+  DagReport report;
+  EXPECT_NO_THROW(report = dag.run(trace, [] { return 0.0; }));
+  EXPECT_EQ(runs, 2u);
+  EXPECT_EQ(report.status, JobStatus::kDataUnavailable);
+  EXPECT_EQ(report.failed_phase, "thrower");
+}
+
+TEST(PhaseDag, WorseJobStatusIsMaxBySeverity) {
+  EXPECT_EQ(worse_job_status(JobStatus::kOk, JobStatus::kDegraded),
+            JobStatus::kDegraded);
+  EXPECT_EQ(worse_job_status(JobStatus::kDataUnavailable, JobStatus::kOk),
+            JobStatus::kDataUnavailable);
+  EXPECT_EQ(worse_job_status(JobStatus::kDegraded, JobStatus::kDegraded),
+            JobStatus::kDegraded);
 }
 
 TEST(PhaseDag, RejectsCycle) {

@@ -53,6 +53,10 @@ constexpr RuleInfo kRules[] = {
     {"direct-store",
      "kvstore::Store access outside src/kvstore/, src/ha/, src/cluster/ — "
      "go through ha::Client / kvstore::Client"},
+    {"phase-throw",
+     "expect_ok / UnavailableError inside src/runtime/ — phase bodies must "
+     "propagate store faults into a typed PhaseResult, never throw past "
+     "the PhaseDag"},
     {"pragma-once", "every header carries #pragma once"},
 };
 

@@ -1,8 +1,8 @@
 // Token-level rules absorbed from tools/hetsim_lint (rationale in
 // DESIGN.md §7): naked-mutex, raw-thread, nondeterminism,
-// float-accounting, direct-store, pragma-once. The old unchecked-reply
-// rule is NOT ported — the flow-sensitive status-flow checker replaces
-// it. Suppression filtering happens centrally in the driver (the lexer
+// float-accounting, direct-store, phase-throw, pragma-once. The old
+// unchecked-reply rule is NOT ported — the flow-sensitive status-flow
+// checker replaces it. Suppression filtering happens centrally in the driver (the lexer
 // harvests both `hetsim-analyze: allow(...)` and the legacy
 // `hetsim-lint: allow(...)` spelling).
 //
@@ -93,6 +93,15 @@ constexpr std::string_view kNondetTokens[] = {
     "std::chrono::high_resolution_clock", "gettimeofday", "clock_gettime",
     "timespec_get"};
 
+/// Throwing kvstore accessors banned inside the phase-DAG runtime: a
+/// store fault must surface as a typed PhaseResult the dag can retry or
+/// degrade on, never as an exception unwinding through PhaseDag::run.
+// Qualified spellings listed separately: has_token rejects ':' on the
+// left, so "expect_ok" alone would let "kvstore::expect_ok" through.
+constexpr std::string_view kPhaseThrowTokens[] = {
+    "expect_ok", "kvstore::expect_ok", "UnavailableError",
+    "kvstore::UnavailableError"};
+
 constexpr std::string_view kAccountingDirs[] = {
     "src/common", "src/cluster", "src/core",     "src/energy",
     "src/estimator", "src/optimize", "src/runtime"};
@@ -129,6 +138,7 @@ void check_lint_rules(const Index& index, std::vector<Finding>& out) {
     const bool store_rule = !in_dir(file.rel, "src/kvstore") &&
                             !in_dir(file.rel, "src/ha") &&
                             !in_dir(file.rel, "src/cluster");
+    const bool phase_rule = in_dir(file.rel, "src/runtime");
 
     bool in_block_comment = false;
     for (std::size_t n = 0; n < file.lines.size(); ++n) {
@@ -172,6 +182,19 @@ void check_lint_rules(const Index& index, std::vector<Finding>& out) {
         out.push_back(
             {"float-accounting", file.rel, line,
              "float in energy/time accounting — use double end to end"});
+      }
+      if (phase_rule) {
+        for (const std::string_view tok : kPhaseThrowTokens) {
+          if (has_token(code, tok)) {
+            out.push_back(
+                {"phase-throw", file.rel, line,
+                 std::string(tok) +
+                     " inside src/runtime/ — phase bodies run under the "
+                     "PhaseDag fault domain; propagate store faults into "
+                     "a typed PhaseResult (transient/degraded/"
+                     "data_unavailable) instead of throwing"});
+          }
+        }
       }
       if (store_rule && (has_token(code, "kvstore::Store") ||
                          code.find(".store(") != std::string::npos ||
